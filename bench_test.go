@@ -1,0 +1,319 @@
+// Benchmark harness: one benchmark per table and figure in the paper's
+// evaluation (§4 and §5). Each benchmark regenerates its table/figure at
+// a laptop-scaled operating point and prints the same rows or series the
+// paper reports; EXPERIMENTS.md records paper-vs-measured values.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Individual figures:
+//
+//	go test -bench=BenchmarkFig10DNSSECBandwidth
+package ldplayer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ldplayer/internal/experiments"
+)
+
+// benchSim is the simulation operating point for the bench harness:
+// large enough that connection dynamics and client skew are realistic,
+// small enough that the full suite finishes in minutes.
+func benchSim() experiments.SimScale {
+	return experiments.SimScale{
+		Rate:     3000,
+		Duration: 2 * time.Minute,
+		Clients:  90000,
+		Seed:     1,
+	}
+}
+
+// benchLive is the live-replay operating point (real sockets and timers,
+// so Duration is wall-clock time per trial).
+func benchLive() experiments.Scale {
+	return experiments.Scale{
+		Rate:     1500,
+		Duration: 5 * time.Second,
+		Clients:  15000,
+		Seed:     1,
+	}
+}
+
+var benchTimeouts = []time.Duration{
+	5 * time.Second, 10 * time.Second, 20 * time.Second, 40 * time.Second,
+}
+
+var benchRTTs = []time.Duration{
+	20 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond, 160 * time.Millisecond,
+}
+
+// printOnce gates the row output so repeated benchmark iterations do not
+// spam the log.
+var printOnce sync.Map
+
+func printRows[T fmt.Stringer](b *testing.B, key string, rows []T) {
+	b.Helper()
+	if _, dup := printOnce.LoadOrStore(key, true); dup {
+		return
+	}
+	for _, r := range rows {
+		fmt.Printf("  %s | %s\n", key, r)
+	}
+}
+
+// BenchmarkTable1TraceStats regenerates Table 1: the statistics of every
+// trace family (records, clients, inter-arrival mean and deviation).
+func BenchmarkTable1TraceStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchLive())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "Table1", rows)
+	}
+}
+
+// BenchmarkFig6TimingError regenerates Figure 6: per-query timing error
+// of real-time replay for syn-0..4 and a B-Root-like trace
+// (paper: quartiles within ±2.5 ms; ±8 ms at the 0.1 s inter-arrival).
+func BenchmarkFig6TimingError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6TimingError(benchLive())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "Fig6", rows)
+		if len(rows) > 0 {
+			b.ReportMetric(rows[len(rows)-1].Err.P75*1000, "broot-p75-ms")
+		}
+	}
+}
+
+// BenchmarkFig7InterArrival regenerates Figure 7: inter-arrival CDFs of
+// original versus replayed traces (paper: close agreement above 10 ms
+// gaps, jitter below 1 ms).
+func BenchmarkFig7InterArrival(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7InterArrival(benchLive())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "Fig7", rows)
+	}
+}
+
+// BenchmarkFig8RateAccuracy regenerates Figure 8: per-second query-rate
+// differences between replay and original over repeated trials
+// (paper: ±0.1% for 95–99% of seconds at 38 k q/s).
+func BenchmarkFig8RateAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8RateAccuracy(benchLive(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "Fig8", rows)
+		if len(rows) > 0 {
+			b.ReportMetric(rows[0].Within01*100, "pct-within-0.1pct")
+		}
+	}
+}
+
+// BenchmarkFig9Throughput regenerates Figure 9: maximum single-host
+// fast-mode replay throughput (paper: 87 k q/s, 60 Mb/s, query
+// generation bound).
+func BenchmarkFig9Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9Throughput(150000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "Fig9", []*experiments.ThroughputResult{res})
+		b.ReportMetric(res.QueriesPerSec, "q/s")
+		b.ReportMetric(res.MbitPerSec, "Mb/s")
+	}
+}
+
+// BenchmarkFig10DNSSECBandwidth regenerates Figure 10: response bandwidth
+// under {1024, 2048, rollover} ZSKs × {72.3%, 100%} DO fractions
+// (paper: +31% for 72.3%→100% DO, +32% for 1024→2048-bit ZSK).
+func BenchmarkFig10DNSSECBandwidth(b *testing.B) {
+	sim := benchSim()
+	sim.Duration = 90 * time.Second
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10DNSSEC(sim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "Fig10", rows)
+		var do72, do100 float64
+		for _, r := range rows {
+			if r.Label == "72.3%DO zsk2048" {
+				do72 = r.Bandwidth.P50
+			}
+			if r.Label == "100%DO zsk2048" {
+				do100 = r.Bandwidth.P50
+			}
+		}
+		if do72 > 0 {
+			b.ReportMetric((do100/do72-1)*100, "do-growth-pct")
+		}
+	}
+}
+
+// BenchmarkFig11CPU regenerates Figure 11: server CPU versus connection
+// timeout for the three workloads (paper: original ~10%, all-TCP ~5%,
+// all-TLS ~9–10%, flat in timeout; TLS slightly higher at 5 s).
+func BenchmarkFig11CPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11CPU(benchSim(), benchTimeouts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "Fig11", rows)
+	}
+}
+
+// BenchmarkFig13TCPFootprint regenerates Figure 13: all-TCP server
+// memory, established connections, and TIME_WAIT versus timeout
+// (paper at 39 k q/s: 15 GB and ~60 k established at 20 s).
+func BenchmarkFig13TCPFootprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.FigFootprint(benchSim(), experiments.WorkloadAllTCP, benchTimeouts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "Fig13", rows)
+	}
+}
+
+// BenchmarkFig14TLSFootprint regenerates Figure 14: the all-TLS variant
+// (paper: 18 GB at 20 s, ~30% above TCP).
+func BenchmarkFig14TLSFootprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.FigFootprint(benchSim(), experiments.WorkloadAllTLS, benchTimeouts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "Fig14", rows)
+	}
+}
+
+// BenchmarkFig15aLatencyAll regenerates Figure 15a: query latency over
+// all clients versus RTT (paper: TCP near UDP thanks to reuse by busy
+// clients; tails grow with RTT).
+func BenchmarkFig15aLatencyAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig15Latency(benchSim(), benchRTTs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "Fig15a", rows)
+	}
+}
+
+// BenchmarkFig15bLatencyNonBusy regenerates Figure 15b: latency for
+// non-busy clients (<250 queries) versus RTT (paper: TCP ~2 RTT, TLS up
+// to 4 RTT, 25th percentile at 1 RTT showing reuse still helps).
+func BenchmarkFig15bLatencyNonBusy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig15Latency(benchSim(), benchRTTs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "Fig15b", rows) // rows carry both panels; 15b is the NonBusy column
+	}
+}
+
+// BenchmarkFig15cClientLoad regenerates Figure 15c: the per-client query
+// load distribution (paper: 1% of clients ≈ 75% of load, 81% of clients
+// send <10 queries).
+func BenchmarkFig15cClientLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig15cClientLoad(benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "Fig15c", []*experiments.ClientLoadResult{res})
+		b.ReportMetric(res.Top1PctShare*100, "top1pct-share")
+	}
+}
+
+// BenchmarkAblationConnectionReuse isolates connection reuse: the same
+// all-TCP workload with a 20 s idle timeout versus fresh-per-query
+// connections (paper: models predict 100% latency overhead without
+// reuse; replay shows reuse absorbs most of it).
+func BenchmarkAblationConnectionReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationConnectionReuse(benchSim(), 100*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "AblReuse", []*experiments.ReuseAblationResult{res})
+		b.ReportMetric((res.NoReuse.Mean/res.WithReuse.Mean-1)*100, "no-reuse-mean-overhead-pct")
+	}
+}
+
+// BenchmarkAblationNagle isolates the Nagle/delayed-ACK model behind the
+// paper's latency-tail discovery (§5.2.4) and quantifies what disabling
+// Nagle on the server buys back.
+func BenchmarkAblationNagle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationNagle(benchSim(), 100*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "AblNagle", []*experiments.NagleAblationResult{res})
+	}
+}
+
+// BenchmarkAblationNameCompression quantifies RFC 1035 name compression
+// on referral-shaped responses.
+func BenchmarkAblationNameCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationNameCompression()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "AblCompress", []*experiments.CompressionAblationResult{res})
+	}
+}
+
+// BenchmarkAblationSourceAffinity bounds the value of §2.6's same-source
+// delivery guarantee: connection counts under sticky, per-query-unique,
+// and fully collapsed source mappings.
+func BenchmarkAblationSourceAffinity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationSourceAffinity(benchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "AblAffinity", []*experiments.ReplayDistributionAblation{res})
+	}
+}
+
+// BenchmarkRecursiveReplay549Zones exercises §2.4's headline scale point:
+// a Rec-17-like stub trace replayed live against a recursive server whose
+// resolver walks 549 SLD zones (plus TLDs and root) all served by one
+// meta-DNS engine, with the cache-warming amplification drop the paper's
+// zone-construction design depends on.
+func BenchmarkRecursiveReplay549Zones(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RecursiveReplay(experiments.RecursiveReplayConfig{
+			Zones:            549,
+			Duration:         5 * time.Second,
+			MeanInterArrival: 2 * time.Millisecond,
+			Seed:             1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printRows(b, "Recursive", []*experiments.RecursiveReplayResult{res})
+		b.ReportMetric(res.AmplificationFirst, "amp-first")
+		b.ReportMetric(res.AmplificationLast, "amp-last")
+	}
+}

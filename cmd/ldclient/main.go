@@ -1,0 +1,68 @@
+// Command ldclient runs a remote client instance (Figure 4): a
+// distributor plus querier pool that listens for a controller's TCP link,
+// receives the framed query stream with its time-synchronization
+// broadcast, and replays against the configured targets. Combine with
+// `ldplayer replay -clients host1:port,host2:port` on the controller host
+// to reproduce the multi-host topology of Figure 5.
+//
+// Usage:
+//
+//	ldclient -listen :9053 -udp server:53 -tcp server:53 -queriers 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"ldplayer/internal/replay"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9053", "address to accept the controller link on")
+	udp := flag.String("udp", "", "UDP target host:port")
+	tcp := flag.String("tcp", "", "TCP target host:port")
+	queriers := flag.Int("queriers", 6, "querier pool size")
+	idle := flag.Duration("idle-timeout", 20*time.Second, "connection reuse timeout")
+	once := flag.Bool("once", false, "exit after one replay instead of serving forever")
+	flag.Parse()
+
+	if err := run(*listen, *udp, *tcp, *queriers, *idle, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "ldclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, udp, tcp string, queriers int, idle time.Duration, once bool) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Println("client instance listening on", ln.Addr())
+
+	for {
+		en, err := replay.New(replay.Config{
+			Distributors:           1,
+			QueriersPerDistributor: queriers,
+			UDPTarget:              udp,
+			TCPTarget:              tcp,
+			IdleTimeout:            idle,
+		})
+		if err != nil {
+			return err
+		}
+		st, err := replay.ServeClient(ln, en)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replayed: sent=%d responses=%d errors=%d conns=%d sources=%d in %v (%.0f q/s)\n",
+			st.Sent, st.Responses, st.Errors, st.ConnsOpened, st.Sources,
+			st.Duration.Round(time.Millisecond), float64(st.Sent)/st.Duration.Seconds())
+		if once {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Command metadns runs the meta-DNS-server: a single authoritative
+// instance serving one or more zone files, optionally behind split-horizon
+// views so it emulates multiple levels of the DNS hierarchy (§2.4).
+//
+// Usage:
+//
+//	metadns -zone root=./root.zone -zone com=./com.zone \
+//	        -view 198.18.0.1=root -view 198.18.0.5=com \
+//	        -udp 127.0.0.1:5300 -tcp 127.0.0.1:5300
+//
+// Without -view clauses all zones go into a default view answering every
+// client. TLS requires -tls plus an in-memory self-signed certificate
+// (generated automatically for the host in -tls-host).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ldplayer/internal/authserver"
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/zone"
+)
+
+// multiFlag accumulates repeated -zone / -view flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	var zoneFlags, viewFlags multiFlag
+	flag.Var(&zoneFlags, "zone", "NAME=FILE zone to load (repeatable); NAME 'root' means '.'")
+	flag.Var(&viewFlags, "view", "ADDR=NAME[,NAME...] split-horizon view matching source ADDR (repeatable)")
+	udp := flag.String("udp", "127.0.0.1:5300", "UDP listen address")
+	tcp := flag.String("tcp", "", "TCP listen address (empty = disabled)")
+	tlsAddr := flag.String("tls", "", "TLS listen address (empty = disabled)")
+	tlsHost := flag.String("tls-host", "127.0.0.1", "hostname or IP for the self-signed TLS certificate")
+	idle := flag.Duration("idle-timeout", authserver.DefaultIdleTimeout, "TCP/TLS idle connection timeout")
+	flag.Parse()
+
+	if err := run(zoneFlags, viewFlags, *udp, *tcp, *tlsAddr, *tlsHost, *idle); err != nil {
+		fmt.Fprintln(os.Stderr, "metadns:", err)
+		os.Exit(1)
+	}
+}
+
+func run(zoneFlags, viewFlags []string, udp, tcp, tlsAddr, tlsHost string, idle time.Duration) error {
+	if len(zoneFlags) == 0 {
+		return fmt.Errorf("at least one -zone is required")
+	}
+	zones := make(map[string]*zone.Zone)
+	for _, zf := range zoneFlags {
+		name, file, ok := strings.Cut(zf, "=")
+		if !ok {
+			return fmt.Errorf("bad -zone %q (want NAME=FILE)", zf)
+		}
+		origin := name
+		if name == "root" {
+			origin = "."
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		z, err := zone.Parse(f, dnswire.CanonicalName(origin))
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", file, err)
+		}
+		if errs := z.Validate(); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "metadns: warning:", e)
+			}
+		}
+		zones[name] = z
+		fmt.Printf("loaded zone %s (%d records) from %s\n", z.Origin, z.NumRecords(), file)
+	}
+
+	engine := authserver.NewEngine()
+	if len(viewFlags) == 0 {
+		var all []*zone.Zone
+		for _, z := range zones {
+			all = append(all, z)
+		}
+		if err := engine.AddView(&authserver.View{Name: "default", Zones: all}); err != nil {
+			return err
+		}
+	} else {
+		for _, vf := range viewFlags {
+			addrStr, names, ok := strings.Cut(vf, "=")
+			if !ok {
+				return fmt.Errorf("bad -view %q (want ADDR=NAME,...)", vf)
+			}
+			addr, err := netip.ParseAddr(addrStr)
+			if err != nil {
+				return fmt.Errorf("bad -view address %q: %v", addrStr, err)
+			}
+			v := &authserver.View{Name: vf, Sources: []netip.Addr{addr}}
+			for _, n := range strings.Split(names, ",") {
+				z, ok := zones[n]
+				if !ok {
+					return fmt.Errorf("-view %q references unknown zone %q", vf, n)
+				}
+				v.Zones = append(v.Zones, z)
+			}
+			if err := engine.AddView(v); err != nil {
+				return err
+			}
+		}
+	}
+
+	srv := &authserver.Server{Engine: engine, IdleTimeout: idle}
+	if tlsAddr != "" {
+		serverTLS, _, err := authserver.SelfSignedTLSConfig(tlsHost)
+		if err != nil {
+			return err
+		}
+		srv.TLSConfig = serverTLS
+	}
+	if err := srv.Start(udp, tcp, tlsAddr); err != nil {
+		return err
+	}
+	defer srv.Close()
+	if a := srv.UDPAddr(); a != nil {
+		fmt.Println("udp listening on", a)
+	}
+	if a := srv.TCPAddr(); a != nil {
+		fmt.Println("tcp listening on", a)
+	}
+	if a := srv.TLSAddr(); a != nil {
+		fmt.Println("tls listening on", a)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := engine.Stats()
+	fmt.Printf("\nserved %d queries (%d bytes out), %d truncated, %d refused\n",
+		st.Queries, st.ResponseBytes, st.Truncated, st.Refused)
+	return nil
+}

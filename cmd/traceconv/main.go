@@ -1,0 +1,127 @@
+// Command traceconv converts between LDplayer's trace formats (Figure 3):
+// pcap network captures, editable plain text, and the length-prefixed
+// binary stream of internal messages used for fast replay.
+//
+// Usage:
+//
+//	traceconv -in capture.pcap -out queries.txt     # pcap  -> text
+//	traceconv -in queries.txt  -out queries.bin     # text  -> binary
+//	traceconv -in queries.bin  -out queries.pcap    # binary -> pcap
+//
+// Formats are selected by extension (.pcap/.txt/.bin).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ldplayer/internal/pcap"
+	"ldplayer/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace")
+	out := flag.String("out", "", "output trace")
+	queriesOnly := flag.Bool("queries-only", false, "keep queries, drop responses")
+	flag.Parse()
+	if err := run(*in, *out, *queriesOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "traceconv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string, queriesOnly bool) error {
+	if in == "" || out == "" {
+		return fmt.Errorf("-in and -out are required")
+	}
+	inF, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer inF.Close()
+
+	var r trace.Reader
+	switch {
+	case strings.HasSuffix(in, ".pcapng"):
+		if r, err = pcap.NewNgTraceReader(inF); err != nil {
+			return err
+		}
+	case strings.HasSuffix(in, ".pcap"):
+		if r, err = pcap.NewTraceReader(inF); err != nil {
+			return err
+		}
+	case strings.HasSuffix(in, ".txt"):
+		r = trace.NewTextReader(inF)
+	default:
+		r = trace.NewBinaryReader(inF)
+	}
+
+	outF, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer outF.Close()
+
+	n := 0
+	if strings.HasSuffix(out, ".pcap") {
+		// pcap output buffers entries because the writer needs per-flow
+		// TCP sequence state in one pass.
+		var entries []trace.Entry
+		for {
+			e, err := r.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				return err
+			}
+			if queriesOnly && isResponse(e) {
+				continue
+			}
+			entries = append(entries, e)
+		}
+		if err := pcap.WriteDNSPcap(outF, entries); err != nil {
+			return err
+		}
+		n = len(entries)
+	} else {
+		var w trace.Writer
+		var flush func() error
+		if strings.HasSuffix(out, ".txt") {
+			tw := trace.NewTextWriter(outF)
+			w, flush = tw, tw.Flush
+		} else {
+			bw := trace.NewBinaryWriter(outF)
+			w, flush = bw, bw.Flush
+		}
+		for {
+			e, err := r.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				return err
+			}
+			if queriesOnly && isResponse(e) {
+				continue
+			}
+			if err := w.Write(e); err != nil {
+				return err
+			}
+			n++
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("converted %d entries: %s -> %s\n", n, in, out)
+	return nil
+}
+
+func isResponse(e trace.Entry) bool {
+	return len(e.Message) >= 3 && e.Message[2]&0x80 != 0
+}

@@ -1,0 +1,8 @@
+// Package ldplayer is a from-scratch Go reproduction of LDplayer, the DNS
+// experimentation framework of Zhu and Heidemann ("LDplayer: DNS
+// Experimentation at Scale"). The implementation lives under internal/
+// (see DESIGN.md for the system inventory); cmd/ holds the executables,
+// examples/ the runnable walkthroughs, and bench_test.go in this
+// directory regenerates every data-bearing table and figure of the
+// paper's evaluation.
+package ldplayer

@@ -1,0 +1,111 @@
+// Rootreplay: the §4 validation workflow. Generates a B-Root-like trace
+// (heavy-tailed clients, per-second rate variation), replays it in real
+// time against a synthesized root zone, and reports the three accuracy
+// metrics of Figures 6–8: per-query timing error, inter-arrival
+// distribution agreement, and per-second rate agreement.
+//
+//	go run ./examples/rootreplay
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"ldplayer/internal/core"
+	"ldplayer/internal/hierarchy"
+	"ldplayer/internal/metrics"
+	"ldplayer/internal/traceg"
+	"ldplayer/internal/zone"
+)
+
+func main() {
+	// Synthesized root zone: SOA, 13 root servers, TLD delegations.
+	h, err := hierarchy.Build([]string{
+		"example.com.", "example.net.", "example.org.", "example.de.", "example.jp.",
+	}, hierarchy.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	player, err := core.New(core.Config{Zones: []*zone.Zone{h.Root}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := player.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer player.Close()
+
+	cfg := traceg.BRootConfig{
+		Start:       time.Now(),
+		Duration:    6 * time.Second,
+		MedianRate:  1500,
+		Clients:     15000,
+		TCPFraction: 0,
+		DOFraction:  0.723,
+		Seed:        1,
+	}
+
+	// Pass 1: the "original" trace — collect its per-second rates and
+	// inter-arrival gaps.
+	orig, err := traceg.BRoot(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	origRates := metrics.NewRateCounter(time.Second)
+	var origGaps []float64
+	var prev time.Time
+	n := 0
+	for {
+		e, err := orig.Next()
+		if err != nil {
+			break
+		}
+		origRates.Add(e.Time)
+		if n > 0 {
+			origGaps = append(origGaps, e.Time.Sub(prev).Seconds())
+		}
+		prev = e.Time
+		n++
+	}
+
+	// Pass 2: replay the identical trace (same seed) in real time.
+	replayIn, err := traceg.BRoot(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := player.Replay(context.Background(), replayIn)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== B-Root-like replay validation ===")
+	fmt.Printf("trace: %d queries, %d clients, %.0f q/s median\n",
+		report.Sent, report.Sources, cfg.MedianRate)
+
+	fmt.Println("\nFigure 6 — query timing error:")
+	fmt.Printf("  quartiles %+.2f / %+.2f / %+.2f ms (paper: within ±2.5 ms)\n",
+		report.TimingError.P25*1000, report.TimingError.P50*1000, report.TimingError.P75*1000)
+
+	fmt.Println("\nFigure 7 — inter-arrival agreement:")
+	oc, rc := metrics.NewCDF(origGaps), metrics.NewCDF(report.SendInterArrivals)
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.9} {
+		fmt.Printf("  p%.0f: original %.6fs, replay %.6fs\n", q*100, oc.InverseAt(q), rc.InverseAt(q))
+	}
+
+	fmt.Println("\nFigure 8 — per-second rate agreement:")
+	diffs := metrics.RelativeDifferences(trim(origRates.Rates()), trim(report.SendRates))
+	dc := metrics.NewCDF(diffs)
+	within := dc.At(0.01) - dc.At(-0.0100001)
+	fmt.Printf("  %.0f%% of seconds within ±1%% (p5 %+.3f%%, p95 %+.3f%%)\n",
+		within*100, dc.InverseAt(0.05)*100, dc.InverseAt(0.95)*100)
+}
+
+func trim(r []float64) []float64 {
+	if len(r) <= 2 {
+		return nil
+	}
+	return r[1 : len(r)-1]
+}

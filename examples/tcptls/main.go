@@ -1,0 +1,75 @@
+// Tcptls: the §5.2 what-if study. Takes a B-Root-like workload, projects
+// it onto all-TCP and all-TLS (the paper's mutation), and reports server
+// memory, connection counts, CPU, and client latency versus RTT — the
+// quantities of Figures 11, 13, 14 and 15.
+//
+//	go run ./examples/tcptls
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ldplayer/internal/experiments"
+)
+
+func main() {
+	sim := experiments.SimScale{
+		Rate:     3000,
+		Duration: 2 * time.Minute,
+		Clients:  90000,
+		Seed:     1,
+	}
+	timeouts := []time.Duration{5 * time.Second, 20 * time.Second, 40 * time.Second}
+
+	fmt.Println("=== Figure 11: server CPU vs connection timeout ===")
+	cpuRows, err := experiments.Fig11CPU(sim, timeouts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range cpuRows {
+		fmt.Println(" ", r)
+	}
+	fmt.Println("  (paper: original ~10%, all-TCP ~5%, all-TLS ~9-10%, flat in timeout)")
+
+	fmt.Println("\n=== Figure 13: all-TCP server footprint ===")
+	tcpRows, err := experiments.FigFootprint(sim, experiments.WorkloadAllTCP, timeouts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range tcpRows {
+		fmt.Println(" ", r)
+	}
+
+	fmt.Println("\n=== Figure 14: all-TLS server footprint ===")
+	tlsRows, err := experiments.FigFootprint(sim, experiments.WorkloadAllTLS, timeouts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range tlsRows {
+		fmt.Println(" ", r)
+	}
+	fmt.Println("  (paper at full 39k q/s scale: 15 GB TCP / 18 GB TLS at 20 s timeout;")
+	fmt.Println("   memory grows with timeout, TLS ~30% above TCP)")
+
+	fmt.Println("\n=== Figure 15: query latency vs client RTT (20 s timeout) ===")
+	latRows, err := experiments.Fig15Latency(sim, []time.Duration{
+		20 * time.Millisecond, 80 * time.Millisecond, 160 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range latRows {
+		fmt.Println(" ", r)
+	}
+	fmt.Println("  (paper: non-busy TCP ~2 RTT, TLS up to 4 RTT, UDP flat at 1 RTT)")
+
+	fmt.Println("\n=== Figure 15c: query load per client ===")
+	load, err := experiments.Fig15cClientLoad(sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(" ", load)
+	fmt.Println("  (paper: 1% of clients carry ~75% of load; 81% send <10 queries)")
+}

@@ -1,0 +1,88 @@
+package authserver
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/zone"
+)
+
+// benchEngine builds the three-level split-horizon engine for benchmarks.
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	parse := func(text, origin string) *zone.Zone {
+		z, err := zone.Parse(strings.NewReader(text), origin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return z
+	}
+	e := NewEngine()
+	for _, v := range []*View{
+		{Name: "root", Sources: []netip.Addr{rootNSAddr}, Zones: []*zone.Zone{parse(rootZoneText, ".")}},
+		{Name: "com", Sources: []netip.Addr{comNSAddr}, Zones: []*zone.Zone{parse(comZoneText, "com.")}},
+		{Name: "example", Sources: []netip.Addr{exNSAddr}, Zones: []*zone.Zone{parse(exZoneText, "example.com.")}},
+	} {
+		if err := e.AddView(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+// BenchmarkEngineRespondAnswer measures the full query→response path of
+// the meta-DNS engine — view selection, lookup, packing — on an
+// authoritative answer: the per-query server cost behind Figure 9's
+// throughput ceiling.
+func BenchmarkEngineRespondAnswer(b *testing.B) {
+	e := benchEngine(b)
+	wire, err := dnswire.NewQuery(1, "www.example.com.", dnswire.TypeA).Pack(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRespondReferral measures the referral path from the root
+// view (the dominant response class in B-Root replay).
+func BenchmarkEngineRespondReferral(b *testing.B) {
+	e := benchEngine(b)
+	wire, err := dnswire.NewQuery(2, "www.example.com.", dnswire.TypeA).Pack(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Respond(wire, rootNSAddr, UDP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRespondDNSSEC measures a DO-bit query against the same
+// engine (signature-attachment path).
+func BenchmarkEngineRespondDNSSEC(b *testing.B) {
+	e := benchEngine(b)
+	q := dnswire.NewQuery(3, "www.example.com.", dnswire.TypeA)
+	q.Edns = &dnswire.EDNS{UDPSize: 4096, DO: true}
+	wire, err := q.Pack(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package authserver implements the meta-DNS-server of §2.4: a single
+// authoritative server instance that correctly emulates multiple
+// independent levels of the DNS hierarchy. Zones are organized into
+// split-horizon views selected by the query's *source address* — which,
+// after the recursive proxy's OQDA rewrite, is the public address of the
+// nameserver the query was originally destined for. One engine therefore
+// answers as the root, the TLDs, and every SLD, each from the correct
+// zone, as if they were independent servers.
+//
+// The engine is transport-agnostic; UDP, TCP and TLS listeners (live mode)
+// and a netsim adapter (testbed mode) all feed it.
+package authserver
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/zone"
+)
+
+// Transport identifies how a query arrived, which controls truncation.
+type Transport int
+
+// Transports.
+const (
+	UDP Transport = iota
+	TCP
+	TLS
+)
+
+// String returns the transport mnemonic.
+func (t Transport) String() string {
+	switch t {
+	case UDP:
+		return "udp"
+	case TCP:
+		return "tcp"
+	case TLS:
+		return "tls"
+	}
+	return "?"
+}
+
+// View is a split-horizon view: the zones served to queries arriving from
+// Sources. It corresponds to a BIND view with match-clients.
+type View struct {
+	Name    string
+	Sources []netip.Addr
+	Zones   []*zone.Zone
+}
+
+// Engine answers DNS queries from a set of views. It is safe for
+// concurrent use once configured.
+type Engine struct {
+	mu sync.RWMutex
+	// bySource maps a match address to its view.
+	bySource map[netip.Addr]*View
+	// defaultView answers queries from unmatched sources ("" match-all).
+	defaultView *View
+
+	// Stats
+	queries    atomic.Int64
+	responses  atomic.Int64
+	truncated  atomic.Int64
+	formErrs   atomic.Int64
+	refused    atomic.Int64
+	respBytes  atomic.Int64
+	queryBytes atomic.Int64
+}
+
+// NewEngine creates an empty engine.
+func NewEngine() *Engine {
+	return &Engine{bySource: make(map[netip.Addr]*View)}
+}
+
+// AddView registers v. Views with no Sources become the default view; a
+// source address may belong to only one view.
+func (e *Engine) AddView(v *View) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(v.Sources) == 0 {
+		if e.defaultView != nil {
+			return fmt.Errorf("authserver: second default view %q", v.Name)
+		}
+		e.defaultView = v
+		return nil
+	}
+	for _, src := range v.Sources {
+		if owner, dup := e.bySource[src]; dup {
+			return fmt.Errorf("authserver: source %v already matched by view %q", src, owner.Name)
+		}
+	}
+	for _, src := range v.Sources {
+		e.bySource[src] = v
+	}
+	return nil
+}
+
+// ViewFor returns the view matching src (or the default view, or nil).
+func (e *Engine) ViewFor(src netip.Addr) *View {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if v, ok := e.bySource[src]; ok {
+		return v
+	}
+	return e.defaultView
+}
+
+// zoneFor selects the view's zone with the longest origin enclosing qname.
+func (v *View) zoneFor(qname string) *zone.Zone {
+	var best *zone.Zone
+	bestLabels := -1
+	for _, z := range v.Zones {
+		if dnswire.IsSubdomain(qname, z.Origin) {
+			if n := dnswire.CountLabels(z.Origin); n > bestLabels {
+				best, bestLabels = z, n
+			}
+		}
+	}
+	return best
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	Queries       int64
+	Responses     int64
+	Truncated     int64
+	FormErrs      int64
+	Refused       int64
+	QueryBytes    int64
+	ResponseBytes int64
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Queries:       e.queries.Load(),
+		Responses:     e.responses.Load(),
+		Truncated:     e.truncated.Load(),
+		FormErrs:      e.formErrs.Load(),
+		Refused:       e.refused.Load(),
+		QueryBytes:    e.queryBytes.Load(),
+		ResponseBytes: e.respBytes.Load(),
+	}
+}
+
+// Respond answers the wire-format query arriving from src over transport.
+// It always returns a response to send when err is nil; unparseable
+// queries yield FORMERR when at least the header was readable, and a nil
+// response (drop) otherwise.
+func (e *Engine) Respond(query []byte, src netip.Addr, transport Transport) ([]byte, error) {
+	e.queries.Add(1)
+	e.queryBytes.Add(int64(len(query)))
+
+	var q dnswire.Message
+	if err := q.Unpack(query); err != nil {
+		if len(query) >= 12 {
+			e.formErrs.Add(1)
+			return e.errorResponse(query, dnswire.RcodeFormErr)
+		}
+		return nil, fmt.Errorf("authserver: undecodable query: %w", err)
+	}
+	if q.Header.Opcode != dnswire.OpcodeQuery {
+		// NOTIFY/UPDATE/IQUERY are out of scope for an authoritative
+		// replay target; answer NOTIMP like NSD does.
+		return e.errorResponse(query, dnswire.RcodeNotImp)
+	}
+	if q.Header.QR || len(q.Question) != 1 {
+		e.formErrs.Add(1)
+		return e.errorResponse(query, dnswire.RcodeFormErr)
+	}
+
+	view := e.ViewFor(src)
+	resp := dnswire.ResponseTo(&q)
+	// Echo EDNS: respond with our own OPT advertising a large buffer and
+	// mirroring the DO bit, as real authoritative servers do.
+	dnssecOK := false
+	udpLimit := dnswire.MaxUDPSize
+	if q.Edns != nil {
+		dnssecOK = q.Edns.DO
+		if int(q.Edns.UDPSize) > udpLimit {
+			udpLimit = int(q.Edns.UDPSize)
+		}
+		resp.Edns = &dnswire.EDNS{UDPSize: dnswire.DefaultEDNSSize, DO: q.Edns.DO}
+	}
+
+	question := q.Question[0]
+	var z *zone.Zone
+	if view != nil {
+		z = view.zoneFor(question.Name)
+	}
+	if z == nil {
+		e.refused.Add(1)
+		resp.Header.Rcode = dnswire.RcodeRefused
+		return e.pack(resp, transport, udpLimit)
+	}
+
+	res := z.Lookup(question.Name, question.Type, zone.LookupOptions{DNSSEC: dnssecOK})
+	switch res.Kind {
+	case zone.Answer:
+		resp.Header.AA = true
+		resp.Answer = res.Records
+		resp.Authority = res.Authority
+		resp.Additional = res.Additional
+	case zone.NoData:
+		resp.Header.AA = true
+		resp.Authority = res.Authority
+	case zone.NXDomain:
+		resp.Header.AA = true
+		resp.Header.Rcode = dnswire.RcodeNXDomain
+		resp.Authority = res.Authority
+	case zone.Referral:
+		// Referrals are not authoritative answers: AA stays clear.
+		resp.Authority = res.Authority
+		resp.Additional = res.Additional
+	case zone.OutOfZone:
+		e.refused.Add(1)
+		resp.Header.Rcode = dnswire.RcodeRefused
+	}
+	return e.pack(resp, transport, udpLimit)
+}
+
+// pack encodes resp, applying UDP truncation when necessary.
+func (e *Engine) pack(resp *dnswire.Message, transport Transport, udpLimit int) ([]byte, error) {
+	wire, err := resp.Pack(nil)
+	if err != nil {
+		return nil, err
+	}
+	if transport == UDP && len(wire) > udpLimit {
+		e.truncated.Add(1)
+		resp.Header.TC = true
+		// RFC 2181 §9: truncate to an empty answer; the client retries
+		// over TCP. Keep the question and OPT only.
+		resp.Answer = nil
+		resp.Authority = nil
+		resp.Additional = nil
+		if wire, err = resp.Pack(nil); err != nil {
+			return nil, err
+		}
+	}
+	e.responses.Add(1)
+	e.respBytes.Add(int64(len(wire)))
+	return wire, nil
+}
+
+// errorResponse builds a minimal response with rcode from a raw query
+// whose header (at least) was parseable.
+func (e *Engine) errorResponse(query []byte, rcode dnswire.Rcode) ([]byte, error) {
+	resp := &dnswire.Message{}
+	resp.Header.ID = uint16(query[0])<<8 | uint16(query[1])
+	resp.Header.QR = true
+	resp.Header.Rcode = rcode
+	wire, err := resp.Pack(nil)
+	if err != nil {
+		return nil, err
+	}
+	e.responses.Add(1)
+	e.respBytes.Add(int64(len(wire)))
+	return wire, nil
+}

@@ -1,0 +1,26 @@
+package authserver
+
+import (
+	"net/netip"
+
+	"ldplayer/internal/netsim"
+)
+
+// AttachNetsim serves the engine on a netsim node: every datagram arriving
+// at the node is answered from the engine, with the reply's source set to
+// the address the query was sent to (so, post-proxy, the recursive sees a
+// reply from the nameserver it queried). This is the testbed-mode
+// frontend of the meta-DNS-server.
+func AttachNetsim(e *Engine, node *netsim.Node) {
+	node.Handle(func(d netsim.Datagram) {
+		resp, err := e.Respond(d.Payload, d.Src.Addr(), UDP)
+		if err != nil || resp == nil {
+			return
+		}
+		node.Send(netsim.Datagram{
+			Src:     netip.AddrPortFrom(d.Dst.Addr(), 53),
+			Dst:     d.Src,
+			Payload: resp,
+		})
+	})
+}

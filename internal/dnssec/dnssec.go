@@ -1,0 +1,253 @@
+// Package dnssec signs zones with size-exact, deterministic keys and
+// signatures. The §5.1 experiment measures response *bandwidth* under
+// different ZSK sizes and DO fractions; what matters is that DNSKEY and
+// RRSIG records occupy exactly the octets real RSA keys of the configured
+// size would, not that the signatures verify. Signature bytes are derived
+// deterministically (SHA-256 expansion of the covered RRset's identity),
+// so signed zones are reproducible artifacts, per the repeatability
+// requirement of §2.1.
+package dnssec
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/zone"
+)
+
+// Config selects key sizes and rollover state.
+type Config struct {
+	// ZSKBits is the zone-signing key modulus size (1024 or 2048 in the
+	// paper's Figure 10).
+	ZSKBits int
+	// KSKBits is the key-signing key size (2048 in practice).
+	KSKBits int
+	// Rollover pre-publishes a second ZSK and double-signs the DNSKEY
+	// RRset, reproducing the paper's "rollover" bars.
+	Rollover bool
+	// Algorithm is the DNSSEC algorithm number; default 8 (RSA/SHA-256).
+	Algorithm uint8
+	// TTL for generated DNSKEY/NSEC records; default 3600.
+	TTL uint32
+	// Inception/Expiration of signatures; defaults span 30 days from a
+	// fixed epoch so zones stay byte-identical across runs.
+	Inception  uint32
+	Expiration uint32
+}
+
+func (c *Config) setDefaults() error {
+	if c.ZSKBits <= 0 {
+		c.ZSKBits = 2048
+	}
+	if c.KSKBits <= 0 {
+		c.KSKBits = 2048
+	}
+	if c.ZSKBits%8 != 0 || c.KSKBits%8 != 0 {
+		return fmt.Errorf("dnssec: key sizes must be multiples of 8 bits")
+	}
+	if c.Algorithm == 0 {
+		c.Algorithm = 8
+	}
+	if c.TTL == 0 {
+		c.TTL = 3600
+	}
+	if c.Inception == 0 {
+		c.Inception = uint32(time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC).Unix())
+	}
+	if c.Expiration == 0 {
+		c.Expiration = c.Inception + 30*86400
+	}
+	return nil
+}
+
+// Key flag values.
+const (
+	flagsZSK = 256
+	flagsKSK = 257
+)
+
+// deriveBytes expands a seed string into n deterministic octets.
+func deriveBytes(seed string, n int) []byte {
+	out := make([]byte, 0, n+sha256.Size)
+	var counter uint32
+	for len(out) < n {
+		h := sha256.New()
+		h.Write([]byte(seed))
+		var c [4]byte
+		binary.BigEndian.PutUint32(c[:], counter)
+		h.Write(c[:])
+		out = h.Sum(out)
+		counter++
+	}
+	return out[:n]
+}
+
+// rsaPublicKeyLen returns the DNSKEY public-key field length for an RSA
+// modulus of bits: 1-octet exponent length + 3-octet exponent + modulus.
+func rsaPublicKeyLen(bits int) int { return 1 + 3 + bits/8 }
+
+// makeKey builds a deterministic DNSKEY of the right wire size.
+func makeKey(origin string, flags uint16, bits int, alg uint8, variant string) dnswire.DNSKEY {
+	return dnswire.DNSKEY{
+		Flags:     flags,
+		Protocol:  3,
+		Algorithm: alg,
+		PublicKey: deriveBytes(fmt.Sprintf("key/%s/%d/%d/%s", origin, flags, bits, variant), rsaPublicKeyLen(bits)),
+	}
+}
+
+// KeyTag computes the RFC 4034 Appendix B key tag of a DNSKEY.
+func KeyTag(k dnswire.DNSKEY) uint16 {
+	rdata, _ := packRData(k)
+	var ac uint32
+	for i, b := range rdata {
+		if i&1 == 1 {
+			ac += uint32(b)
+		} else {
+			ac += uint32(b) << 8
+		}
+	}
+	ac += ac >> 16 & 0xFFFF
+	return uint16(ac)
+}
+
+// packRData serializes just a DNSKEY's rdata.
+func packRData(k dnswire.DNSKEY) ([]byte, error) {
+	m := dnswire.Message{Answer: []dnswire.RR{{Name: ".", Class: dnswire.ClassINET, Data: k}}}
+	wire, err := m.Pack(nil)
+	if err != nil {
+		return nil, err
+	}
+	// Skip header(12) + owner(1) + type/class/ttl/rdlen(10).
+	return wire[12+1+10:], nil
+}
+
+// SignZone signs z in place: DNSKEY RRset at the apex, one RRSIG per
+// RRset, and an NSEC chain for authenticated denial. Pre-existing
+// DNSSEC records are replaced semantics-free (records are added; callers
+// sign fresh zones).
+func SignZone(z *zone.Zone, cfg Config) error {
+	if err := cfg.setDefaults(); err != nil {
+		return err
+	}
+	origin := z.Origin
+
+	// Apex keys.
+	zsk := makeKey(origin, flagsZSK, cfg.ZSKBits, cfg.Algorithm, "zsk-a")
+	ksk := makeKey(origin, flagsKSK, cfg.KSKBits, cfg.Algorithm, "ksk")
+	keys := []dnswire.DNSKEY{zsk, ksk}
+	if cfg.Rollover {
+		keys = append(keys, makeKey(origin, flagsZSK, cfg.ZSKBits, cfg.Algorithm, "zsk-b"))
+	}
+	for _, k := range keys {
+		if err := z.Add(dnswire.RR{Name: origin, Class: dnswire.ClassINET, TTL: cfg.TTL, Data: k}); err != nil {
+			return err
+		}
+	}
+
+	// NSEC chain over the pre-signing owner names (snapshot before adding
+	// NSEC records themselves, then account for them in bitmaps).
+	names := z.Names()
+	typesAt := func(name string) []dnswire.Type {
+		seen := map[dnswire.Type]bool{dnswire.TypeRRSIG: true, dnswire.TypeNSEC: true}
+		var out []dnswire.Type
+		out = append(out, dnswire.TypeRRSIG, dnswire.TypeNSEC)
+		for _, rr := range recordsAt(z, name) {
+			if !seen[rr.Type()] {
+				seen[rr.Type()] = true
+				out = append(out, rr.Type())
+			}
+		}
+		return out
+	}
+	for i, name := range names {
+		next := names[(i+1)%len(names)]
+		nsec := dnswire.NSEC{NextName: next, Types: typesAt(name)}
+		if err := z.Add(dnswire.RR{Name: name, Class: dnswire.ClassINET, TTL: cfg.TTL, Data: nsec}); err != nil {
+			return err
+		}
+	}
+
+	// Sign every RRset (including DNSKEY and NSEC). DNSKEY RRsets are
+	// signed by the KSK (and double-signed during rollover); everything
+	// else by the ZSK.
+	zskTag, kskTag := KeyTag(zsk), KeyTag(ksk)
+	type setKey struct {
+		name string
+		typ  dnswire.Type
+	}
+	sets := make(map[setKey]uint32) // -> TTL
+	for _, name := range z.Names() {
+		for _, rr := range recordsAt(z, name) {
+			if rr.Type() == dnswire.TypeRRSIG {
+				continue
+			}
+			sets[setKey{rr.Name, rr.Type()}] = rr.TTL
+		}
+	}
+	for sk, ttl := range sets {
+		tags := []uint16{zskTag}
+		bits := cfg.ZSKBits
+		if sk.typ == dnswire.TypeDNSKEY {
+			tags = []uint16{kskTag}
+			bits = cfg.KSKBits
+			if cfg.Rollover {
+				tags = append(tags, zskTag)
+			}
+		}
+		for _, tag := range tags {
+			sigBits := bits
+			if sk.typ == dnswire.TypeDNSKEY && tag == zskTag {
+				sigBits = cfg.ZSKBits
+			}
+			sig := dnswire.RRSIG{
+				TypeCovered: sk.typ,
+				Algorithm:   cfg.Algorithm,
+				Labels:      uint8(dnswire.CountLabels(sk.name)),
+				OrigTTL:     ttl,
+				Expiration:  cfg.Expiration,
+				Inception:   cfg.Inception,
+				KeyTag:      tag,
+				SignerName:  origin,
+				Signature:   deriveBytes(fmt.Sprintf("sig/%s/%s/%d/%d", sk.name, sk.typ, tag, sigBits), sigBits/8),
+			}
+			if err := z.Add(dnswire.RR{Name: sk.name, Class: dnswire.ClassINET, TTL: ttl, Data: sig}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// recordsAt lists all records owned by name.
+func recordsAt(z *zone.Zone, name string) []dnswire.RR {
+	var out []dnswire.RR
+	for _, t := range []dnswire.Type{
+		dnswire.TypeA, dnswire.TypeNS, dnswire.TypeCNAME, dnswire.TypeSOA,
+		dnswire.TypePTR, dnswire.TypeMX, dnswire.TypeTXT, dnswire.TypeAAAA,
+		dnswire.TypeSRV, dnswire.TypeDS, dnswire.TypeRRSIG, dnswire.TypeNSEC,
+		dnswire.TypeDNSKEY,
+	} {
+		out = append(out, z.RRset(name, t)...)
+	}
+	return out
+}
+
+// DSFor returns the DS record data a parent zone should publish for the
+// child's KSK.
+func DSFor(childOrigin string, cfg Config) (dnswire.DS, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return dnswire.DS{}, err
+	}
+	ksk := makeKey(dnswire.CanonicalName(childOrigin), flagsKSK, cfg.KSKBits, cfg.Algorithm, "ksk")
+	digest := deriveBytes("ds/"+dnswire.CanonicalName(childOrigin), 32)
+	return dnswire.DS{
+		KeyTag:     KeyTag(ksk),
+		Algorithm:  cfg.Algorithm,
+		DigestType: 2, // SHA-256
+		Digest:     digest,
+	}, nil
+}

@@ -1,0 +1,241 @@
+package dnssec
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/zone"
+)
+
+const testZoneText = `
+example.com.	3600	IN	SOA	ns1.example.com. host. 1 7200 3600 1209600 300
+example.com.	3600	IN	NS	ns1.example.com.
+ns1.example.com.	3600	IN	A	192.0.2.1
+www.example.com.	300	IN	A	192.0.2.80
+www.example.com.	300	IN	AAAA	2001:db8::80
+`
+
+func signedZone(t *testing.T, cfg Config) *zone.Zone {
+	t.Helper()
+	z, err := zone.Parse(strings.NewReader(testZoneText), "example.com.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SignZone(z, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+func TestSignZoneAddsKeysAndSigs(t *testing.T) {
+	z := signedZone(t, Config{ZSKBits: 2048})
+	keys := z.RRset("example.com.", dnswire.TypeDNSKEY)
+	if len(keys) != 2 { // ZSK + KSK
+		t.Fatalf("DNSKEYs = %d", len(keys))
+	}
+	// Every original RRset has a signature.
+	for _, probe := range []struct {
+		name string
+		t    dnswire.Type
+	}{
+		{"example.com.", dnswire.TypeSOA},
+		{"example.com.", dnswire.TypeNS},
+		{"www.example.com.", dnswire.TypeA},
+		{"www.example.com.", dnswire.TypeAAAA},
+		{"example.com.", dnswire.TypeDNSKEY},
+	} {
+		sigs := z.RRset(probe.name, dnswire.TypeRRSIG)
+		found := false
+		for _, rr := range sigs {
+			if rr.Data.(dnswire.RRSIG).TypeCovered == probe.t {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no RRSIG covering %s %s", probe.name, probe.t)
+		}
+	}
+}
+
+func TestSignatureSizesMatchKeyBits(t *testing.T) {
+	for _, bits := range []int{1024, 2048} {
+		z := signedZone(t, Config{ZSKBits: bits})
+		for _, rr := range z.RRset("www.example.com.", dnswire.TypeRRSIG) {
+			sig := rr.Data.(dnswire.RRSIG)
+			if len(sig.Signature) != bits/8 {
+				t.Errorf("ZSK %d: signature %d bytes, want %d", bits, len(sig.Signature), bits/8)
+			}
+		}
+		var zskLen int
+		for _, rr := range z.RRset("example.com.", dnswire.TypeDNSKEY) {
+			k := rr.Data.(dnswire.DNSKEY)
+			if k.Flags == flagsZSK {
+				zskLen = len(k.PublicKey)
+			}
+		}
+		if zskLen != rsaPublicKeyLen(bits) {
+			t.Errorf("ZSK %d: pubkey %d bytes, want %d", bits, zskLen, rsaPublicKeyLen(bits))
+		}
+	}
+}
+
+func TestRolloverAddsSecondZSKAndDoubleSignsDNSKEY(t *testing.T) {
+	normal := signedZone(t, Config{ZSKBits: 2048})
+	roll := signedZone(t, Config{ZSKBits: 2048, Rollover: true})
+	if n := len(roll.RRset("example.com.", dnswire.TypeDNSKEY)); n != 3 {
+		t.Errorf("rollover DNSKEYs = %d, want 3", n)
+	}
+	countDNSKEYSigs := func(z *zone.Zone) int {
+		n := 0
+		for _, rr := range z.RRset("example.com.", dnswire.TypeRRSIG) {
+			if rr.Data.(dnswire.RRSIG).TypeCovered == dnswire.TypeDNSKEY {
+				n++
+			}
+		}
+		return n
+	}
+	if countDNSKEYSigs(normal) != 1 || countDNSKEYSigs(roll) != 2 {
+		t.Errorf("DNSKEY sigs: normal=%d roll=%d", countDNSKEYSigs(normal), countDNSKEYSigs(roll))
+	}
+}
+
+func TestNSECChainClosed(t *testing.T) {
+	z := signedZone(t, Config{})
+	names := z.Names()
+	// Every name has exactly one NSEC, and following next pointers from
+	// the apex visits every name and returns to the apex.
+	visited := map[string]bool{}
+	cur := "example.com."
+	for i := 0; i <= len(names); i++ {
+		set := z.RRset(cur, dnswire.TypeNSEC)
+		if len(set) != 1 {
+			t.Fatalf("%s has %d NSEC records", cur, len(set))
+		}
+		visited[cur] = true
+		cur = set[0].Data.(dnswire.NSEC).NextName
+		if cur == "example.com." {
+			break
+		}
+	}
+	if len(visited) != len(names) {
+		t.Errorf("NSEC chain covered %d of %d names", len(visited), len(names))
+	}
+}
+
+func TestSignedResponsesLargerAndOrdered(t *testing.T) {
+	z1024 := signedZone(t, Config{ZSKBits: 1024})
+	z2048 := signedZone(t, Config{ZSKBits: 2048})
+	plain, err := zone.Parse(strings.NewReader(testZoneText), "example.com.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	respLen := func(z *zone.Zone, dnssecOK bool) int {
+		res := z.Lookup("www.example.com.", dnswire.TypeA, zone.LookupOptions{DNSSEC: dnssecOK})
+		m := dnswire.Message{Header: dnswire.Header{QR: true}, Answer: res.Records, Authority: res.Authority}
+		wire, err := m.Pack(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(wire)
+	}
+	lPlain := respLen(plain, true)
+	l1024 := respLen(z1024, true)
+	l2048 := respLen(z2048, true)
+	if !(lPlain < l1024 && l1024 < l2048) {
+		t.Errorf("response sizes plain=%d 1024=%d 2048=%d, want strictly increasing", lPlain, l1024, l2048)
+	}
+	// The size step should be dominated by the signature growth (128B).
+	if d := l2048 - l1024; d < 100 || d > 200 {
+		t.Errorf("1024->2048 growth = %d bytes, want ~128", d)
+	}
+	// Without DO, signed and plain answers are the same size.
+	if respLen(z2048, false)-respLen(plain, false) != 0 {
+		t.Errorf("DO=0 response grew after signing")
+	}
+}
+
+func TestSigningDeterministic(t *testing.T) {
+	z1 := signedZone(t, Config{ZSKBits: 2048})
+	z2 := signedZone(t, Config{ZSKBits: 2048})
+	a, b := z1.Records(), z2.Records()
+	if len(a) != len(b) {
+		t.Fatalf("record counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("record %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestKeyTagStable(t *testing.T) {
+	k := makeKey("example.com.", flagsZSK, 2048, 8, "zsk-a")
+	t1, t2 := KeyTag(k), KeyTag(k)
+	if t1 != t2 {
+		t.Errorf("key tag unstable: %d %d", t1, t2)
+	}
+	k2 := makeKey("example.com.", flagsZSK, 2048, 8, "zsk-b")
+	if KeyTag(k2) == t1 {
+		t.Log("distinct keys share a tag (possible but unlikely); check derivation")
+	}
+}
+
+func TestDSForMatchesKSK(t *testing.T) {
+	ds, err := DSFor("example.com.", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := signedZone(t, Config{})
+	var kskTag uint16
+	for _, rr := range z.RRset("example.com.", dnswire.TypeDNSKEY) {
+		if k := rr.Data.(dnswire.DNSKEY); k.Flags == flagsKSK {
+			kskTag = KeyTag(k)
+		}
+	}
+	if ds.KeyTag != kskTag {
+		t.Errorf("DS tag %d != KSK tag %d", ds.KeyTag, kskTag)
+	}
+	if len(ds.Digest) != 32 || ds.DigestType != 2 {
+		t.Errorf("DS = %+v", ds)
+	}
+}
+
+func TestSignedZoneStillAnswers(t *testing.T) {
+	z := signedZone(t, Config{})
+	res := z.Lookup("www.example.com.", dnswire.TypeA, zone.LookupOptions{DNSSEC: true})
+	if res.Kind != zone.Answer {
+		t.Fatalf("kind = %v", res.Kind)
+	}
+	var haveA, haveSig bool
+	for _, rr := range res.Records {
+		switch d := rr.Data.(type) {
+		case dnswire.A:
+			if d.Addr == netip.MustParseAddr("192.0.2.80") {
+				haveA = true
+			}
+		case dnswire.RRSIG:
+			if d.TypeCovered == dnswire.TypeA {
+				haveSig = true
+			}
+		}
+	}
+	if !haveA || !haveSig {
+		t.Errorf("records = %v", res.Records)
+	}
+	// Negative answer carries NSEC + sig.
+	res = z.Lookup("missing.example.com.", dnswire.TypeA, zone.LookupOptions{DNSSEC: true})
+	if res.Kind != zone.NXDomain {
+		t.Fatalf("kind = %v", res.Kind)
+	}
+	var haveNSEC bool
+	for _, rr := range res.Authority {
+		if rr.Type() == dnswire.TypeNSEC {
+			haveNSEC = true
+		}
+	}
+	if !haveNSEC {
+		t.Errorf("NXDOMAIN authority lacks NSEC: %v", res.Authority)
+	}
+}

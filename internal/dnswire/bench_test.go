@@ -1,0 +1,67 @@
+package dnswire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func benchResponse() *Message {
+	m := &Message{Header: Header{ID: 1, QR: true, AA: true}}
+	m.Question = []Question{{Name: "www.example.com.", Type: TypeA, Class: ClassINET}}
+	for i := 0; i < 4; i++ {
+		m.Answer = append(m.Answer, RR{Name: "www.example.com.", Class: ClassINET, TTL: 300,
+			Data: A{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})}})
+	}
+	m.Authority = append(m.Authority, RR{Name: "example.com.", Class: ClassINET, TTL: 3600,
+		Data: NS{Host: "ns1.example.com."}})
+	m.Additional = append(m.Additional, RR{Name: "ns1.example.com.", Class: ClassINET, TTL: 3600,
+		Data: A{Addr: netip.AddrFrom4([4]byte{192, 0, 2, 53})}})
+	m.Edns = &EDNS{UDPSize: 4096, DO: true}
+	return m
+}
+
+// BenchmarkPackResponse measures the hot response-encoding path with name
+// compression.
+func BenchmarkPackResponse(b *testing.B) {
+	m := benchResponse()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = m.Pack(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnpackResponse measures the hot decode path.
+func BenchmarkUnpackResponse(b *testing.B) {
+	wire, err := benchResponse().Pack(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var m Message
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		if err := m.Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPackQuery measures minimal query encoding (the replay
+// generator's path).
+func BenchmarkPackQuery(b *testing.B) {
+	q := NewQuery(1, "www.example.com.", TypeA)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = q.Pack(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

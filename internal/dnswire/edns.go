@@ -1,0 +1,107 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// EDNS models the OPT pseudo-record (RFC 6891). The paper's DNSSEC
+// experiments (§5.1) hinge on the DO bit and advertised UDP size, so both
+// are first-class fields.
+type EDNS struct {
+	UDPSize       uint16
+	ExtendedRcode uint8
+	Version       uint8
+	DO            bool
+	Options       []EDNSOption
+}
+
+// EDNSOption is a raw EDNS option TLV.
+type EDNSOption struct {
+	Code uint16
+	Data []byte
+}
+
+// DefaultEDNSSize is the UDP payload size advertised by the replay engine
+// when a mutation enables EDNS without specifying a size; 4096 matches the
+// configuration common at root servers during the paper's trace epochs.
+const DefaultEDNSSize = 4096
+
+// appendTo appends the OPT pseudo-record encoding.
+func (e *EDNS) appendTo(buf []byte) ([]byte, error) {
+	buf = append(buf, 0) // root owner name
+	buf = binary.BigEndian.AppendUint16(buf, uint16(TypeOPT))
+	buf = binary.BigEndian.AppendUint16(buf, e.UDPSize)
+	var ttl uint32
+	ttl |= uint32(e.ExtendedRcode) << 24
+	ttl |= uint32(e.Version) << 16
+	if e.DO {
+		ttl |= 1 << 15
+	}
+	buf = binary.BigEndian.AppendUint32(buf, ttl)
+	lenAt := len(buf)
+	buf = append(buf, 0, 0)
+	for _, opt := range e.Options {
+		buf = binary.BigEndian.AppendUint16(buf, opt.Code)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(opt.Data)))
+		buf = append(buf, opt.Data...)
+	}
+	rdlen := len(buf) - lenAt - 2
+	if rdlen > 0xFFFF {
+		return buf, errors.New("dnswire: EDNS options exceed 65535 octets")
+	}
+	binary.BigEndian.PutUint16(buf[lenAt:], uint16(rdlen))
+	return buf, nil
+}
+
+// unpackEDNS reconstructs an EDNS from the OPT record's reinterpreted
+// class and TTL fields plus its rdata.
+func unpackEDNS(name string, class Class, ttl uint32, rdata []byte) (*EDNS, error) {
+	if name != "." {
+		return nil, errors.New("dnswire: OPT record with non-root owner")
+	}
+	e := &EDNS{
+		UDPSize:       uint16(class),
+		ExtendedRcode: uint8(ttl >> 24),
+		Version:       uint8(ttl >> 16),
+		DO:            ttl&(1<<15) != 0,
+	}
+	for len(rdata) > 0 {
+		if len(rdata) < 4 {
+			return nil, errors.New("dnswire: truncated EDNS option")
+		}
+		code := binary.BigEndian.Uint16(rdata)
+		n := int(binary.BigEndian.Uint16(rdata[2:]))
+		if len(rdata) < 4+n {
+			return nil, errors.New("dnswire: truncated EDNS option data")
+		}
+		e.Options = append(e.Options, EDNSOption{
+			Code: code,
+			Data: append([]byte(nil), rdata[4:4+n]...),
+		})
+		rdata = rdata[4+n:]
+	}
+	return e, nil
+}
+
+// WireLen returns the packed size of the OPT record.
+func (e *EDNS) WireLen() int {
+	n := 1 + 2 + 2 + 4 + 2 // name, type, class, ttl, rdlength
+	for _, opt := range e.Options {
+		n += 4 + len(opt.Data)
+	}
+	return n
+}
+
+// Clone returns a deep copy of e, or nil when e is nil.
+func (e *EDNS) Clone() *EDNS {
+	if e == nil {
+		return nil
+	}
+	c := *e
+	c.Options = make([]EDNSOption, len(e.Options))
+	for i, opt := range e.Options {
+		c.Options[i] = EDNSOption{Code: opt.Code, Data: append([]byte(nil), opt.Data...)}
+	}
+	return &c
+}

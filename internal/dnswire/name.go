@@ -1,0 +1,234 @@
+package dnswire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Name handling. Names are represented in presentation form as
+// dot-terminated lowercase strings ("www.example.com."); the root is ".".
+// Wire form uses length-prefixed labels with RFC 1035 §4.1.4 compression
+// pointers.
+
+// Errors returned by name encoding and decoding.
+var (
+	ErrNameTooLong    = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong   = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel     = errors.New("dnswire: empty label in name")
+	ErrPointerLoop    = errors.New("dnswire: compression pointer loop")
+	ErrBadPointer     = errors.New("dnswire: compression pointer out of range")
+	ErrTruncatedName  = errors.New("dnswire: truncated name")
+	ErrTrailingGarbge = errors.New("dnswire: bad name syntax")
+)
+
+const (
+	maxNameWire  = 255
+	maxLabelWire = 63
+	// maxPointers bounds pointer chasing; a legal message cannot need more
+	// hops than it has bytes/2, and 128 is far beyond any real name.
+	maxPointers = 128
+)
+
+// CanonicalName lowercases s and ensures it is dot-terminated. It does not
+// validate label lengths; use SplitLabels or AppendName for that.
+func CanonicalName(s string) string {
+	if s == "" || s == "." {
+		return "."
+	}
+	s = strings.ToLower(s)
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	return s
+}
+
+// SplitLabels splits a canonical name into its labels, excluding the root.
+// SplitLabels(".") returns nil.
+func SplitLabels(name string) []string {
+	name = CanonicalName(name)
+	if name == "." {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(name, "."), ".")
+}
+
+// CountLabels returns the number of labels in name, excluding the root.
+func CountLabels(name string) int {
+	return len(SplitLabels(name))
+}
+
+// ParentName returns the name with its leftmost label removed; the parent
+// of "." is ".".
+func ParentName(name string) string {
+	name = CanonicalName(name)
+	if name == "." {
+		return "."
+	}
+	i := strings.IndexByte(name, '.')
+	if i+1 >= len(name) {
+		return "."
+	}
+	return name[i+1:]
+}
+
+// IsSubdomain reports whether child is equal to or below parent.
+func IsSubdomain(child, parent string) bool {
+	child, parent = CanonicalName(child), CanonicalName(parent)
+	if parent == "." {
+		return true
+	}
+	if child == parent {
+		return true
+	}
+	return strings.HasSuffix(child, "."+parent)
+}
+
+// nameWireLen returns the uncompressed wire length of a canonical name.
+func nameWireLen(name string) int {
+	name = CanonicalName(name)
+	if name == "." {
+		return 1
+	}
+	return len(name) + 1
+}
+
+// compressionMap tracks names already emitted during Pack so later
+// occurrences can be replaced by pointers. Keys are canonical suffixes;
+// values are offsets into the message.
+type compressionMap map[string]int
+
+// appendName appends the wire encoding of name to buf. When cmp is non-nil
+// and msgStart gives the offset of the message start within buf, suffixes
+// already present in cmp are replaced by compression pointers and new
+// suffixes are recorded (only offsets that fit in 14 bits are recorded, per
+// RFC 1035).
+func appendName(buf []byte, name string, cmp compressionMap, msgStart int) ([]byte, error) {
+	name = CanonicalName(name)
+	if nameWireLen(name) > maxNameWire {
+		return buf, ErrNameTooLong
+	}
+	if name == "." {
+		return append(buf, 0), nil
+	}
+	labels := SplitLabels(name)
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".") + "."
+		if cmp != nil {
+			if off, ok := cmp[suffix]; ok {
+				return append(buf, byte(0xC0|off>>8), byte(off)), nil
+			}
+			if off := len(buf) - msgStart; off < 0x4000 {
+				cmp[suffix] = off
+			}
+		}
+		label := labels[i]
+		if label == "" {
+			return buf, ErrEmptyLabel
+		}
+		if len(label) > maxLabelWire {
+			return buf, ErrLabelTooLong
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0), nil
+}
+
+// unpackName decodes a possibly compressed name from msg starting at off.
+// It returns the canonical presentation form and the offset just past the
+// name's in-place encoding (i.e. past the first pointer if one occurred).
+func unpackName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	ptrBudget := maxPointers
+	// next is the offset to resume at after the name; set when the first
+	// pointer is followed.
+	next := -1
+	totalWire := 0
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedName
+		}
+		b := int(msg[off])
+		switch {
+		case b == 0:
+			if next == -1 {
+				next = off + 1
+			}
+			if sb.Len() == 0 {
+				return ".", next, nil
+			}
+			return strings.ToLower(sb.String()), next, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			ptr := (b&0x3F)<<8 | int(msg[off+1])
+			if next == -1 {
+				next = off + 2
+			}
+			if ptr >= off {
+				// Forward (or self) pointers are illegal and would loop.
+				return "", 0, ErrBadPointer
+			}
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return "", 0, ErrPointerLoop
+			}
+			off = ptr
+		case b&0xC0 != 0:
+			return "", 0, errors.New("dnswire: reserved label type")
+		default:
+			if off+1+b > len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			totalWire += b + 1
+			if totalWire > maxNameWire {
+				return "", 0, ErrNameTooLong
+			}
+			sb.Write(msg[off+1 : off+1+b])
+			sb.WriteByte('.')
+			off += 1 + b
+		}
+	}
+}
+
+// ValidName reports whether name is syntactically legal: non-empty labels
+// of at most 63 octets and a total wire length of at most 255 octets.
+func ValidName(name string) bool {
+	name = CanonicalName(name)
+	if nameWireLen(name) > maxNameWire {
+		return false
+	}
+	if name == "." {
+		return true
+	}
+	for _, l := range SplitLabels(name) {
+		if l == "" || len(l) > maxLabelWire {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareNames orders names in canonical DNS order (RFC 4034 §6.1):
+// by reversed label sequence. It is used for NSEC chains and deterministic
+// zone-file output.
+func CompareNames(a, b string) int {
+	la, lb := SplitLabels(a), SplitLabels(b)
+	for i := 1; i <= len(la) && i <= len(lb); i++ {
+		x, y := la[len(la)-i], lb[len(lb)-i]
+		if x != y {
+			if x < y {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(la) < len(lb):
+		return -1
+	case len(la) > len(lb):
+		return 1
+	}
+	return 0
+}

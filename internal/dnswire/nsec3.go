@@ -1,0 +1,167 @@
+package dnswire
+
+import (
+	"encoding/base32"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// NSEC3 support (RFC 5155): hashed authenticated denial, used by most
+// signed TLD zones (com, net, org all run NSEC3). LDplayer needs to carry
+// these records faithfully when reconstructing TLD zones from traces.
+
+// NSEC3 type codes.
+const (
+	TypeNSEC3      Type = 50
+	TypeNSEC3PARAM Type = 51
+)
+
+func init() {
+	typeNames[TypeNSEC3] = "NSEC3"
+	typeNames[TypeNSEC3PARAM] = "NSEC3PARAM"
+	typeValues["NSEC3"] = TypeNSEC3
+	typeValues["NSEC3PARAM"] = TypeNSEC3PARAM
+}
+
+// base32Hex is the unpadded base32hex alphabet NSEC3 owner/next names use.
+var base32Hex = base32.HexEncoding.WithPadding(base32.NoPadding)
+
+// DecodeBase32Hex decodes the NSEC3 next-hash presentation form.
+func DecodeBase32Hex(s string) ([]byte, error) {
+	return base32Hex.DecodeString(strings.ToUpper(s))
+}
+
+// NSEC3 is a hashed denial record (RFC 5155 §3).
+type NSEC3 struct {
+	HashAlg    uint8 // 1 = SHA-1
+	Flags      uint8 // 0x01 = opt-out
+	Iterations uint16
+	Salt       []byte // empty = no salt
+	NextHashed []byte // hashed next owner, raw bytes
+	Types      []Type
+}
+
+// Type implements RData.
+func (NSEC3) Type() Type { return TypeNSEC3 }
+
+// String implements RData in the master-file form
+// "1 1 0 AB12 NEXTHASHB32 A RRSIG".
+func (n NSEC3) String() string {
+	salt := "-"
+	if len(n.Salt) > 0 {
+		salt = strings.ToUpper(hex.EncodeToString(n.Salt))
+	}
+	parts := []string{
+		fmt.Sprintf("%d %d %d %s %s", n.HashAlg, n.Flags, n.Iterations, salt,
+			strings.ToUpper(base32Hex.EncodeToString(n.NextHashed))),
+	}
+	for _, t := range n.Types {
+		parts = append(parts, t.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+func (n NSEC3) appendTo(buf []byte, _ compressionMap, _ int) ([]byte, error) {
+	if len(n.Salt) > 255 {
+		return buf, fmt.Errorf("dnswire: NSEC3 salt exceeds 255 octets")
+	}
+	if len(n.NextHashed) == 0 || len(n.NextHashed) > 255 {
+		return buf, fmt.Errorf("dnswire: NSEC3 next-hash length %d", len(n.NextHashed))
+	}
+	buf = append(buf, n.HashAlg, n.Flags)
+	buf = binary.BigEndian.AppendUint16(buf, n.Iterations)
+	buf = append(buf, byte(len(n.Salt)))
+	buf = append(buf, n.Salt...)
+	buf = append(buf, byte(len(n.NextHashed)))
+	buf = append(buf, n.NextHashed...)
+	return appendTypeBitmap(buf, n.Types), nil
+}
+
+// NSEC3PARAM advertises the zone's NSEC3 parameters at the apex
+// (RFC 5155 §4).
+type NSEC3PARAM struct {
+	HashAlg    uint8
+	Flags      uint8
+	Iterations uint16
+	Salt       []byte
+}
+
+// Type implements RData.
+func (NSEC3PARAM) Type() Type { return TypeNSEC3PARAM }
+
+// String implements RData.
+func (p NSEC3PARAM) String() string {
+	salt := "-"
+	if len(p.Salt) > 0 {
+		salt = strings.ToUpper(hex.EncodeToString(p.Salt))
+	}
+	return fmt.Sprintf("%d %d %d %s", p.HashAlg, p.Flags, p.Iterations, salt)
+}
+
+func (p NSEC3PARAM) appendTo(buf []byte, _ compressionMap, _ int) ([]byte, error) {
+	if len(p.Salt) > 255 {
+		return buf, fmt.Errorf("dnswire: NSEC3PARAM salt exceeds 255 octets")
+	}
+	buf = append(buf, p.HashAlg, p.Flags)
+	buf = binary.BigEndian.AppendUint16(buf, p.Iterations)
+	buf = append(buf, byte(len(p.Salt)))
+	return append(buf, p.Salt...), nil
+}
+
+// unpackNSEC3 decodes an NSEC3 rdata.
+func unpackNSEC3(msg []byte, off, rdlen int) (RData, error) {
+	end := off + rdlen
+	if rdlen < 5 {
+		return nil, errTruncatedRData
+	}
+	n := NSEC3{
+		HashAlg:    msg[off],
+		Flags:      msg[off+1],
+		Iterations: binary.BigEndian.Uint16(msg[off+2:]),
+	}
+	p := off + 4
+	saltLen := int(msg[p])
+	p++
+	if p+saltLen > end {
+		return nil, errTruncatedRData
+	}
+	n.Salt = append([]byte(nil), msg[p:p+saltLen]...)
+	p += saltLen
+	if p >= end {
+		return nil, errTruncatedRData
+	}
+	hashLen := int(msg[p])
+	p++
+	if p+hashLen > end || hashLen == 0 {
+		return nil, errTruncatedRData
+	}
+	n.NextHashed = append([]byte(nil), msg[p:p+hashLen]...)
+	p += hashLen
+	types, err := parseTypeBitmap(msg[p:end])
+	if err != nil {
+		return nil, err
+	}
+	n.Types = types
+	return n, nil
+}
+
+// unpackNSEC3PARAM decodes an NSEC3PARAM rdata.
+func unpackNSEC3PARAM(msg []byte, off, rdlen int) (RData, error) {
+	end := off + rdlen
+	if rdlen < 5 {
+		return nil, errTruncatedRData
+	}
+	p := NSEC3PARAM{
+		HashAlg:    msg[off],
+		Flags:      msg[off+1],
+		Iterations: binary.BigEndian.Uint16(msg[off+2:]),
+	}
+	saltLen := int(msg[off+4])
+	if off+5+saltLen > end {
+		return nil, errTruncatedRData
+	}
+	p.Salt = append([]byte(nil), msg[off+5:off+5+saltLen]...)
+	return p, nil
+}

@@ -1,0 +1,98 @@
+package dnswire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNSEC3RoundTrip(t *testing.T) {
+	rr := RR{Name: "tol0cul0f8dsp0jb2nmdab2le1mk53bb.com.", Class: ClassINET, TTL: 86400,
+		Data: NSEC3{
+			HashAlg:    1,
+			Flags:      1, // opt-out
+			Iterations: 0,
+			Salt:       []byte{0xAB, 0x12},
+			NextHashed: []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20},
+			Types:      []Type{TypeNS, TypeDS, TypeRRSIG},
+		}}
+	m := &Message{Header: Header{ID: 1, QR: true}, Answer: []RR{rr}}
+	wire, err := m.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Message
+	if err := got.Unpack(wire); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Answer[0], rr) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got.Answer[0], rr)
+	}
+}
+
+func TestNSEC3PARAMRoundTrip(t *testing.T) {
+	for _, salt := range [][]byte{nil, {0xDE, 0xAD}} {
+		rr := RR{Name: "com.", Class: ClassINET, TTL: 0,
+			Data: NSEC3PARAM{HashAlg: 1, Iterations: 5, Salt: salt}}
+		m := &Message{Header: Header{ID: 2, QR: true}, Answer: []RR{rr}}
+		wire, err := m.Pack(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Message
+		if err := got.Unpack(wire); err != nil {
+			t.Fatal(err)
+		}
+		gp := got.Answer[0].Data.(NSEC3PARAM)
+		wp := rr.Data.(NSEC3PARAM)
+		if gp.HashAlg != wp.HashAlg || gp.Iterations != wp.Iterations {
+			t.Errorf("round trip = %+v", gp)
+		}
+		if len(salt) == 0 && len(gp.Salt) != 0 {
+			t.Errorf("empty salt round trip = %v", gp.Salt)
+		}
+	}
+}
+
+func TestNSEC3StringForm(t *testing.T) {
+	n := NSEC3{HashAlg: 1, Flags: 1, Iterations: 0, Salt: nil,
+		NextHashed: []byte{0xFF, 0x00}, Types: []Type{TypeNS}}
+	s := n.String()
+	if s != "1 1 0 - VS00 NS" {
+		t.Errorf("string = %q", s)
+	}
+	p := NSEC3PARAM{HashAlg: 1, Iterations: 10, Salt: []byte{0xAB}}
+	if p.String() != "1 0 10 AB" {
+		t.Errorf("param string = %q", p.String())
+	}
+}
+
+func TestNSEC3TruncatedRejected(t *testing.T) {
+	// Craft a message with a short NSEC3 rdata.
+	m := &Message{Header: Header{ID: 3, QR: true}, Answer: []RR{{
+		Name: "x.com.", Class: ClassINET, TTL: 1,
+		Data: RawRData{RRType: TypeNSEC3, Data: []byte{1, 0}},
+	}}}
+	wire, err := m.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Message
+	if err := got.Unpack(wire); err == nil {
+		t.Error("truncated NSEC3 accepted")
+	}
+}
+
+func TestParseTypeKnowsNSEC3(t *testing.T) {
+	for _, c := range []struct {
+		s string
+		t Type
+	}{{"NSEC3", TypeNSEC3}, {"NSEC3PARAM", TypeNSEC3PARAM}} {
+		got, err := ParseType(c.s)
+		if err != nil || got != c.t {
+			t.Errorf("ParseType(%s) = %v, %v", c.s, got, err)
+		}
+		if c.t.String() != c.s {
+			t.Errorf("String() = %q", c.t.String())
+		}
+	}
+}

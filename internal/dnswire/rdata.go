@@ -1,0 +1,534 @@
+package dnswire
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RData is the type-specific payload of a resource record. Implementations
+// are immutable values; records sharing an RData may be copied freely.
+type RData interface {
+	// Type returns the RR type this payload belongs to.
+	Type() Type
+	// String returns the presentation (master-file) form of the payload.
+	String() string
+	// appendTo appends the wire form. Compressible names inside the rdata
+	// (NS, CNAME, PTR, MX, SOA per RFC 1035 §4.1.4) use cmp when non-nil.
+	appendTo(buf []byte, cmp compressionMap, msgStart int) ([]byte, error)
+}
+
+var errTruncatedRData = errors.New("dnswire: truncated rdata")
+
+// A is an IPv4 address record payload.
+type A struct{ Addr netip.Addr }
+
+// Type implements RData.
+func (A) Type() Type { return TypeA }
+
+// String implements RData.
+func (a A) String() string { return a.Addr.String() }
+
+func (a A) appendTo(buf []byte, _ compressionMap, _ int) ([]byte, error) {
+	if !a.Addr.Is4() {
+		return buf, fmt.Errorf("dnswire: A record with non-IPv4 address %v", a.Addr)
+	}
+	b := a.Addr.As4()
+	return append(buf, b[:]...), nil
+}
+
+// AAAA is an IPv6 address record payload.
+type AAAA struct{ Addr netip.Addr }
+
+// Type implements RData.
+func (AAAA) Type() Type { return TypeAAAA }
+
+// String implements RData.
+func (a AAAA) String() string { return a.Addr.String() }
+
+func (a AAAA) appendTo(buf []byte, _ compressionMap, _ int) ([]byte, error) {
+	if !a.Addr.Is6() || a.Addr.Is4In6() {
+		return buf, fmt.Errorf("dnswire: AAAA record with non-IPv6 address %v", a.Addr)
+	}
+	b := a.Addr.As16()
+	return append(buf, b[:]...), nil
+}
+
+// NS is a delegation nameserver payload.
+type NS struct{ Host string }
+
+// Type implements RData.
+func (NS) Type() Type { return TypeNS }
+
+// String implements RData.
+func (n NS) String() string { return CanonicalName(n.Host) }
+
+func (n NS) appendTo(buf []byte, cmp compressionMap, msgStart int) ([]byte, error) {
+	return appendName(buf, n.Host, cmp, msgStart)
+}
+
+// CNAME is a canonical-name alias payload.
+type CNAME struct{ Target string }
+
+// Type implements RData.
+func (CNAME) Type() Type { return TypeCNAME }
+
+// String implements RData.
+func (c CNAME) String() string { return CanonicalName(c.Target) }
+
+func (c CNAME) appendTo(buf []byte, cmp compressionMap, msgStart int) ([]byte, error) {
+	return appendName(buf, c.Target, cmp, msgStart)
+}
+
+// PTR is a pointer payload (reverse DNS).
+type PTR struct{ Target string }
+
+// Type implements RData.
+func (PTR) Type() Type { return TypePTR }
+
+// String implements RData.
+func (p PTR) String() string { return CanonicalName(p.Target) }
+
+func (p PTR) appendTo(buf []byte, cmp compressionMap, msgStart int) ([]byte, error) {
+	return appendName(buf, p.Target, cmp, msgStart)
+}
+
+// MX is a mail-exchanger payload.
+type MX struct {
+	Preference uint16
+	Host       string
+}
+
+// Type implements RData.
+func (MX) Type() Type { return TypeMX }
+
+// String implements RData.
+func (m MX) String() string {
+	return fmt.Sprintf("%d %s", m.Preference, CanonicalName(m.Host))
+}
+
+func (m MX) appendTo(buf []byte, cmp compressionMap, msgStart int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, m.Preference)
+	return appendName(buf, m.Host, cmp, msgStart)
+}
+
+// TXT is a text payload of one or more character-strings.
+type TXT struct{ Strings []string }
+
+// Type implements RData.
+func (TXT) Type() Type { return TypeTXT }
+
+// String implements RData.
+func (t TXT) String() string {
+	parts := make([]string, len(t.Strings))
+	for i, s := range t.Strings {
+		parts[i] = strconv.Quote(s)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (t TXT) appendTo(buf []byte, _ compressionMap, _ int) ([]byte, error) {
+	if len(t.Strings) == 0 {
+		return append(buf, 0), nil
+	}
+	for _, s := range t.Strings {
+		if len(s) > 255 {
+			return buf, errors.New("dnswire: TXT character-string exceeds 255 octets")
+		}
+		buf = append(buf, byte(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf, nil
+}
+
+// SOA is a start-of-authority payload.
+type SOA struct {
+	MName   string
+	RName   string
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// Type implements RData.
+func (SOA) Type() Type { return TypeSOA }
+
+// String implements RData.
+func (s SOA) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d",
+		CanonicalName(s.MName), CanonicalName(s.RName),
+		s.Serial, s.Refresh, s.Retry, s.Expire, s.Minimum)
+}
+
+func (s SOA) appendTo(buf []byte, cmp compressionMap, msgStart int) ([]byte, error) {
+	var err error
+	if buf, err = appendName(buf, s.MName, cmp, msgStart); err != nil {
+		return buf, err
+	}
+	if buf, err = appendName(buf, s.RName, cmp, msgStart); err != nil {
+		return buf, err
+	}
+	buf = binary.BigEndian.AppendUint32(buf, s.Serial)
+	buf = binary.BigEndian.AppendUint32(buf, s.Refresh)
+	buf = binary.BigEndian.AppendUint32(buf, s.Retry)
+	buf = binary.BigEndian.AppendUint32(buf, s.Expire)
+	buf = binary.BigEndian.AppendUint32(buf, s.Minimum)
+	return buf, nil
+}
+
+// SRV is a service-location payload (RFC 2782). Its target name is never
+// compressed.
+type SRV struct {
+	Priority uint16
+	Weight   uint16
+	Port     uint16
+	Target   string
+}
+
+// Type implements RData.
+func (SRV) Type() Type { return TypeSRV }
+
+// String implements RData.
+func (s SRV) String() string {
+	return fmt.Sprintf("%d %d %d %s", s.Priority, s.Weight, s.Port, CanonicalName(s.Target))
+}
+
+func (s SRV) appendTo(buf []byte, _ compressionMap, _ int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, s.Priority)
+	buf = binary.BigEndian.AppendUint16(buf, s.Weight)
+	buf = binary.BigEndian.AppendUint16(buf, s.Port)
+	return appendName(buf, s.Target, nil, 0)
+}
+
+// DS is a delegation-signer payload (RFC 4034 §5).
+type DS struct {
+	KeyTag     uint16
+	Algorithm  uint8
+	DigestType uint8
+	Digest     []byte
+}
+
+// Type implements RData.
+func (DS) Type() Type { return TypeDS }
+
+// String implements RData.
+func (d DS) String() string {
+	return fmt.Sprintf("%d %d %d %s", d.KeyTag, d.Algorithm, d.DigestType,
+		strings.ToUpper(hex.EncodeToString(d.Digest)))
+}
+
+func (d DS) appendTo(buf []byte, _ compressionMap, _ int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, d.KeyTag)
+	buf = append(buf, d.Algorithm, d.DigestType)
+	return append(buf, d.Digest...), nil
+}
+
+// DNSKEY is a DNSSEC public-key payload (RFC 4034 §2).
+type DNSKEY struct {
+	Flags     uint16 // 256 = ZSK, 257 = KSK
+	Protocol  uint8  // always 3
+	Algorithm uint8
+	PublicKey []byte
+}
+
+// Type implements RData.
+func (DNSKEY) Type() Type { return TypeDNSKEY }
+
+// String implements RData.
+func (k DNSKEY) String() string {
+	return fmt.Sprintf("%d %d %d %s", k.Flags, k.Protocol, k.Algorithm,
+		base64.StdEncoding.EncodeToString(k.PublicKey))
+}
+
+func (k DNSKEY) appendTo(buf []byte, _ compressionMap, _ int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, k.Flags)
+	buf = append(buf, k.Protocol, k.Algorithm)
+	return append(buf, k.PublicKey...), nil
+}
+
+// RRSIG is a DNSSEC signature payload (RFC 4034 §3). The signer name is
+// never compressed.
+type RRSIG struct {
+	TypeCovered Type
+	Algorithm   uint8
+	Labels      uint8
+	OrigTTL     uint32
+	Expiration  uint32
+	Inception   uint32
+	KeyTag      uint16
+	SignerName  string
+	Signature   []byte
+}
+
+// Type implements RData.
+func (RRSIG) Type() Type { return TypeRRSIG }
+
+// String implements RData.
+func (r RRSIG) String() string {
+	return fmt.Sprintf("%s %d %d %d %d %d %d %s %s",
+		r.TypeCovered, r.Algorithm, r.Labels, r.OrigTTL,
+		r.Expiration, r.Inception, r.KeyTag, CanonicalName(r.SignerName),
+		base64.StdEncoding.EncodeToString(r.Signature))
+}
+
+func (r RRSIG) appendTo(buf []byte, _ compressionMap, _ int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(r.TypeCovered))
+	buf = append(buf, r.Algorithm, r.Labels)
+	buf = binary.BigEndian.AppendUint32(buf, r.OrigTTL)
+	buf = binary.BigEndian.AppendUint32(buf, r.Expiration)
+	buf = binary.BigEndian.AppendUint32(buf, r.Inception)
+	buf = binary.BigEndian.AppendUint16(buf, r.KeyTag)
+	var err error
+	if buf, err = appendName(buf, r.SignerName, nil, 0); err != nil {
+		return buf, err
+	}
+	return append(buf, r.Signature...), nil
+}
+
+// NSEC is an authenticated-denial payload (RFC 4034 §4).
+type NSEC struct {
+	NextName string
+	Types    []Type
+}
+
+// Type implements RData.
+func (NSEC) Type() Type { return TypeNSEC }
+
+// String implements RData.
+func (n NSEC) String() string {
+	parts := []string{CanonicalName(n.NextName)}
+	for _, t := range n.Types {
+		parts = append(parts, t.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+func (n NSEC) appendTo(buf []byte, _ compressionMap, _ int) ([]byte, error) {
+	var err error
+	if buf, err = appendName(buf, n.NextName, nil, 0); err != nil {
+		return buf, err
+	}
+	return appendTypeBitmap(buf, n.Types), nil
+}
+
+// appendTypeBitmap encodes the NSEC window-block type bitmap.
+func appendTypeBitmap(buf []byte, types []Type) []byte {
+	if len(types) == 0 {
+		return buf
+	}
+	sorted := make([]Type, len(types))
+	copy(sorted, types)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Group by 256-type window.
+	i := 0
+	for i < len(sorted) {
+		window := byte(sorted[i] >> 8)
+		var bitmap [32]byte
+		maxOctet := 0
+		for i < len(sorted) && byte(sorted[i]>>8) == window {
+			lo := byte(sorted[i])
+			bitmap[lo/8] |= 0x80 >> (lo % 8)
+			if int(lo/8)+1 > maxOctet {
+				maxOctet = int(lo/8) + 1
+			}
+			i++
+		}
+		buf = append(buf, window, byte(maxOctet))
+		buf = append(buf, bitmap[:maxOctet]...)
+	}
+	return buf
+}
+
+// parseTypeBitmap decodes an NSEC window-block type bitmap.
+func parseTypeBitmap(data []byte) ([]Type, error) {
+	var types []Type
+	for len(data) > 0 {
+		if len(data) < 2 {
+			return nil, errTruncatedRData
+		}
+		window, octets := data[0], int(data[1])
+		data = data[2:]
+		if octets < 1 || octets > 32 || len(data) < octets {
+			return nil, errors.New("dnswire: malformed NSEC bitmap")
+		}
+		for i := 0; i < octets; i++ {
+			for bit := 0; bit < 8; bit++ {
+				if data[i]&(0x80>>bit) != 0 {
+					types = append(types, Type(uint16(window)<<8|uint16(i*8+bit)))
+				}
+			}
+		}
+		data = data[octets:]
+	}
+	return types, nil
+}
+
+// RawRData carries the opaque payload of an RR type LDplayer does not model
+// natively (RFC 3597 treatment).
+type RawRData struct {
+	RRType Type
+	Data   []byte
+}
+
+// Type implements RData.
+func (r RawRData) Type() Type { return r.RRType }
+
+// String implements RData (RFC 3597 \# form).
+func (r RawRData) String() string {
+	return fmt.Sprintf("\\# %d %s", len(r.Data), hex.EncodeToString(r.Data))
+}
+
+func (r RawRData) appendTo(buf []byte, _ compressionMap, _ int) ([]byte, error) {
+	return append(buf, r.Data...), nil
+}
+
+// unpackRData decodes rdlen octets at msg[off:] as type t. Names inside the
+// rdata may be compressed and may point anywhere earlier in msg.
+func unpackRData(t Type, msg []byte, off, rdlen int) (RData, error) {
+	if off+rdlen > len(msg) {
+		return nil, errTruncatedRData
+	}
+	end := off + rdlen
+	switch t {
+	case TypeA:
+		if rdlen != 4 {
+			return nil, fmt.Errorf("dnswire: A rdata length %d", rdlen)
+		}
+		return A{Addr: netip.AddrFrom4([4]byte(msg[off:end]))}, nil
+	case TypeAAAA:
+		if rdlen != 16 {
+			return nil, fmt.Errorf("dnswire: AAAA rdata length %d", rdlen)
+		}
+		return AAAA{Addr: netip.AddrFrom16([16]byte(msg[off:end]))}, nil
+	case TypeNS:
+		name, _, err := unpackName(msg, off)
+		return NS{Host: name}, err
+	case TypeCNAME:
+		name, _, err := unpackName(msg, off)
+		return CNAME{Target: name}, err
+	case TypePTR:
+		name, _, err := unpackName(msg, off)
+		return PTR{Target: name}, err
+	case TypeMX:
+		if rdlen < 3 {
+			return nil, errTruncatedRData
+		}
+		pref := binary.BigEndian.Uint16(msg[off:])
+		name, _, err := unpackName(msg, off+2)
+		return MX{Preference: pref, Host: name}, err
+	case TypeTXT:
+		var ss []string
+		p := off
+		for p < end {
+			n := int(msg[p])
+			p++
+			if p+n > end {
+				return nil, errTruncatedRData
+			}
+			ss = append(ss, string(msg[p:p+n]))
+			p += n
+		}
+		return TXT{Strings: ss}, nil
+	case TypeSOA:
+		mname, p, err := unpackName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		rname, p, err := unpackName(msg, p)
+		if err != nil {
+			return nil, err
+		}
+		if p+20 > end {
+			return nil, errTruncatedRData
+		}
+		return SOA{
+			MName:   mname,
+			RName:   rname,
+			Serial:  binary.BigEndian.Uint32(msg[p:]),
+			Refresh: binary.BigEndian.Uint32(msg[p+4:]),
+			Retry:   binary.BigEndian.Uint32(msg[p+8:]),
+			Expire:  binary.BigEndian.Uint32(msg[p+12:]),
+			Minimum: binary.BigEndian.Uint32(msg[p+16:]),
+		}, nil
+	case TypeSRV:
+		if rdlen < 7 {
+			return nil, errTruncatedRData
+		}
+		name, _, err := unpackName(msg, off+6)
+		return SRV{
+			Priority: binary.BigEndian.Uint16(msg[off:]),
+			Weight:   binary.BigEndian.Uint16(msg[off+2:]),
+			Port:     binary.BigEndian.Uint16(msg[off+4:]),
+			Target:   name,
+		}, err
+	case TypeDS:
+		if rdlen < 4 {
+			return nil, errTruncatedRData
+		}
+		return DS{
+			KeyTag:     binary.BigEndian.Uint16(msg[off:]),
+			Algorithm:  msg[off+2],
+			DigestType: msg[off+3],
+			Digest:     append([]byte(nil), msg[off+4:end]...),
+		}, nil
+	case TypeDNSKEY:
+		if rdlen < 4 {
+			return nil, errTruncatedRData
+		}
+		return DNSKEY{
+			Flags:     binary.BigEndian.Uint16(msg[off:]),
+			Protocol:  msg[off+2],
+			Algorithm: msg[off+3],
+			PublicKey: append([]byte(nil), msg[off+4:end]...),
+		}, nil
+	case TypeRRSIG:
+		if rdlen < 18 {
+			return nil, errTruncatedRData
+		}
+		name, p, err := unpackName(msg, off+18)
+		if err != nil {
+			return nil, err
+		}
+		if p > end {
+			return nil, errTruncatedRData
+		}
+		return RRSIG{
+			TypeCovered: Type(binary.BigEndian.Uint16(msg[off:])),
+			Algorithm:   msg[off+2],
+			Labels:      msg[off+3],
+			OrigTTL:     binary.BigEndian.Uint32(msg[off+4:]),
+			Expiration:  binary.BigEndian.Uint32(msg[off+8:]),
+			Inception:   binary.BigEndian.Uint32(msg[off+12:]),
+			KeyTag:      binary.BigEndian.Uint16(msg[off+16:]),
+			SignerName:  name,
+			Signature:   append([]byte(nil), msg[p:end]...),
+		}, nil
+	case TypeNSEC3:
+		return unpackNSEC3(msg, off, rdlen)
+	case TypeNSEC3PARAM:
+		return unpackNSEC3PARAM(msg, off, rdlen)
+	case TypeNSEC:
+		name, p, err := unpackName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if p > end {
+			return nil, errTruncatedRData
+		}
+		types, err := parseTypeBitmap(msg[p:end])
+		if err != nil {
+			return nil, err
+		}
+		return NSEC{NextName: name, Types: types}, nil
+	default:
+		return RawRData{RRType: t, Data: append([]byte(nil), msg[off:end]...)}, nil
+	}
+}

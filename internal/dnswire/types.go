@@ -1,0 +1,205 @@
+// Package dnswire implements the DNS wire protocol: message encoding and
+// decoding with name compression, the resource-record types needed for
+// hierarchy emulation and trace replay (including the DNSSEC types), and
+// EDNS0. It is the substrate every other LDplayer package builds on.
+//
+// The design follows the decode-into-value style: Unpack fills a
+// caller-supplied Message so hot replay paths can reuse allocations, while
+// Pack appends to a caller-supplied buffer.
+package dnswire
+
+import "fmt"
+
+// Type is a DNS resource-record type code (RFC 1035 §3.2.2 and successors).
+type Type uint16
+
+// Resource-record type codes used by LDplayer.
+const (
+	TypeNone   Type = 0
+	TypeA      Type = 1
+	TypeNS     Type = 2
+	TypeCNAME  Type = 5
+	TypeSOA    Type = 6
+	TypePTR    Type = 12
+	TypeMX     Type = 15
+	TypeTXT    Type = 16
+	TypeAAAA   Type = 28
+	TypeSRV    Type = 33
+	TypeOPT    Type = 41
+	TypeDS     Type = 43
+	TypeRRSIG  Type = 46
+	TypeNSEC   Type = 47
+	TypeDNSKEY Type = 48
+	TypeANY    Type = 255
+	TypeCAA    Type = 257
+)
+
+var typeNames = map[Type]string{
+	TypeNone:   "NONE",
+	TypeA:      "A",
+	TypeNS:     "NS",
+	TypeCNAME:  "CNAME",
+	TypeSOA:    "SOA",
+	TypePTR:    "PTR",
+	TypeMX:     "MX",
+	TypeTXT:    "TXT",
+	TypeAAAA:   "AAAA",
+	TypeSRV:    "SRV",
+	TypeOPT:    "OPT",
+	TypeDS:     "DS",
+	TypeRRSIG:  "RRSIG",
+	TypeNSEC:   "NSEC",
+	TypeDNSKEY: "DNSKEY",
+	TypeANY:    "ANY",
+	TypeCAA:    "CAA",
+}
+
+var typeValues = func() map[string]Type {
+	m := make(map[string]Type, len(typeNames))
+	for t, s := range typeNames {
+		m[s] = t
+	}
+	return m
+}()
+
+// String returns the mnemonic for t, or the RFC 3597 TYPE### form for
+// unknown codes.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// ParseType converts a type mnemonic (or TYPE### form) back to a Type.
+func ParseType(s string) (Type, error) {
+	if t, ok := typeValues[s]; ok {
+		return t, nil
+	}
+	var n uint16
+	if _, err := fmt.Sscanf(s, "TYPE%d", &n); err == nil {
+		return Type(n), nil
+	}
+	return TypeNone, fmt.Errorf("dnswire: unknown RR type %q", s)
+}
+
+// Class is a DNS class code. Only IN matters in practice; CH appears in
+// version.bind-style probes.
+type Class uint16
+
+// DNS class codes.
+const (
+	ClassINET Class = 1
+	ClassCH   Class = 3
+	ClassANY  Class = 255
+)
+
+// String returns the mnemonic for c.
+func (c Class) String() string {
+	switch c {
+	case ClassINET:
+		return "IN"
+	case ClassCH:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// ParseClass converts a class mnemonic back to a Class.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "IN":
+		return ClassINET, nil
+	case "CH":
+		return ClassCH, nil
+	case "ANY":
+		return ClassANY, nil
+	}
+	var n uint16
+	if _, err := fmt.Sscanf(s, "CLASS%d", &n); err == nil {
+		return Class(n), nil
+	}
+	return 0, fmt.Errorf("dnswire: unknown class %q", s)
+}
+
+// Opcode is the DNS header operation code.
+type Opcode uint8
+
+// Opcodes.
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeIQuery Opcode = 1
+	OpcodeStatus Opcode = 2
+	OpcodeNotify Opcode = 4
+	OpcodeUpdate Opcode = 5
+)
+
+// String returns the mnemonic for o.
+func (o Opcode) String() string {
+	switch o {
+	case OpcodeQuery:
+		return "QUERY"
+	case OpcodeIQuery:
+		return "IQUERY"
+	case OpcodeStatus:
+		return "STATUS"
+	case OpcodeNotify:
+		return "NOTIFY"
+	case OpcodeUpdate:
+		return "UPDATE"
+	}
+	return fmt.Sprintf("OPCODE%d", uint8(o))
+}
+
+// Rcode is the DNS response code.
+type Rcode uint8
+
+// Response codes.
+const (
+	RcodeNoError  Rcode = 0
+	RcodeFormErr  Rcode = 1
+	RcodeServFail Rcode = 2
+	RcodeNXDomain Rcode = 3
+	RcodeNotImp   Rcode = 4
+	RcodeRefused  Rcode = 5
+)
+
+// String returns the mnemonic for r.
+func (r Rcode) String() string {
+	switch r {
+	case RcodeNoError:
+		return "NOERROR"
+	case RcodeFormErr:
+		return "FORMERR"
+	case RcodeServFail:
+		return "SERVFAIL"
+	case RcodeNXDomain:
+		return "NXDOMAIN"
+	case RcodeNotImp:
+		return "NOTIMP"
+	case RcodeRefused:
+		return "REFUSED"
+	}
+	return fmt.Sprintf("RCODE%d", uint8(r))
+}
+
+// Header flag bit masks within the third/fourth header bytes, expressed on
+// the 16-bit flags word.
+const (
+	flagQR uint16 = 1 << 15
+	flagAA uint16 = 1 << 10
+	flagTC uint16 = 1 << 9
+	flagRD uint16 = 1 << 8
+	flagRA uint16 = 1 << 7
+	flagAD uint16 = 1 << 5
+	flagCD uint16 = 1 << 4
+)
+
+// MaxUDPSize is the classic 512-byte DNS/UDP payload limit (RFC 1035).
+const MaxUDPSize = 512
+
+// MaxMessageSize is the largest message Pack will produce and Unpack will
+// accept: the TCP two-byte length prefix bounds messages at 64 KiB.
+const MaxMessageSize = 1<<16 - 1

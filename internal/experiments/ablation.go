@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/metrics"
+	"ldplayer/internal/sysmodel"
+	"ldplayer/internal/trace"
+)
+
+// Ablations isolate the design choices DESIGN.md calls out: connection
+// reuse (the reason trace replay beats per-query models), the Nagle
+// model behind the latency tails, and name compression in the wire
+// encoder.
+
+// ReuseAblationResult compares connection reuse against fresh-per-query
+// connections — the paper's observation that "if all connections were
+// fresh, models predict 100% overhead for TCP".
+type ReuseAblationResult struct {
+	RTT time.Duration
+	// WithReuse and NoReuse summarize all-clients TCP latency (seconds).
+	WithReuse metrics.Summary
+	NoReuse   metrics.Summary
+	// ConnsWithReuse and ConnsNoReuse count connection opens.
+	ConnsWithReuse int64
+	ConnsNoReuse   int64
+}
+
+// String renders the comparison. The headline uses the mean: medians are
+// dominated by intra-burst queueing behind the burst head's handshake,
+// while the mean captures the reuse wins on established connections.
+func (r ReuseAblationResult) String() string {
+	return fmt.Sprintf("rtt=%-5v reuse: mean=%.0fms p50=%.0fms conns=%d | no-reuse: mean=%.0fms p50=%.0fms conns=%d (mean overhead %+.0f%%)",
+		r.RTT, r.WithReuse.Mean*1000, r.WithReuse.P50*1000, r.ConnsWithReuse,
+		r.NoReuse.Mean*1000, r.NoReuse.P50*1000, r.ConnsNoReuse,
+		(r.NoReuse.Mean/r.WithReuse.Mean-1)*100)
+}
+
+// AblationConnectionReuse runs the all-TCP workload with the normal 20 s
+// idle timeout and with a timeout shorter than any inter-query gap
+// (every query pays a handshake).
+func AblationConnectionReuse(sc SimScale, rtt time.Duration) (*ReuseAblationResult, error) {
+	run := func(timeout time.Duration) (*sysmodel.Result, error) {
+		in, err := workloadReader(sc, WorkloadAllTCP)
+		if err != nil {
+			return nil, err
+		}
+		return sysmodel.Simulate(in, sysmodel.Config{
+			RTT: rtt, IdleTimeout: timeout, KeepLatencies: true,
+			SampleEvery: 30 * time.Second,
+		})
+	}
+	withReuse, err := run(20 * time.Second)
+	if err != nil {
+		return nil, err
+	}
+	noReuse, err := run(time.Nanosecond) // closes before any reuse
+	if err != nil {
+		return nil, err
+	}
+	lat := func(r *sysmodel.Result) metrics.Summary {
+		all := make([]float64, len(r.Latencies))
+		for i, s := range r.Latencies {
+			all[i] = s.Seconds
+		}
+		return metrics.Summarize(all)
+	}
+	return &ReuseAblationResult{
+		RTT:            rtt,
+		WithReuse:      lat(withReuse),
+		NoReuse:        lat(noReuse),
+		ConnsWithReuse: withReuse.ConnsOpened,
+		ConnsNoReuse:   noReuse.ConnsOpened,
+	}, nil
+}
+
+// NagleAblationResult compares latency tails with and without the
+// Nagle/delayed-ACK model (the paper's suggested mitigation is disabling
+// Nagle on the server).
+type NagleAblationResult struct {
+	RTT       time.Duration
+	WithNagle metrics.Summary
+	NoNagle   metrics.Summary
+}
+
+// String renders the tails.
+func (r NagleAblationResult) String() string {
+	return fmt.Sprintf("rtt=%-5v nagle on : p75=%.0fms p95=%.0fms | nagle off: p75=%.0fms p95=%.0fms",
+		r.RTT, r.WithNagle.P75*1000, r.WithNagle.P95*1000,
+		r.NoNagle.P75*1000, r.NoNagle.P95*1000)
+}
+
+// AblationNagle measures the reassembly-delay tail the paper discovered
+// and what disabling Nagle buys back.
+func AblationNagle(sc SimScale, rtt time.Duration) (*NagleAblationResult, error) {
+	run := func(nagle bool) (metrics.Summary, error) {
+		in, err := workloadReader(sc, WorkloadAllTCP)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		res, err := sysmodel.Simulate(in, sysmodel.Config{
+			RTT: rtt, IdleTimeout: 20 * time.Second, Nagle: nagle,
+			KeepLatencies: true, SampleEvery: 30 * time.Second,
+		})
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		all := make([]float64, len(res.Latencies))
+		for i, s := range res.Latencies {
+			all[i] = s.Seconds
+		}
+		return metrics.Summarize(all), nil
+	}
+	on, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	off, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	return &NagleAblationResult{RTT: rtt, WithNagle: on, NoNagle: off}, nil
+}
+
+// CompressionAblationResult reports the wire-size effect of DNS name
+// compression on realistic responses.
+type CompressionAblationResult struct {
+	Responses       int
+	CompressedBytes int64
+	// NaiveBytes estimates the same responses with every name encoded
+	// uncompressed.
+	NaiveBytes int64
+}
+
+// String renders the savings.
+func (r CompressionAblationResult) String() string {
+	save := 0.0
+	if r.NaiveBytes > 0 {
+		save = (1 - float64(r.CompressedBytes)/float64(r.NaiveBytes)) * 100
+	}
+	return fmt.Sprintf("responses=%d compressed=%dB naive=%dB (saving %.1f%%)",
+		r.Responses, r.CompressedBytes, r.NaiveBytes, save)
+}
+
+// AblationNameCompression packs a referral-heavy response sample with the
+// production encoder and compares against the uncompressed size bound.
+func AblationNameCompression() (*CompressionAblationResult, error) {
+	// A representative root referral: 6 NS + 12 glue records sharing the
+	// gtld suffix — the compression-friendly shape root responses have.
+	resp := &dnswire.Message{Header: dnswire.Header{ID: 1, QR: true}}
+	resp.Question = []dnswire.Question{{Name: "www.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET}}
+	for i := 0; i < 6; i++ {
+		host := fmt.Sprintf("%c.gtld-servers.net.", 'a'+i)
+		resp.Authority = append(resp.Authority, dnswire.RR{
+			Name: "com.", Class: dnswire.ClassINET, TTL: 172800, Data: dnswire.NS{Host: host}})
+		resp.Additional = append(resp.Additional, dnswire.RR{
+			Name: host, Class: dnswire.ClassINET, TTL: 172800,
+			Data: dnswire.A{Addr: addr4(192, 5, 6, byte(30+i))}})
+		resp.Additional = append(resp.Additional, dnswire.RR{
+			Name: host, Class: dnswire.ClassINET, TTL: 172800,
+			Data: dnswire.AAAA{Addr: addr16(i)}})
+	}
+	const n = 1000
+	out := &CompressionAblationResult{Responses: n}
+	wire, err := resp.Pack(nil)
+	if err != nil {
+		return nil, err
+	}
+	out.CompressedBytes = int64(n * len(wire))
+	out.NaiveBytes = int64(n * naiveLen(resp))
+	return out, nil
+}
+
+// naiveLen computes the uncompressed encoding size of m.
+func naiveLen(m *dnswire.Message) int {
+	nameLen := func(name string) int {
+		if name == "." {
+			return 1
+		}
+		return len(dnswire.CanonicalName(name)) + 1
+	}
+	n := 12
+	for _, q := range m.Question {
+		n += nameLen(q.Name) + 4
+	}
+	for _, sec := range [][]dnswire.RR{m.Answer, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			n += nameLen(rr.Name) + 10
+			switch d := rr.Data.(type) {
+			case dnswire.NS:
+				n += nameLen(d.Host)
+			case dnswire.A:
+				n += 4
+			case dnswire.AAAA:
+				n += 16
+			default:
+				n += 16 // rough
+			}
+		}
+	}
+	return n
+}
+
+func addr4(a, b, c, d byte) netip.Addr { return netip.AddrFrom4([4]byte{a, b, c, d}) }
+
+func addr16(i int) netip.Addr {
+	var out [16]byte
+	out[0], out[1] = 0x20, 0x01
+	out[15] = byte(i)
+	return netip.AddrFrom16(out)
+}
+
+// syntheticSrc builds a distinct source address-port from a counter.
+func syntheticSrc(i int64) netip.AddrPort {
+	return netip.AddrPortFrom(netip.AddrFrom4([4]byte{172, byte(i >> 16), byte(i >> 8), byte(i)}), 5353)
+}
+
+// ReplayDistributionAblation compares sticky source distribution against
+// what the server would see with the affinity invariant broken: the same
+// trace replayed with every source isolated (upper bound on connection
+// count) versus all sources collapsed onto one (lower bound) — bounding
+// the value of §2.6's same-source delivery guarantee.
+type ReplayDistributionAblation struct {
+	StickyConns    int64
+	PerQueryConns  int64
+	CollapsedConns int64
+}
+
+// String renders the bound.
+func (r ReplayDistributionAblation) String() string {
+	return fmt.Sprintf("connections: sticky=%d per-query=%d collapsed=%d",
+		r.StickyConns, r.PerQueryConns, r.CollapsedConns)
+}
+
+// AblationSourceAffinity simulates the all-TCP workload under the three
+// source-mapping policies.
+func AblationSourceAffinity(sc SimScale) (*ReplayDistributionAblation, error) {
+	run := func(mapSrc func(i int64, e *trace.Entry)) (int64, error) {
+		in, err := workloadReader(sc, WorkloadAllTCP)
+		if err != nil {
+			return 0, err
+		}
+		var i int64
+		wrapped := readerFunc(func() (trace.Entry, error) {
+			e, err := in.Next()
+			if err != nil {
+				return e, err
+			}
+			i++
+			if mapSrc != nil {
+				mapSrc(i, &e)
+			}
+			return e, nil
+		})
+		res, err := sysmodel.Simulate(wrapped, sysmodel.Config{
+			RTT: time.Millisecond, IdleTimeout: 20 * time.Second,
+			SampleEvery: 30 * time.Second,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.ConnsOpened, nil
+	}
+	sticky, err := run(nil)
+	if err != nil {
+		return nil, err
+	}
+	perQuery, err := run(func(i int64, e *trace.Entry) {
+		// Every query pretends to be a brand-new source: no reuse ever.
+		e.Src = syntheticSrc(i)
+	})
+	if err != nil {
+		return nil, err
+	}
+	collapsed, err := run(func(i int64, e *trace.Entry) {
+		e.Src = syntheticSrc(0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayDistributionAblation{
+		StickyConns:    sticky,
+		PerQueryConns:  perQuery,
+		CollapsedConns: collapsed,
+	}, nil
+}
+
+// readerFunc adapts a closure to trace.Reader.
+type readerFunc func() (trace.Entry, error)
+
+// Next implements trace.Reader.
+func (f readerFunc) Next() (trace.Entry, error) { return f() }

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblationConnectionReuse(t *testing.T) {
+	res, err := AblationConnectionReuse(tinySim(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	// Without reuse every TCP query pays the handshake (the "100%
+	// overhead" prediction the paper cites); the mean shows it even when
+	// intra-burst queueing pins the median near 2 RTT in both runs.
+	if ratio := res.NoReuse.Mean / res.WithReuse.Mean; ratio < 1.2 {
+		t.Errorf("no-reuse/reuse mean ratio = %.2f, want the handshake penalty", ratio)
+	}
+	if res.ConnsNoReuse <= res.ConnsWithReuse {
+		t.Errorf("connection counts: no-reuse %d <= reuse %d", res.ConnsNoReuse, res.ConnsWithReuse)
+	}
+}
+
+func TestAblationNagle(t *testing.T) {
+	res, err := AblationNagle(tinySim(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !(res.WithNagle.P95 > res.NoNagle.P95) {
+		t.Errorf("Nagle p95 %.3f not above no-Nagle %.3f", res.WithNagle.P95, res.NoNagle.P95)
+	}
+	// Medians should be close: the stalls are a tail phenomenon.
+	if res.WithNagle.P50 > res.NoNagle.P50*1.5+0.001 {
+		t.Errorf("Nagle moved the median too much: %.3f vs %.3f", res.WithNagle.P50, res.NoNagle.P50)
+	}
+}
+
+func TestAblationNameCompression(t *testing.T) {
+	res, err := AblationNameCompression()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.CompressedBytes >= res.NaiveBytes {
+		t.Errorf("compression saved nothing: %d vs %d", res.CompressedBytes, res.NaiveBytes)
+	}
+	saving := 1 - float64(res.CompressedBytes)/float64(res.NaiveBytes)
+	if saving < 0.25 {
+		t.Errorf("saving = %.1f%%, referral responses should compress hard", saving*100)
+	}
+}
+
+func TestAblationSourceAffinity(t *testing.T) {
+	res, err := AblationSourceAffinity(tinySim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !(res.CollapsedConns <= res.StickyConns && res.StickyConns < res.PerQueryConns) {
+		t.Errorf("ordering violated: %+v", res)
+	}
+	// Breaking affinity costs orders of magnitude in connection load.
+	if res.PerQueryConns < res.StickyConns*3 {
+		t.Errorf("per-query conns %d not far above sticky %d", res.PerQueryConns, res.StickyConns)
+	}
+}

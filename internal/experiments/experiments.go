@@ -1,0 +1,431 @@
+// Package experiments regenerates every data-bearing table and figure of
+// the paper's evaluation (§4, §5). Each function returns printable rows;
+// the repository-root benchmarks and cmd/ldplayer drive them. Workloads
+// are scaled from the paper's testbed (38 k q/s, 1.17 M clients, hours)
+// to laptop budgets; EXPERIMENTS.md records the paper-vs-measured shape
+// comparison and the scaling factors.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ldplayer/internal/core"
+	"ldplayer/internal/hierarchy"
+	"ldplayer/internal/metrics"
+	"ldplayer/internal/replay"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/traceg"
+)
+
+// Scale sets the workload size for the live-replay experiments.
+type Scale struct {
+	// Rate is the B-Root-like median query rate (paper: 38000).
+	Rate float64
+	// Duration is the replayed trace length (paper: 20–60 min).
+	Duration time.Duration
+	// Clients is the client population (paper: 1.17 M).
+	Clients int
+	// Seed keeps runs reproducible.
+	Seed int64
+}
+
+// DefaultScale runs each live experiment in a few seconds.
+func DefaultScale() Scale {
+	return Scale{Rate: 2000, Duration: 8 * time.Second, Clients: 20000, Seed: 1}
+}
+
+// rootSLDs gives the hierarchy builder one SLD per popular TLD so the
+// synthesized root zone delegates a realistic TLD set.
+var rootSLDs = []string{
+	"example.com.", "example.net.", "example.org.", "example.de.",
+	"example.uk.", "example.jp.", "example.fr.", "example.nl.",
+	"example.br.", "example.it.", "example.ru.", "example.info.",
+	"example.io.", "example.edu.", "example.gov.", "example.cn.",
+	"example.au.", "example.ca.", "example.eu.", "example.arpa.",
+}
+
+// Table1Row is one trace family's statistics (Table 1's columns).
+type Table1Row struct {
+	Name   string
+	Stats  traceg.Stats
+	Target string // the paper's corresponding figure for the column
+}
+
+// String renders the row like Table 1.
+func (r Table1Row) String() string {
+	return fmt.Sprintf("%-10s records=%-9d clients=%-8d interarrival=%.6fs ±%.6fs",
+		r.Name, r.Stats.Records, r.Stats.Clients,
+		r.Stats.MeanInterArriv.Seconds(), r.Stats.StdInterArriv.Seconds())
+}
+
+// Table1 generates each trace family at the given scale and computes its
+// statistics, regenerating Table 1.
+func Table1(sc Scale) ([]Table1Row, error) {
+	var rows []Table1Row
+
+	broot, err := traceg.BRoot(traceg.BRootConfig{
+		Duration: sc.Duration, MedianRate: sc.Rate, Clients: sc.Clients,
+		TCPFraction: 0.03, DOFraction: 0.723, Seed: sc.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st, err := traceg.ComputeStats(broot)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{Name: "B-Root-16", Stats: *st,
+		Target: "paper: inter-arrival 27µs±619µs at 38k q/s (scaled)"})
+
+	rec, err := traceg.Recursive(traceg.RecursiveConfig{Duration: sc.Duration * 10, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	st, err = traceg.ComputeStats(rec)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{Name: "Rec-17", Stats: *st,
+		Target: "paper: 91 clients, inter-arrival 0.1808s±0.3554s"})
+
+	for i, gap := range []time.Duration{time.Second, 100 * time.Millisecond,
+		10 * time.Millisecond, time.Millisecond, 100 * time.Microsecond} {
+		g, err := traceg.Synthetic(traceg.SyntheticConfig{
+			InterArrival: gap, Duration: sc.Duration, Clients: 1000, Seed: sc.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st, err := traceg.ComputeStats(g)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{Name: fmt.Sprintf("syn-%d", i), Stats: *st,
+			Target: fmt.Sprintf("paper: fixed %v inter-arrival", gap)})
+	}
+	return rows, nil
+}
+
+// newRootPlayer stands up a live meta server hosting the synthesized root
+// zone as its default view, the §4.1 configuration ("we use a real DNS
+// root zone file in server for B-Root trace replay").
+func newRootPlayer(cfg core.Config) (*core.Player, error) {
+	h, err := hierarchy.Build(rootSLDs, hierarchy.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Zones = append(cfg.Zones, h.Root)
+	p, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Start(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// TimingRow is one trace family's replay-timing accuracy (Figure 6).
+type TimingRow struct {
+	Name string
+	// Err summarizes per-query scheduling error in seconds; the paper
+	// reports quartiles within ±2.5 ms (±8 ms at the 0.1 s inter-arrival).
+	Err metrics.Summary
+}
+
+// String renders a Figure 6 row in milliseconds.
+func (r TimingRow) String() string {
+	ms := func(v float64) float64 { return v * 1000 }
+	return fmt.Sprintf("%-12s err(ms): p25=%+.3f p50=%+.3f p75=%+.3f min=%+.3f max=%+.3f",
+		r.Name, ms(r.Err.P25), ms(r.Err.P50), ms(r.Err.P75), ms(r.Err.Min), ms(r.Err.Max))
+}
+
+// synGaps are the syn-0..4 inter-arrival times, smallest last so the
+// hardest case runs with a warm engine.
+var synGaps = []time.Duration{time.Second, 100 * time.Millisecond,
+	10 * time.Millisecond, time.Millisecond, 100 * time.Microsecond}
+
+// Fig6TimingError replays the synthetic traces and a B-Root-like trace
+// over UDP in real time and reports per-query timing error.
+func Fig6TimingError(sc Scale) ([]TimingRow, error) {
+	p, err := newRootPlayer(core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+
+	var rows []TimingRow
+	for i, gap := range synGaps {
+		dur := sc.Duration
+		// Keep the slow traces from dominating wall-clock time while
+		// still collecting enough samples.
+		if n := time.Duration(30) * gap; n < dur {
+			dur = maxDur(n, 2*time.Second)
+		}
+		g, err := traceg.Synthetic(traceg.SyntheticConfig{
+			InterArrival: gap, Duration: dur, Clients: 1000, Seed: sc.Seed,
+			Start: time.Now(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := p.Replay(context.Background(), g)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TimingRow{Name: fmt.Sprintf("syn-%d(%v)", i, gap), Err: rep.TimingError})
+	}
+
+	broot, err := liveBRoot(sc)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := p.Replay(context.Background(), broot)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, TimingRow{Name: "B-Root", Err: rep.TimingError})
+	return rows, nil
+}
+
+// liveBRoot builds a B-Root-like trace anchored at the current wall time
+// so real-time replay starts immediately.
+func liveBRoot(sc Scale) (trace.Reader, error) {
+	return traceg.BRoot(traceg.BRootConfig{
+		Start: time.Now(), Duration: sc.Duration, MedianRate: sc.Rate,
+		Clients: sc.Clients, TCPFraction: 0, DOFraction: 0.723, Seed: sc.Seed,
+	})
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// InterArrivalRow compares original and replayed inter-arrival
+// distributions (Figure 7).
+type InterArrivalRow struct {
+	Name     string
+	Original *metrics.CDF
+	Replayed *metrics.CDF
+	// MedianGapError is |median(replay) - median(original)| in seconds.
+	MedianGapError float64
+}
+
+// String renders key quantiles of both CDFs.
+func (r InterArrivalRow) String() string {
+	return fmt.Sprintf("%-12s orig p50=%.6fs replay p50=%.6fs (Δ=%.6fs)  orig p90=%.6fs replay p90=%.6fs",
+		r.Name, r.Original.InverseAt(0.5), r.Replayed.InverseAt(0.5), r.MedianGapError,
+		r.Original.InverseAt(0.9), r.Replayed.InverseAt(0.9))
+}
+
+// Fig7InterArrival replays traces and compares inter-arrival CDFs.
+func Fig7InterArrival(sc Scale) ([]InterArrivalRow, error) {
+	p, err := newRootPlayer(core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+
+	run := func(name string, mk func() (trace.Reader, error)) (InterArrivalRow, error) {
+		// Original gaps come from one pass of the generator; the replay
+		// uses an identical second pass (same seed).
+		orig, err := mk()
+		if err != nil {
+			return InterArrivalRow{}, err
+		}
+		var gaps []float64
+		var prev time.Time
+		first := true
+		for {
+			e, nerr := orig.Next()
+			if nerr != nil {
+				break
+			}
+			if !first {
+				gaps = append(gaps, e.Time.Sub(prev).Seconds())
+			}
+			prev, first = e.Time, false
+		}
+		replayIn, err := mk()
+		if err != nil {
+			return InterArrivalRow{}, err
+		}
+		rep, err := p.Replay(context.Background(), replayIn)
+		if err != nil {
+			return InterArrivalRow{}, err
+		}
+		row := InterArrivalRow{
+			Name:     name,
+			Original: metrics.NewCDF(gaps),
+			Replayed: metrics.NewCDF(rep.SendInterArrivals),
+		}
+		d := row.Replayed.InverseAt(0.5) - row.Original.InverseAt(0.5)
+		if d < 0 {
+			d = -d
+		}
+		row.MedianGapError = d
+		return row, nil
+	}
+
+	var rows []InterArrivalRow
+	for i, gap := range synGaps[1:4] { // 100ms, 10ms, 1ms
+		gap := gap
+		row, err := run(fmt.Sprintf("syn(%v)", gap), func() (trace.Reader, error) {
+			return traceg.Synthetic(traceg.SyntheticConfig{
+				InterArrival: gap, Duration: maxDur(time.Duration(40)*gap, 2*time.Second),
+				Clients: 1000, Seed: sc.Seed + int64(i), Start: time.Now(),
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	row, err := run("B-Root", func() (trace.Reader, error) { return liveBRoot(sc) })
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+	return rows, nil
+}
+
+// RateRow is one trial's per-second rate-difference distribution
+// (Figure 8: ±0.1% for almost all seconds).
+type RateRow struct {
+	Trial int
+	// Diffs are per-second (replay-original)/original values.
+	Diffs *metrics.CDF
+	// Within01 is the fraction of seconds within ±0.1%.
+	Within01 float64
+}
+
+// String renders the Figure 8 headline.
+func (r RateRow) String() string {
+	return fmt.Sprintf("trial %d: %.1f%% of seconds within ±0.1%% (p5=%+.4f%% p95=%+.4f%%)",
+		r.Trial, r.Within01*100, r.Diffs.InverseAt(0.05)*100, r.Diffs.InverseAt(0.95)*100)
+}
+
+// Fig8RateAccuracy replays the B-Root-like trace `trials` times and
+// compares per-second query rates against the original.
+func Fig8RateAccuracy(sc Scale, trials int) ([]RateRow, error) {
+	p, err := newRootPlayer(core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+
+	var rows []RateRow
+	for trial := 0; trial < trials; trial++ {
+		orig, err := liveBRoot(sc)
+		if err != nil {
+			return nil, err
+		}
+		origRates := metrics.NewRateCounter(time.Second)
+		var entries []trace.Entry
+		for {
+			e, nerr := orig.Next()
+			if nerr != nil {
+				break
+			}
+			origRates.Add(e.Time)
+			entries = append(entries, e)
+		}
+		rep, err := p.Replay(context.Background(), trace.NewSliceReader(entries))
+		if err != nil {
+			return nil, err
+		}
+		diffs := metrics.RelativeDifferences(trimEdges(origRates.Rates()), trimEdges(rep.SendRates))
+		within := 0
+		for _, d := range diffs {
+			if d >= -0.001 && d <= 0.001 {
+				within++
+			}
+		}
+		row := RateRow{Trial: trial + 1, Diffs: metrics.NewCDF(diffs)}
+		if len(diffs) > 0 {
+			row.Within01 = float64(within) / float64(len(diffs))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// trimEdges drops the first and last window, which are partial.
+func trimEdges(rates []float64) []float64 {
+	if len(rates) <= 2 {
+		return nil
+	}
+	return rates[1 : len(rates)-1]
+}
+
+// ThroughputResult is the Figure 9 fast-replay measurement.
+type ThroughputResult struct {
+	QueriesPerSec float64
+	MbitPerSec    float64
+	Sent          int64
+	Duration      time.Duration
+}
+
+// String renders the Figure 9 headline.
+func (r ThroughputResult) String() string {
+	return fmt.Sprintf("fast replay: %.0f q/s, %.1f Mb/s response traffic (%d queries in %v)",
+		r.QueriesPerSec, r.MbitPerSec, r.Sent, r.Duration.Round(time.Millisecond))
+}
+
+// Fig9Throughput replays a continuous stream of identical queries
+// (www.example.com, the paper's §4.3 setup) in fast mode with one
+// distributor and six queriers, and reports the sustained rate.
+func Fig9Throughput(queries int) (*ThroughputResult, error) {
+	p, err := newRootPlayer(core.Config{
+		Engine: replay.Config{
+			Distributors:           1,
+			QueriersPerDistributor: 6,
+			FastMode:               true,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+
+	entries := make([]trace.Entry, queries)
+	proto, err := traceg.Synthetic(traceg.SyntheticConfig{
+		InterArrival: time.Microsecond, Duration: time.Duration(queries) * time.Microsecond,
+		Clients: 6, BaseName: "example.com.", Seed: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range entries {
+		e, err := proto.Next()
+		if err != nil {
+			entries = entries[:i]
+			break
+		}
+		entries[i] = e
+	}
+
+	start := time.Now()
+	rep, err := p.Replay(context.Background(), trace.NewSliceReader(entries))
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	sendDur := rep.Duration
+	if sendDur <= 0 {
+		sendDur = elapsed
+	}
+	qps := float64(rep.Sent) / sendDur.Seconds()
+	mbps := float64(rep.ServerStats.ResponseBytes) * 8 / sendDur.Seconds() / 1e6
+	return &ThroughputResult{
+		QueriesPerSec: qps,
+		MbitPerSec:    mbps,
+		Sent:          rep.Sent,
+		Duration:      sendDur,
+	}, nil
+}

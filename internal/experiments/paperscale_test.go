@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPaperScaleFootprint(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("paper-scale run")
+	}
+	sc := PaperSimScale()
+	tcp, err := FigFootprint(sc, WorkloadAllTCP, []time.Duration{20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tls, err := FigFootprint(sc, WorkloadAllTLS, []time.Duration{20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("TCP: %s", tcp[0])
+	t.Logf("TLS: %s", tls[0])
+}

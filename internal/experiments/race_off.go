@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; its
+// overhead makes real-time replay fall behind at sub-millisecond
+// inter-arrivals, so timing-strict tests relax their bands under it.
+const raceEnabled = false

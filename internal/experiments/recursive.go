@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/authserver"
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/hierarchy"
+	"ldplayer/internal/replay"
+	"ldplayer/internal/resolver"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/traceg"
+)
+
+// Recursive replay (§2.2's optional path, §2.4's Rec-17 scale point): a
+// department-level recursive trace is replayed against a live recursive
+// server whose resolver walks an emulated hierarchy — the paper's
+// headline "549 valid zones in a 1-hour trace" hosted by one
+// meta-DNS-server instance behind split-horizon views.
+
+// RecursiveReplayConfig parameterizes the run.
+type RecursiveReplayConfig struct {
+	// Zones is the number of distinct SLD zones in the workload
+	// (Rec-17: 549).
+	Zones int
+	// Duration is the live replay length.
+	Duration time.Duration
+	// MeanInterArrival compresses the trace (Rec-17's real 180 ms mean
+	// would make short runs tiny).
+	MeanInterArrival time.Duration
+	Seed             int64
+}
+
+// RecursiveReplayResult reports the run.
+type RecursiveReplayResult struct {
+	Zones         int
+	Views         int
+	StubQueries   int64
+	StubResponses int64
+	Upstream      int64
+	Failures      int64
+	// Amplification is upstream queries per stub query; it starts near 3
+	// (cold-cache hierarchy walks) and collapses as the cache warms —
+	// the caching interplay §2.3 insists real replay must reproduce.
+	AmplificationFirst float64 // first half of the run
+	AmplificationLast  float64 // second half
+	CacheHits          int64
+	CacheMisses        int64
+}
+
+// String renders the result.
+func (r RecursiveReplayResult) String() string {
+	return fmt.Sprintf("zones=%d views=%d stub=%d answered=%d upstream=%d (amplification %.2f -> %.2f) failures=%d cache=%d/%d hit/miss",
+		r.Zones, r.Views, r.StubQueries, r.StubResponses, r.Upstream,
+		r.AmplificationFirst, r.AmplificationLast, r.Failures, r.CacheHits, r.CacheMisses)
+}
+
+// RecursiveReplay builds the hierarchy for every zone the Rec-17-like
+// generator will query, serves all of it from one split-horizon engine,
+// stands up a live recursive server in front, and replays the stub trace
+// over UDP with real timing.
+func RecursiveReplay(cfg RecursiveReplayConfig) (*RecursiveReplayResult, error) {
+	if cfg.Zones <= 0 {
+		cfg.Zones = 549
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.MeanInterArrival <= 0 {
+		cfg.MeanInterArrival = 2 * time.Millisecond
+	}
+
+	gen, err := traceg.Recursive(traceg.RecursiveConfig{
+		Duration:         cfg.Duration,
+		MeanInterArrival: cfg.MeanInterArrival,
+		Zones:            cfg.Zones,
+		Seed:             cfg.Seed,
+		Start:            time.Now(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The complete hierarchy for every zone the trace can touch, all
+	// served by one engine.
+	h, err := hierarchy.Build(gen.Zones(), hierarchy.Options{})
+	if err != nil {
+		return nil, err
+	}
+	engine := authserver.NewEngine()
+	views := h.Views()
+	for _, v := range views {
+		if err := engine.AddView(v); err != nil {
+			return nil, err
+		}
+	}
+
+	// The recursive server resolving through the engine. The exchanger
+	// passes the queried server address as the split-horizon source —
+	// the proxies' OQDA transformation (§2.4), validated end-to-end over
+	// netsim in the resolver integration tests.
+	res, err := resolver.New(resolver.Config{
+		Roots:     h.NSAddrs["."][:3],
+		Exchanger: &engineExchanger{engine: engine},
+	})
+	if err != nil {
+		return nil, err
+	}
+	recServer := &resolver.Server{Resolver: res, Workers: 16}
+	if err := recServer.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	defer recServer.Close()
+
+	// Live replay of the stub trace.
+	en, err := replay.New(replay.Config{
+		UDPTarget:    recServer.Addr().String(),
+		DrainTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Split the run in half to expose cache warm-up.
+	var half1Stub, half1Up int64
+	halfAt := time.Now().Add(cfg.Duration / 2)
+	marked := false
+	stats, err := en.Replay(context.Background(), &halfMarker{
+		inner: gen,
+		at:    halfAt,
+		mark: func() {
+			half1Stub = recServer.Queries()
+			half1Up = res.QueriesSent()
+			marked = true
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !marked {
+		half1Stub = recServer.Queries()
+		half1Up = res.QueriesSent()
+	}
+
+	hits, misses := res.Cache().HitsMisses()
+	out := &RecursiveReplayResult{
+		Zones:         cfg.Zones,
+		Views:         len(views),
+		StubQueries:   recServer.Queries(),
+		StubResponses: stats.Responses,
+		Upstream:      res.QueriesSent(),
+		Failures:      recServer.Failures(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+	}
+	if half1Stub > 0 {
+		out.AmplificationFirst = float64(half1Up) / float64(half1Stub)
+	}
+	if rest := out.StubQueries - half1Stub; rest > 0 {
+		out.AmplificationLast = float64(out.Upstream-half1Up) / float64(rest)
+	}
+	return out, nil
+}
+
+// halfMarker wraps a trace reader and invokes mark once the stream
+// crosses the wall-clock midpoint, so the run's two halves can be
+// compared (cache cold vs warm).
+type halfMarker struct {
+	inner  trace.Reader
+	at     time.Time
+	mark   func()
+	marked bool
+}
+
+// Next implements trace.Reader.
+func (m *halfMarker) Next() (trace.Entry, error) {
+	if !m.marked && time.Now().After(m.at) {
+		m.marked = true
+		m.mark()
+	}
+	return m.inner.Next()
+}
+
+// engineExchanger answers resolver exchanges straight from an authserver
+// engine, passing the queried server's address as the split-horizon
+// source — semantically the proxies' OQDA rewrite of §2.4 without the
+// packet plumbing (which the netsim integration tests exercise).
+type engineExchanger struct {
+	engine *authserver.Engine
+}
+
+// Exchange implements resolver.Exchanger.
+func (e *engineExchanger) Exchange(ctx context.Context, server netip.AddrPort, q *dnswire.Message) (*dnswire.Message, error) {
+	wire, err := q.Pack(nil)
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.engine.Respond(wire, server.Addr(), authserver.UDP)
+	if err != nil {
+		return nil, err
+	}
+	var resp dnswire.Message
+	if err := resp.Unpack(out); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecursiveReplay549Zones(t *testing.T) {
+	res, err := RecursiveReplay(RecursiveReplayConfig{
+		Zones:            549,
+		Duration:         4 * time.Second,
+		MeanInterArrival: 2 * time.Millisecond,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.Views != 570 { // 549 SLDs + 20 TLDs + root
+		t.Errorf("views = %d, want 570", res.Views)
+	}
+	if res.StubQueries < 500 {
+		t.Errorf("stub queries = %d, want a substantial run", res.StubQueries)
+	}
+	if res.Failures > res.StubQueries/100 {
+		t.Errorf("failures = %d of %d", res.Failures, res.StubQueries)
+	}
+	if res.StubResponses < res.StubQueries*9/10 {
+		t.Errorf("responses = %d of %d", res.StubResponses, res.StubQueries)
+	}
+	// Cache warm-up: the second half needs fewer upstream queries per
+	// stub query than the first.
+	if !(res.AmplificationLast < res.AmplificationFirst) {
+		t.Errorf("amplification did not fall: %.2f -> %.2f", res.AmplificationFirst, res.AmplificationLast)
+	}
+}

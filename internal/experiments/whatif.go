@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"ldplayer/internal/authserver"
+	"ldplayer/internal/dnssec"
+	"ldplayer/internal/hierarchy"
+	"ldplayer/internal/metrics"
+	"ldplayer/internal/mutate"
+	"ldplayer/internal/sysmodel"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/traceg"
+	"ldplayer/internal/zone"
+)
+
+// The what-if experiments (§5) replay mutated B-Root traffic through the
+// sysmodel discrete-event simulation in virtual time, with response sizes
+// supplied by the real authoritative engine, so hours of root traffic run
+// in seconds while connection dynamics and response content stay honest.
+
+// SimScale sets the virtual workload for the simulation experiments.
+type SimScale struct {
+	// Rate is the median query rate (paper: ~39000 for B-Root-17a).
+	Rate float64
+	// Duration is the virtual trace length.
+	Duration time.Duration
+	// Clients is the client population (paper: 1.17 M).
+	Clients int
+	Seed    int64
+}
+
+// DefaultSimScale keeps each simulated figure under ~1 minute while
+// preserving the client-skew and reuse dynamics.
+func DefaultSimScale() SimScale {
+	return SimScale{Rate: 4000, Duration: 3 * time.Minute, Clients: 120000, Seed: 1}
+}
+
+// PaperSimScale reproduces the paper's absolute operating point (slower:
+// tens of millions of simulated queries).
+func PaperSimScale() SimScale {
+	return SimScale{Rate: 39000, Duration: 10 * time.Minute, Clients: 1170000, Seed: 1}
+}
+
+// brootSim builds the simulation input trace.
+func brootSim(sc SimScale, tcpFraction, doFraction float64) (trace.Reader, error) {
+	return traceg.BRoot(traceg.BRootConfig{
+		Duration: sc.Duration, MedianRate: sc.Rate, Clients: sc.Clients,
+		TCPFraction: tcpFraction, DOFraction: doFraction, Seed: sc.Seed,
+	})
+}
+
+// Fig10Row is one bar of Figure 10: response bandwidth for a DNSSEC
+// configuration.
+type Fig10Row struct {
+	Label     string
+	ZSKBits   int
+	Rollover  bool
+	DOPercent float64
+	// Bandwidth summarizes response Mbit/s over the run (median,
+	// quartiles, 5th/95th like the paper's boxes).
+	Bandwidth metrics.Summary
+}
+
+// String renders the bar.
+func (r Fig10Row) String() string {
+	return fmt.Sprintf("%-28s median=%.2f Mb/s p25=%.2f p75=%.2f p5=%.2f p95=%.2f",
+		r.Label, r.Bandwidth.P50, r.Bandwidth.P25, r.Bandwidth.P75, r.Bandwidth.P5, r.Bandwidth.P95)
+}
+
+// Fig10DNSSEC measures response bandwidth under {1024, 2048, rollover}
+// ZSKs × {72.3%, 100%} DO-bit fractions, replaying the B-Root-like trace
+// against a real signed root zone.
+func Fig10DNSSEC(sc SimScale) ([]Fig10Row, error) {
+	type variant struct {
+		label    string
+		zsk      int
+		rollover bool
+		doFrac   float64
+	}
+	variants := []variant{
+		{"72.3%DO zsk1024", 1024, false, 0.723},
+		{"72.3%DO zsk2048", 2048, false, 0.723},
+		{"72.3%DO zsk2048 rollover", 2048, true, 0.723},
+		{"100%DO zsk1024", 1024, false, 1.0},
+		{"100%DO zsk2048", 2048, false, 1.0},
+		{"100%DO zsk2048 rollover", 2048, true, 1.0},
+	}
+	var rows []Fig10Row
+	for _, v := range variants {
+		h, err := hierarchy.Build(rootSLDs, hierarchy.Options{
+			Signed:         true,
+			ServersPerZone: 6, // typical TLD NS-set size (gTLDs run 6-13)
+			DNSSEC:         dnssec.Config{ZSKBits: v.zsk, Rollover: v.rollover},
+		})
+		if err != nil {
+			return nil, err
+		}
+		// B-Root replay answers from the root zone alone (§4.1): glue-rich
+		// referrals for delegated TLDs, NXDOMAIN for junk.
+		engine := authserver.NewEngine()
+		if err := engine.AddView(&authserver.View{Name: "root", Zones: []*zone.Zone{h.Root}}); err != nil {
+			return nil, err
+		}
+		in, err := brootSim(sc, 0.03, v.doFrac)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sysmodel.Simulate(in, sysmodel.Config{
+			RTT:         time.Millisecond,
+			SampleEvery: 10 * time.Second,
+			Responder: func(query []byte, src netip.Addr) int {
+				out, err := engine.Respond(query, src, authserver.UDP)
+				if err != nil {
+					return 0
+				}
+				return len(out)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig10Row{
+			Label: v.label, ZSKBits: v.zsk, Rollover: v.rollover,
+			DOPercent: v.doFrac * 100,
+			Bandwidth: res.BandwidthMb.SteadyState(20 * time.Second),
+		})
+	}
+	return rows, nil
+}
+
+// Workload names the three §5.2 traffic mixes.
+type Workload string
+
+// The §5.2 workloads.
+const (
+	WorkloadOriginal Workload = "original(3%TCP)"
+	WorkloadAllTCP   Workload = "all-TCP"
+	WorkloadAllTLS   Workload = "all-TLS"
+)
+
+// workloadReader applies the §5.2 protocol mutation to the base trace.
+func workloadReader(sc SimScale, w Workload) (trace.Reader, error) {
+	base, err := brootSim(sc, 0.03, 0.723)
+	if err != nil {
+		return nil, err
+	}
+	switch w {
+	case WorkloadOriginal:
+		return base, nil
+	case WorkloadAllTCP:
+		return mutate.NewPipeline(mutate.SetProtocol(trace.TCP)).Reader(base), nil
+	case WorkloadAllTLS:
+		return mutate.NewPipeline(mutate.SetProtocol(trace.TLS)).Reader(base), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown workload %q", w)
+}
+
+// Fig11Row is one point of Figure 11: server CPU at a TCP timeout.
+type Fig11Row struct {
+	Workload Workload
+	Timeout  time.Duration
+	CPU      metrics.Summary // percent of all cores
+}
+
+// String renders the point.
+func (r Fig11Row) String() string {
+	return fmt.Sprintf("%-16s timeout=%-4v cpu median=%.1f%% p25=%.1f%% p75=%.1f%%",
+		r.Workload, r.Timeout, r.CPU.P50, r.CPU.P25, r.CPU.P75)
+}
+
+// Fig11CPU sweeps the connection timeout for the three workloads.
+func Fig11CPU(sc SimScale, timeouts []time.Duration) ([]Fig11Row, error) {
+	var rows []Fig11Row
+	for _, w := range []Workload{WorkloadOriginal, WorkloadAllTCP, WorkloadAllTLS} {
+		for _, to := range timeouts {
+			in, err := workloadReader(sc, w)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sysmodel.Simulate(in, sysmodel.Config{
+				RTT: time.Millisecond, IdleTimeout: to, SampleEvery: 10 * time.Second,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig11Row{
+				Workload: w, Timeout: to,
+				CPU: res.CPUPercent.SteadyState(30 * time.Second),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FootprintRow is one timeout's steady-state server footprint
+// (Figures 13 and 14: memory, established, TIME_WAIT).
+type FootprintRow struct {
+	Workload    Workload
+	Timeout     time.Duration
+	MemoryGB    metrics.Summary
+	Established metrics.Summary
+	TimeWait    metrics.Summary
+	// Series retains the raw curves for time-axis plots.
+	MemorySeries, EstablishedSeries, TimeWaitSeries *metrics.TimeSeries
+}
+
+// String renders the steady-state row.
+func (r FootprintRow) String() string {
+	return fmt.Sprintf("%-16s timeout=%-4v mem=%.2fGB established=%.0f time_wait=%.0f",
+		r.Workload, r.Timeout, r.MemoryGB.P50, r.Established.P50, r.TimeWait.P50)
+}
+
+// FigFootprint sweeps connection timeouts for one workload, producing the
+// Figure 13 (TCP) or Figure 14 (TLS) panels.
+func FigFootprint(sc SimScale, w Workload, timeouts []time.Duration) ([]FootprintRow, error) {
+	var rows []FootprintRow
+	for _, to := range timeouts {
+		in, err := workloadReader(sc, w)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sysmodel.Simulate(in, sysmodel.Config{
+			RTT: time.Millisecond, IdleTimeout: to, SampleEvery: 10 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		warm := 30 * time.Second
+		memGB := metrics.Summary{}
+		{
+			raw := res.Memory.SteadyState(warm)
+			memGB = raw
+			memGB.Min /= 1 << 30
+			memGB.Max /= 1 << 30
+			memGB.P5 /= 1 << 30
+			memGB.P25 /= 1 << 30
+			memGB.P50 /= 1 << 30
+			memGB.P75 /= 1 << 30
+			memGB.P95 /= 1 << 30
+			memGB.Mean /= 1 << 30
+			memGB.Std /= 1 << 30
+		}
+		rows = append(rows, FootprintRow{
+			Workload: w, Timeout: to,
+			MemoryGB:          memGB,
+			Established:       res.Established.SteadyState(warm),
+			TimeWait:          res.TimeWait.SteadyState(warm),
+			MemorySeries:      res.Memory,
+			EstablishedSeries: res.Established,
+			TimeWaitSeries:    res.TimeWait,
+		})
+	}
+	return rows, nil
+}
+
+// LatencyRow is one (workload, RTT) cell of Figure 15.
+type LatencyRow struct {
+	Workload Workload
+	RTT      time.Duration
+	// All summarizes latency over all clients (Figure 15a); NonBusy over
+	// clients sending < 250 queries (Figure 15b). Units: seconds.
+	All     metrics.Summary
+	NonBusy metrics.Summary
+}
+
+// String renders both panels' medians in milliseconds and RTT units.
+func (r LatencyRow) String() string {
+	inRTT := func(s float64) float64 {
+		if r.RTT <= 0 {
+			return 0
+		}
+		return s / r.RTT.Seconds()
+	}
+	return fmt.Sprintf("%-16s rtt=%-5v all: p50=%6.1fms (%.1f RTT) p75=%6.1fms | non-busy: p50=%6.1fms (%.1f RTT) p75=%6.1fms",
+		r.Workload, r.RTT,
+		r.All.P50*1000, inRTT(r.All.P50), r.All.P75*1000,
+		r.NonBusy.P50*1000, inRTT(r.NonBusy.P50), r.NonBusy.P75*1000)
+}
+
+// NonBusyThreshold is the paper's Figure 15b client cutoff.
+const NonBusyThreshold = 250
+
+// Fig15Latency sweeps client RTT for the three workloads with a 20 s
+// connection timeout, reporting latency over all clients and over
+// non-busy clients.
+func Fig15Latency(sc SimScale, rtts []time.Duration) ([]LatencyRow, error) {
+	var rows []LatencyRow
+	for _, w := range []Workload{WorkloadOriginal, WorkloadAllTCP, WorkloadAllTLS} {
+		for _, rtt := range rtts {
+			in, err := workloadReader(sc, w)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sysmodel.Simulate(in, sysmodel.Config{
+				RTT: rtt, IdleTimeout: 20 * time.Second,
+				Nagle: true, KeepLatencies: true,
+				TLSComputeLatency: 2 * time.Millisecond,
+				SampleEvery:       30 * time.Second,
+			})
+			if err != nil {
+				return nil, err
+			}
+			all := make([]float64, len(res.Latencies))
+			for i, s := range res.Latencies {
+				all[i] = s.Seconds
+			}
+			nonBusy := sysmodel.FilterLatencies(res, func(c int) bool { return c < NonBusyThreshold })
+			rows = append(rows, LatencyRow{
+				Workload: w, RTT: rtt,
+				All:     metrics.Summarize(all),
+				NonBusy: metrics.Summarize(nonBusy),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ClientLoadResult is Figure 15c: the distribution of query load per
+// client.
+type ClientLoadResult struct {
+	CDF *metrics.CDF
+	// Top1PctShare is the load fraction from the busiest 1% of clients
+	// (paper: ~3/4); InactiveShare is the fraction of clients sending
+	// <10 queries (paper: ~81%).
+	Top1PctShare  float64
+	InactiveShare float64
+}
+
+// String renders the Figure 15c headline.
+func (r ClientLoadResult) String() string {
+	return fmt.Sprintf("clients=%d: top 1%% of clients carry %.1f%% of load; %.1f%% of clients send <10 queries",
+		r.CDF.N(), r.Top1PctShare*100, r.InactiveShare*100)
+}
+
+// Fig15cClientLoad computes the per-client load distribution of the
+// B-Root-like trace.
+func Fig15cClientLoad(sc SimScale) (*ClientLoadResult, error) {
+	in, err := brootSim(sc, 0.03, 0.723)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sysmodel.Simulate(in, sysmodel.Config{RTT: time.Millisecond, SampleEvery: time.Minute})
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, 0, len(res.PerClientCount))
+	total := 0
+	for _, c := range res.PerClientCount {
+		counts = append(counts, c)
+		total += c
+	}
+	// Top-1% share.
+	sortDesc(counts)
+	top := len(counts) / 100
+	if top == 0 {
+		top = 1
+	}
+	topLoad := 0
+	for _, c := range counts[:top] {
+		topLoad += c
+	}
+	inactive := 0
+	for _, c := range counts {
+		if c < 10 {
+			inactive++
+		}
+	}
+	out := &ClientLoadResult{CDF: sysmodel.ClientLoadCDF(res)}
+	if total > 0 {
+		out.Top1PctShare = float64(topLoad) / float64(total)
+	}
+	if len(counts) > 0 {
+		out.InactiveShare = float64(inactive) / float64(len(counts))
+	}
+	return out, nil
+}
+
+func sortDesc(s []int) {
+	sort.Sort(sort.Reverse(sort.IntSlice(s)))
+}

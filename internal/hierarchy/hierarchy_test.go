@@ -1,0 +1,166 @@
+package hierarchy
+
+import (
+	"context"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"ldplayer/internal/authserver"
+	"ldplayer/internal/dnssec"
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/resolver"
+	"ldplayer/internal/zone"
+)
+
+func TestBuildBasicStructure(t *testing.T) {
+	h, err := Build([]string{"example.com.", "foo.org.", "bar.com."}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.TLDs) != 2 {
+		t.Errorf("TLDs = %d", len(h.TLDs))
+	}
+	if len(h.SLDs) != 3 {
+		t.Errorf("SLDs = %d", len(h.SLDs))
+	}
+	if errs := h.Validate(); len(errs) != 0 {
+		t.Errorf("validation: %v", errs)
+	}
+	if n := len(h.NSAddrs["."]); n != 26 { // 13 dual-stack root servers
+		t.Errorf("root server addresses = %d, want 26", n)
+	}
+	// Root delegates com with glue.
+	res := h.Root.Lookup("www.example.com.", dnswire.TypeA, zone.LookupOptions{})
+	if res.Kind != zone.Referral || len(res.Additional) == 0 {
+		t.Errorf("root lookup: %v %v", res.Kind, res.Additional)
+	}
+	// com delegates example.com.
+	res = h.TLDs["com."].Lookup("www.example.com.", dnswire.TypeA, zone.LookupOptions{})
+	if res.Kind != zone.Referral {
+		t.Errorf("com lookup kind = %v", res.Kind)
+	}
+	// The SLD answers.
+	res = h.SLDs["example.com."].Lookup("www.example.com.", dnswire.TypeA, zone.LookupOptions{})
+	if res.Kind != zone.Answer {
+		t.Errorf("sld lookup kind = %v", res.Kind)
+	}
+	// Wildcard content exists.
+	res = h.SLDs["example.com."].Lookup("anything.example.com.", dnswire.TypeA, zone.LookupOptions{})
+	if res.Kind != zone.Answer {
+		t.Errorf("wildcard lookup kind = %v", res.Kind)
+	}
+}
+
+func TestNSAddrsDisjoint(t *testing.T) {
+	h, err := Build([]string{"a.com.", "b.com.", "c.net."}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	for origin, addrs := range h.NSAddrs {
+		for _, a := range addrs {
+			if prev, dup := seen[a.String()]; dup {
+				t.Errorf("address %v shared by %s and %s", a, prev, origin)
+			}
+			seen[a.String()] = origin
+		}
+	}
+}
+
+func TestSignedHierarchy(t *testing.T) {
+	h, err := Build([]string{"example.com."}, Options{
+		Signed: true,
+		DNSSEC: dnssec.Config{ZSKBits: 2048},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for origin, z := range h.Zones() {
+		if len(z.RRset(origin, dnswire.TypeDNSKEY)) < 2 {
+			t.Errorf("%s: missing DNSKEYs", origin)
+		}
+	}
+	// Parents publish DS for children.
+	if len(h.Root.RRset("com.", dnswire.TypeDS)) != 1 {
+		t.Error("root lacks DS for com.")
+	}
+	if len(h.TLDs["com."].RRset("example.com.", dnswire.TypeDS)) != 1 {
+		t.Error("com. lacks DS for example.com.")
+	}
+	// A signed referral from the root carries the DS set when DO is set.
+	res := h.Root.Lookup("www.example.com.", dnswire.TypeA, zone.LookupOptions{DNSSEC: true})
+	var haveDS bool
+	for _, rr := range res.Authority {
+		if rr.Type() == dnswire.TypeDS {
+			haveDS = true
+		}
+	}
+	if !haveDS {
+		t.Errorf("signed referral lacks DS: %v", res.Authority)
+	}
+}
+
+// TestResolverWalksBuiltHierarchy resolves through the generated tree via
+// the split-horizon engine, proving Views() is a working meta-DNS config.
+func TestResolverWalksBuiltHierarchy(t *testing.T) {
+	h, err := Build([]string{"example.com.", "other.net."}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := authserver.NewEngine()
+	for _, v := range h.Views() {
+		if err := engine.AddView(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex := &engineExchanger{engine: engine}
+	r, err := resolver.New(resolver.Config{
+		Roots:     h.NSAddrs["."][:3],
+		Exchanger: ex,
+		Rand:      rand.New(rand.NewSource(5)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := r.Resolve(context.Background(), "www.example.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Upstream != 3 {
+		t.Errorf("upstream = %d, want 3", ans.Upstream)
+	}
+	if len(ans.Records) != 1 || ans.Records[0].Type() != dnswire.TypeA {
+		t.Errorf("records = %v", ans.Records)
+	}
+	ans, err = r.Resolve(context.Background(), "mail.other.net.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Records) != 1 {
+		t.Errorf("other.net records = %v", ans.Records)
+	}
+}
+
+// engineExchanger answers exchanges straight from an authserver engine,
+// passing the queried server address as the split-horizon source (the
+// proxies' transformation).
+type engineExchanger struct {
+	engine *authserver.Engine
+}
+
+func (e *engineExchanger) Exchange(ctx context.Context, server netip.AddrPort, q *dnswire.Message) (*dnswire.Message, error) {
+	wire, err := q.Pack(nil)
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.engine.Respond(wire, server.Addr(), authserver.UDP)
+	if err != nil {
+		return nil, err
+	}
+	var resp dnswire.Message
+	if err := resp.Unpack(out); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,238 @@
+package mutate
+
+import (
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/trace"
+)
+
+func entries(t *testing.T, n int) []trace.Entry {
+	t.Helper()
+	base := time.Unix(1700000000, 0)
+	out := make([]trace.Entry, n)
+	for i := range out {
+		m := dnswire.NewQuery(uint16(i+1), "example.com.", dnswire.TypeA)
+		wire, err := m.Pack(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = trace.Entry{
+			Time:     base.Add(time.Duration(i) * 100 * time.Millisecond),
+			Src:      netip.MustParseAddrPort("10.0.0.1:5353"),
+			Dst:      netip.MustParseAddrPort("198.41.0.4:53"),
+			Protocol: trace.UDP,
+			Message:  wire,
+		}
+	}
+	return out
+}
+
+func runPipeline(t *testing.T, p *Pipeline, in []trace.Entry) []trace.Entry {
+	t.Helper()
+	out, err := trace.ReadAll(p.Reader(trace.NewSliceReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func decode(t *testing.T, e trace.Entry) *dnswire.Message {
+	t.Helper()
+	var m dnswire.Message
+	if err := e.Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return &m
+}
+
+func TestSetProtocol(t *testing.T) {
+	out := runPipeline(t, NewPipeline(SetProtocol(trace.TLS)), entries(t, 5))
+	for _, e := range out {
+		if e.Protocol != trace.TLS {
+			t.Fatalf("protocol = %v", e.Protocol)
+		}
+	}
+}
+
+func TestSetProtocolFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := entries(t, 2000)
+	out := runPipeline(t, NewPipeline(SetProtocolFraction(trace.TCP, 0.03, rng)), in)
+	tcp := 0
+	for _, e := range out {
+		if e.Protocol == trace.TCP {
+			tcp++
+		}
+	}
+	frac := float64(tcp) / float64(len(out))
+	if frac < 0.015 || frac > 0.05 {
+		t.Errorf("TCP fraction = %.3f, want ~0.03", frac)
+	}
+}
+
+func TestSetDOAddsEDNS(t *testing.T) {
+	out := runPipeline(t, NewPipeline(SetDO(true)), entries(t, 3))
+	for _, e := range out {
+		m := decode(t, e)
+		if m.Edns == nil || !m.Edns.DO {
+			t.Fatalf("EDNS = %+v", m.Edns)
+		}
+		if m.Edns.UDPSize != dnswire.DefaultEDNSSize {
+			t.Errorf("UDP size = %d", m.Edns.UDPSize)
+		}
+	}
+}
+
+func TestSetDOFractionExactMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	out := runPipeline(t, NewPipeline(SetDOFraction(0.723, rng)), entries(t, 3000))
+	do := 0
+	for _, e := range out {
+		if m := decode(t, e); m.Edns != nil && m.Edns.DO {
+			do++
+		}
+	}
+	frac := float64(do) / float64(len(out))
+	if frac < 0.69 || frac > 0.76 {
+		t.Errorf("DO fraction = %.3f, want ~0.723", frac)
+	}
+}
+
+func TestPrependUniqueDistinctAndMatchable(t *testing.T) {
+	out := runPipeline(t, NewPipeline(PrependUnique("r")), entries(t, 10))
+	seen := map[string]bool{}
+	for _, e := range out {
+		m := decode(t, e)
+		name := m.Question[0].Name
+		if seen[name] {
+			t.Fatalf("duplicate tagged name %q", name)
+		}
+		seen[name] = true
+		if !strings.HasSuffix(name, ".example.com.") {
+			t.Errorf("tag destroyed suffix: %q", name)
+		}
+	}
+}
+
+func TestRewriteQueryNameAndDst(t *testing.T) {
+	dst := netip.MustParseAddrPort("127.0.0.1:5300")
+	out := runPipeline(t, NewPipeline(
+		RewriteQueryName("www.example.com."),
+		RewriteDst(dst),
+	), entries(t, 3))
+	for _, e := range out {
+		if e.Dst != dst {
+			t.Errorf("dst = %v", e.Dst)
+		}
+		if m := decode(t, e); m.Question[0].Name != "www.example.com." {
+			t.Errorf("name = %q", m.Question[0].Name)
+		}
+	}
+}
+
+func TestTimeScale(t *testing.T) {
+	in := entries(t, 5) // spaced 100ms apart
+	out := runPipeline(t, NewPipeline(TimeScale(0.5)), in)
+	for i := 1; i < len(out); i++ {
+		gap := out[i].Time.Sub(out[i-1].Time)
+		if gap != 50*time.Millisecond {
+			t.Errorf("gap %d = %v, want 50ms", i, gap)
+		}
+	}
+}
+
+func TestTimeShift(t *testing.T) {
+	in := entries(t, 2)
+	out := runPipeline(t, NewPipeline(TimeShift(time.Hour)), in)
+	if !out[0].Time.Equal(in[0].Time.Add(time.Hour)) {
+		t.Errorf("shifted time = %v", out[0].Time)
+	}
+}
+
+func TestQueriesOnlyDropsResponses(t *testing.T) {
+	in := entries(t, 4)
+	// Turn entry 1 and 3 into responses by setting QR in the raw header.
+	for _, i := range []int{1, 3} {
+		in[i].Message = append([]byte(nil), in[i].Message...)
+		in[i].Message[2] |= 0x80
+	}
+	out := runPipeline(t, NewPipeline(QueriesOnly()), in)
+	if len(out) != 2 {
+		t.Fatalf("kept %d entries, want 2", len(out))
+	}
+}
+
+func TestLimitAndSample(t *testing.T) {
+	out := runPipeline(t, NewPipeline(Limit(3)), entries(t, 10))
+	if len(out) != 3 {
+		t.Errorf("Limit kept %d", len(out))
+	}
+	rng := rand.New(rand.NewSource(5))
+	out = runPipeline(t, NewPipeline(SampleFraction(0.5, rng)), entries(t, 1000))
+	if len(out) < 400 || len(out) > 600 {
+		t.Errorf("Sample kept %d of 1000", len(out))
+	}
+}
+
+func TestPipelineDoesNotMutateInput(t *testing.T) {
+	in := entries(t, 1)
+	orig := append([]byte(nil), in[0].Message...)
+	runPipeline(t, NewPipeline(SetDO(true)), in)
+	if string(in[0].Message) != string(orig) {
+		t.Error("pipeline mutated the input buffer")
+	}
+}
+
+func TestComposedWhatIfPipeline(t *testing.T) {
+	// The full §5.2 preparation: queries only, all TCP, tagged, retargeted.
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	dst := netip.MustParseAddrPort("127.0.0.1:5300")
+	p := NewPipeline(
+		QueriesOnly(),
+		SetProtocol(trace.TCP),
+		SetDO(true),
+		PrependUnique("x"),
+		RewriteDst(dst),
+	)
+	out := runPipeline(t, p, entries(t, 20))
+	if len(out) != 20 {
+		t.Fatalf("entries = %d", len(out))
+	}
+	for _, e := range out {
+		if e.Protocol != trace.TCP || e.Dst != dst {
+			t.Errorf("entry = %+v", e)
+		}
+		m := decode(t, e)
+		if m.Edns == nil || !m.Edns.DO || !strings.HasPrefix(m.Question[0].Name, "x") {
+			t.Errorf("message = %+v", m)
+		}
+	}
+}
+
+func TestPrependUniqueRootApexQuery(t *testing.T) {
+	m := dnswire.NewQuery(1, ".", dnswire.TypeNS)
+	wire, err := m.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []trace.Entry{{
+		Time:    time.Unix(0, 0),
+		Src:     netip.MustParseAddrPort("10.0.0.1:1"),
+		Dst:     netip.MustParseAddrPort("198.41.0.4:53"),
+		Message: wire,
+	}}
+	out := runPipeline(t, NewPipeline(PrependUnique("r")), in)
+	if len(out) != 1 {
+		t.Fatalf("entries = %d", len(out))
+	}
+	got := decode(t, out[0])
+	if got.Question[0].Name != "r1." {
+		t.Errorf("tagged root query = %q, want r1.", got.Question[0].Name)
+	}
+}

@@ -1,0 +1,236 @@
+// Package netsim is an in-process virtual IP network. It stands in for the
+// DETER testbed topology, the TUN devices, and the iptables mangle rules
+// of the paper's deployment (§2.4, Figure 2): nodes own IP addresses,
+// links impose round-trip latency, and per-node egress filters divert
+// matching datagrams to proxy hooks exactly the way port-based routing
+// diverts packets to a TUN interface.
+//
+// Datagrams whose destination no node owns are dropped and counted — the
+// in-simulation equivalent of "leaked packets are non-routable and
+// dropped" — so replay bugs surface as drop counts, never as traffic to
+// the real Internet.
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Datagram is a raw UDP-like packet as a proxy would read it from a TUN
+// device: addresses, ports, and payload.
+type Datagram struct {
+	Src     netip.AddrPort
+	Dst     netip.AddrPort
+	Payload []byte
+}
+
+// String returns a tcpdump-ish one-liner for logs and tests.
+func (d Datagram) String() string {
+	return fmt.Sprintf("%v > %v: %d bytes", d.Src, d.Dst, len(d.Payload))
+}
+
+// Clone deep-copies the datagram so filters may mutate it safely.
+func (d Datagram) Clone() Datagram {
+	d.Payload = append([]byte(nil), d.Payload...)
+	return d
+}
+
+// Handler consumes datagrams delivered to a node.
+type Handler func(Datagram)
+
+// Filter inspects an egress datagram. Returning true diverts the packet
+// (it is NOT delivered); the filter owns it from then on, typically
+// rewriting addresses and re-injecting via Network.Inject. This is the
+// TUN-redirect analogue.
+type Filter func(Datagram) (diverted bool)
+
+// Network is a virtual packet network. The zero value is not usable; call
+// New.
+type Network struct {
+	mu    sync.RWMutex
+	nodes map[netip.Addr]*Node
+	// linkRTT maps unordered address pairs to their round-trip time.
+	linkRTT map[[2]netip.Addr]time.Duration
+	// defaultRTT applies to pairs without an explicit link entry.
+	defaultRTT time.Duration
+
+	dropped   atomic.Int64
+	delivered atomic.Int64
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New creates an empty network with the given default round-trip time
+// between any two nodes (0 = immediate delivery).
+func New(defaultRTT time.Duration) *Network {
+	return &Network{
+		nodes:      make(map[netip.Addr]*Node),
+		linkRTT:    make(map[[2]netip.Addr]time.Duration),
+		defaultRTT: defaultRTT,
+	}
+}
+
+// Node is an attachment point owning one or more addresses.
+type Node struct {
+	net   *Network
+	name  string
+	addrs []netip.Addr
+
+	mu      sync.RWMutex
+	handler Handler
+	filters []Filter
+}
+
+// AddNode attaches a node owning addrs. Adding an address that is already
+// owned is an error: address ownership is how routing works.
+func (n *Network) AddNode(name string, addrs ...netip.Addr) (*Node, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("netsim: node %q needs at least one address", name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, a := range addrs {
+		if _, taken := n.nodes[a]; taken {
+			return nil, fmt.Errorf("netsim: address %v already owned", a)
+		}
+	}
+	node := &Node{net: n, name: name, addrs: addrs}
+	for _, a := range addrs {
+		n.nodes[a] = node
+	}
+	return node, nil
+}
+
+// AddAddrs grants node ownership of additional addresses. The meta-DNS
+// deployment uses this to give the authoritative proxy every nameserver
+// address harvested from the trace.
+func (n *Network) AddAddrs(node *Node, addrs ...netip.Addr) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, a := range addrs {
+		if owner, taken := n.nodes[a]; taken && owner != node {
+			return fmt.Errorf("netsim: address %v already owned by %s", a, owner.name)
+		}
+	}
+	for _, a := range addrs {
+		n.nodes[a] = node
+		node.addrs = append(node.addrs, a)
+	}
+	return nil
+}
+
+// SetLinkRTT sets the round-trip time between two addresses (order
+// irrelevant), overriding the default.
+func (n *Network) SetLinkRTT(a, b netip.Addr, rtt time.Duration) {
+	k := linkKey(a, b)
+	n.mu.Lock()
+	n.linkRTT[k] = rtt
+	n.mu.Unlock()
+}
+
+func linkKey(a, b netip.Addr) [2]netip.Addr {
+	if b.Less(a) {
+		a, b = b, a
+	}
+	return [2]netip.Addr{a, b}
+}
+
+func (n *Network) rttBetween(a, b netip.Addr) time.Duration {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if rtt, ok := n.linkRTT[linkKey(a, b)]; ok {
+		return rtt
+	}
+	return n.defaultRTT
+}
+
+// Dropped returns the number of datagrams dropped for lack of a route.
+func (n *Network) Dropped() int64 { return n.dropped.Load() }
+
+// Delivered returns the number of datagrams delivered to a handler.
+func (n *Network) Delivered() int64 { return n.delivered.Load() }
+
+// Close stops accepting traffic and waits for in-flight deliveries.
+func (n *Network) Close() {
+	n.closed.Store(true)
+	n.wg.Wait()
+}
+
+// Handle installs the node's delivery handler. Datagrams arriving before a
+// handler is installed are dropped.
+func (nd *Node) Handle(h Handler) {
+	nd.mu.Lock()
+	nd.handler = h
+	nd.mu.Unlock()
+}
+
+// AddEgressFilter appends an egress filter; filters run in order and the
+// first to divert wins.
+func (nd *Node) AddEgressFilter(f Filter) {
+	nd.mu.Lock()
+	nd.filters = append(nd.filters, f)
+	nd.mu.Unlock()
+}
+
+// Name returns the node's human-readable name.
+func (nd *Node) Name() string { return nd.name }
+
+// Addrs returns the addresses the node owns.
+func (nd *Node) Addrs() []netip.Addr {
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	return append([]netip.Addr(nil), nd.addrs...)
+}
+
+// Send transmits d from the node, running egress filters first. It is the
+// analogue of a sendto(2) that iptables may divert to a TUN device.
+func (nd *Node) Send(d Datagram) {
+	nd.mu.RLock()
+	filters := nd.filters
+	nd.mu.RUnlock()
+	for _, f := range filters {
+		if f(d) {
+			return
+		}
+	}
+	nd.net.Inject(d)
+}
+
+// Inject delivers d to the owner of d.Dst, bypassing egress filters. The
+// proxies use this to re-insert rewritten packets.
+func (n *Network) Inject(d Datagram) {
+	if n.closed.Load() {
+		return
+	}
+	n.mu.RLock()
+	dst, ok := n.nodes[d.Dst.Addr()]
+	n.mu.RUnlock()
+	if !ok {
+		n.dropped.Add(1)
+		return
+	}
+	rtt := n.rttBetween(d.Src.Addr(), d.Dst.Addr())
+	n.wg.Add(1)
+	deliver := func() {
+		defer n.wg.Done()
+		dst.mu.RLock()
+		h := dst.handler
+		dst.mu.RUnlock()
+		if h == nil {
+			n.dropped.Add(1)
+			return
+		}
+		n.delivered.Add(1)
+		h(d)
+	}
+	if rtt <= 0 {
+		go deliver()
+		return
+	}
+	// One-way latency is half the round trip.
+	time.AfterFunc(rtt/2, deliver)
+}

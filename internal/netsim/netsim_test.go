@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ap(s string) netip.AddrPort { return netip.MustParseAddrPort(s) }
+
+func TestDeliveryByAddressOwnership(t *testing.T) {
+	n := New(0)
+	defer n.Close()
+	a, err := n.AddNode("a", netip.MustParseAddr("10.0.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AddNode("b", netip.MustParseAddr("10.0.0.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Datagram, 1)
+	b.Handle(func(d Datagram) { got <- d })
+	a.Send(Datagram{Src: ap("10.0.0.1:1000"), Dst: ap("10.0.0.2:53"), Payload: []byte("q")})
+	select {
+	case d := <-got:
+		if string(d.Payload) != "q" {
+			t.Errorf("payload = %q", d.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("datagram not delivered")
+	}
+}
+
+func TestUnroutableDropped(t *testing.T) {
+	n := New(0)
+	defer n.Close()
+	a, _ := n.AddNode("a", netip.MustParseAddr("10.0.0.1"))
+	a.Send(Datagram{Src: ap("10.0.0.1:1000"), Dst: ap("192.0.2.99:53"), Payload: []byte("leak")})
+	n.Close()
+	if n.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", n.Dropped())
+	}
+	if n.Delivered() != 0 {
+		t.Errorf("delivered = %d, want 0", n.Delivered())
+	}
+}
+
+func TestEgressFilterDiverts(t *testing.T) {
+	n := New(0)
+	defer n.Close()
+	a, _ := n.AddNode("a", netip.MustParseAddr("10.0.0.1"))
+	b, _ := n.AddNode("b", netip.MustParseAddr("10.0.0.2"))
+	delivered := make(chan Datagram, 1)
+	b.Handle(func(d Datagram) { delivered <- d })
+
+	diverted := make(chan Datagram, 1)
+	// Divert port-53 traffic like the recursive TUN rule; let others pass.
+	a.AddEgressFilter(func(d Datagram) bool {
+		if d.Dst.Port() == 53 {
+			diverted <- d
+			return true
+		}
+		return false
+	})
+
+	a.Send(Datagram{Src: ap("10.0.0.1:1000"), Dst: ap("10.0.0.2:53"), Payload: []byte("dns")})
+	select {
+	case <-diverted:
+	case <-time.After(time.Second):
+		t.Fatal("port-53 packet not diverted")
+	}
+	a.Send(Datagram{Src: ap("10.0.0.1:1000"), Dst: ap("10.0.0.2:80"), Payload: []byte("web")})
+	select {
+	case d := <-delivered:
+		if d.Dst.Port() != 80 {
+			t.Errorf("wrong packet delivered: %v", d)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("port-80 packet not delivered")
+	}
+}
+
+func TestInjectBypassesFilters(t *testing.T) {
+	n := New(0)
+	defer n.Close()
+	a, _ := n.AddNode("a", netip.MustParseAddr("10.0.0.1"))
+	b, _ := n.AddNode("b", netip.MustParseAddr("10.0.0.2"))
+	_ = a
+	got := make(chan Datagram, 1)
+	b.Handle(func(d Datagram) { got <- d })
+	n.Inject(Datagram{Src: ap("198.51.100.7:53"), Dst: ap("10.0.0.2:4444"), Payload: []byte("rewritten")})
+	select {
+	case d := <-got:
+		if d.Src.Addr() != netip.MustParseAddr("198.51.100.7") {
+			t.Errorf("src = %v", d.Src)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("injected datagram lost")
+	}
+}
+
+func TestLinkRTTDelaysDelivery(t *testing.T) {
+	n := New(0)
+	defer n.Close()
+	a, _ := n.AddNode("a", netip.MustParseAddr("10.0.0.1"))
+	b, _ := n.AddNode("b", netip.MustParseAddr("10.0.0.2"))
+	const rtt = 60 * time.Millisecond
+	n.SetLinkRTT(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"), rtt)
+	got := make(chan time.Time, 1)
+	b.Handle(func(Datagram) { got <- time.Now() })
+	start := time.Now()
+	a.Send(Datagram{Src: ap("10.0.0.1:1"), Dst: ap("10.0.0.2:53"), Payload: []byte("x")})
+	select {
+	case at := <-got:
+		oneWay := at.Sub(start)
+		if oneWay < rtt/2-5*time.Millisecond {
+			t.Errorf("delivered after %v, want >= %v", oneWay, rtt/2)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("datagram not delivered")
+	}
+}
+
+func TestMultiAddressNode(t *testing.T) {
+	n := New(0)
+	defer n.Close()
+	a, _ := n.AddNode("client", netip.MustParseAddr("10.0.0.1"))
+	meta, err := n.AddNode("meta", netip.MustParseAddr("198.41.0.4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddAddrs(meta, netip.MustParseAddr("192.5.6.30"), netip.MustParseAddr("216.239.32.10")); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := map[netip.Addr]int{}
+	done := make(chan struct{}, 3)
+	meta.Handle(func(d Datagram) {
+		mu.Lock()
+		seen[d.Dst.Addr()]++
+		mu.Unlock()
+		done <- struct{}{}
+	})
+	for _, dst := range []string{"198.41.0.4:53", "192.5.6.30:53", "216.239.32.10:53"} {
+		a.Send(Datagram{Src: ap("10.0.0.1:999"), Dst: ap(dst), Payload: []byte("q")})
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			t.Fatal("missing delivery")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 {
+		t.Errorf("addresses seen = %v", seen)
+	}
+}
+
+func TestDuplicateAddressRejected(t *testing.T) {
+	n := New(0)
+	defer n.Close()
+	if _, err := n.AddNode("a", netip.MustParseAddr("10.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddNode("b", netip.MustParseAddr("10.0.0.1")); err == nil {
+		t.Error("duplicate address accepted")
+	}
+	if _, err := n.AddNode("c"); err == nil {
+		t.Error("node with no addresses accepted")
+	}
+}
+
+func TestCloseStopsTraffic(t *testing.T) {
+	n := New(0)
+	a, _ := n.AddNode("a", netip.MustParseAddr("10.0.0.1"))
+	b, _ := n.AddNode("b", netip.MustParseAddr("10.0.0.2"))
+	got := make(chan Datagram, 16)
+	b.Handle(func(d Datagram) { got <- d })
+	n.Close()
+	a.Send(Datagram{Src: ap("10.0.0.1:1"), Dst: ap("10.0.0.2:53"), Payload: []byte("late")})
+	select {
+	case <-got:
+		t.Error("datagram delivered after Close")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestDatagramClone(t *testing.T) {
+	d := Datagram{Src: ap("10.0.0.1:1"), Dst: ap("10.0.0.2:2"), Payload: []byte{1, 2, 3}}
+	c := d.Clone()
+	c.Payload[0] = 9
+	if d.Payload[0] != 1 {
+		t.Error("Clone shares payload")
+	}
+}

@@ -1,0 +1,97 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickDeliveryConservation: for any burst of datagrams from many
+// concurrent senders, delivered + dropped == sent, and every datagram to
+// an owned address with a handler is delivered intact.
+func TestQuickDeliveryConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := New(0)
+		defer n.Close()
+
+		nNodes := 2 + rng.Intn(5)
+		nodes := make([]*Node, nNodes)
+		var received atomic.Int64
+		var payloadSum atomic.Int64
+		for i := range nodes {
+			node, err := n.AddNode(fmt.Sprintf("n%d", i), netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)}))
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			node.Handle(func(d Datagram) {
+				received.Add(1)
+				if len(d.Payload) > 0 {
+					payloadSum.Add(int64(d.Payload[0]))
+				}
+			})
+			nodes[i] = node
+		}
+
+		total := 20 + rng.Intn(100)
+		toOwned := 0
+		var wantSum int64
+		var wg sync.WaitGroup
+		for i := 0; i < total; i++ {
+			src := nodes[rng.Intn(nNodes)]
+			var dst netip.Addr
+			owned := rng.Intn(4) != 0
+			if owned {
+				dst = netip.AddrFrom4([4]byte{10, 0, 0, byte(1 + rng.Intn(nNodes))})
+				toOwned++
+			} else {
+				dst = netip.AddrFrom4([4]byte{192, 0, 2, byte(rng.Intn(256))})
+			}
+			b := byte(rng.Intn(256))
+			if owned {
+				wantSum += int64(b)
+			}
+			wg.Add(1)
+			go func(src *Node, dst netip.Addr, b byte) {
+				defer wg.Done()
+				src.Send(Datagram{
+					Src:     netip.AddrPortFrom(src.Addrs()[0], 1000),
+					Dst:     netip.AddrPortFrom(dst, 53),
+					Payload: []byte{b},
+				})
+			}(src, dst, b)
+		}
+		wg.Wait()
+		// Wait for async deliveries to land.
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if n.Delivered()+n.Dropped() == int64(total) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if n.Delivered() != int64(toOwned) {
+			t.Logf("delivered %d, want %d", n.Delivered(), toOwned)
+			return false
+		}
+		if n.Dropped() != int64(total-toOwned) {
+			t.Logf("dropped %d, want %d", n.Dropped(), total-toOwned)
+			return false
+		}
+		if received.Load() != int64(toOwned) || payloadSum.Load() != wantSum {
+			t.Logf("handler saw %d (sum %d), want %d (sum %d)",
+				received.Load(), payloadSum.Load(), toOwned, wantSum)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,281 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/trace"
+)
+
+// DNS extraction: the "DNS parser" stage of the trace mutator (Figure 3).
+// UDP payloads on port 53 are taken verbatim; TCP flows on ports 53/853
+// are reassembled in order and carved on the RFC 1035 two-octet framing.
+
+// flowKey identifies one direction of a TCP flow.
+type flowKey struct {
+	src, dst netip.AddrPort
+}
+
+// flowState is the in-order reassembly buffer for one TCP direction.
+type flowState struct {
+	nextSeq  uint32
+	synSeen  bool
+	buf      []byte
+	lastSeen time.Time
+}
+
+// Extractor converts raw packets into trace entries.
+type Extractor struct {
+	flows map[flowKey]*flowState
+	// OutOfOrder counts TCP segments dropped because they were not the
+	// next expected sequence number (the extractor reassembles in-order
+	// flows only, which covers testbed captures).
+	OutOfOrder int64
+	// NonDNS counts packets skipped for not being DNS traffic.
+	NonDNS int64
+}
+
+// NewExtractor creates an Extractor.
+func NewExtractor() *Extractor {
+	return &Extractor{flows: make(map[flowKey]*flowState)}
+}
+
+// maxFlowBuffer bounds a single direction's pending bytes so a broken
+// capture cannot balloon memory.
+const maxFlowBuffer = 1 << 20
+
+// Packet processes one captured packet and returns any complete DNS
+// messages it yields (zero or more: a TCP segment can complete several).
+func (x *Extractor) Packet(linkType uint32, info PacketInfo, data []byte) ([]trace.Entry, error) {
+	payload := data
+	var etherType uint16
+	switch linkType {
+	case LinkTypeEthernet:
+		var eth Ethernet
+		var err error
+		payload, err = eth.DecodeFromBytes(data)
+		if err != nil {
+			return nil, err
+		}
+		etherType = eth.EtherType
+	case LinkTypeRaw:
+		if len(data) == 0 {
+			return nil, errShortPacket
+		}
+		switch data[0] >> 4 {
+		case 4:
+			etherType = EtherTypeIPv4
+		case 6:
+			etherType = EtherTypeIPv6
+		default:
+			return nil, fmt.Errorf("pcap: unknown IP version %d", data[0]>>4)
+		}
+	default:
+		return nil, fmt.Errorf("pcap: unsupported link type %d", linkType)
+	}
+
+	var srcAddr, dstAddr netip.Addr
+	var ipProto uint8
+	switch etherType {
+	case EtherTypeIPv4:
+		var ip IPv4
+		var err error
+		payload, err = ip.DecodeFromBytes(payload)
+		if err != nil {
+			return nil, err
+		}
+		srcAddr, dstAddr, ipProto = ip.Src, ip.Dst, ip.Protocol
+	case EtherTypeIPv6:
+		var ip IPv6
+		var err error
+		payload, err = ip.DecodeFromBytes(payload)
+		if err != nil {
+			return nil, err
+		}
+		srcAddr, dstAddr, ipProto = ip.Src, ip.Dst, ip.NextHeader
+	default:
+		x.NonDNS++
+		return nil, nil
+	}
+
+	switch ipProto {
+	case IPProtoUDP:
+		var udp UDP
+		dns, err := udp.DecodeFromBytes(payload)
+		if err != nil {
+			return nil, err
+		}
+		if udp.SrcPort != 53 && udp.DstPort != 53 {
+			x.NonDNS++
+			return nil, nil
+		}
+		if len(dns) < 12 {
+			return nil, nil
+		}
+		return []trace.Entry{{
+			Time:     info.Timestamp,
+			Src:      netip.AddrPortFrom(srcAddr, udp.SrcPort),
+			Dst:      netip.AddrPortFrom(dstAddr, udp.DstPort),
+			Protocol: trace.UDP,
+			Message:  append([]byte(nil), dns...),
+		}}, nil
+	case IPProtoTCP:
+		var tcp TCP
+		seg, err := tcp.DecodeFromBytes(payload)
+		if err != nil {
+			return nil, err
+		}
+		proto := trace.TCP
+		switch {
+		case tcp.SrcPort == 853 || tcp.DstPort == 853:
+			proto = trace.TLS
+		case tcp.SrcPort == 53 || tcp.DstPort == 53:
+		default:
+			x.NonDNS++
+			return nil, nil
+		}
+		return x.tcpSegment(info, srcAddr, dstAddr, tcp, seg, proto), nil
+	default:
+		x.NonDNS++
+		return nil, nil
+	}
+}
+
+// tcpSegment feeds one segment into its flow's reassembly buffer and
+// carves complete length-prefixed messages.
+func (x *Extractor) tcpSegment(info PacketInfo, srcAddr, dstAddr netip.Addr, tcp TCP, seg []byte, proto trace.Protocol) []trace.Entry {
+	key := flowKey{
+		src: netip.AddrPortFrom(srcAddr, tcp.SrcPort),
+		dst: netip.AddrPortFrom(dstAddr, tcp.DstPort),
+	}
+	st := x.flows[key]
+	if tcp.SYN {
+		st = &flowState{nextSeq: tcp.Seq + 1, synSeen: true}
+		x.flows[key] = st
+		return nil
+	}
+	if tcp.FIN || tcp.RST {
+		delete(x.flows, key)
+		return nil
+	}
+	if len(seg) == 0 {
+		return nil
+	}
+	if st == nil {
+		// Mid-flow capture: accept the segment as the start of the stream.
+		st = &flowState{nextSeq: tcp.Seq}
+		x.flows[key] = st
+	}
+	if tcp.Seq != st.nextSeq {
+		x.OutOfOrder++
+		return nil
+	}
+	st.nextSeq += uint32(len(seg))
+	st.buf = append(st.buf, seg...)
+	st.lastSeen = info.Timestamp
+	if len(st.buf) > maxFlowBuffer {
+		delete(x.flows, key)
+		return nil
+	}
+
+	var out []trace.Entry
+	for len(st.buf) >= 2 {
+		n := int(binary.BigEndian.Uint16(st.buf))
+		if n == 0 {
+			delete(x.flows, key)
+			break
+		}
+		if len(st.buf) < 2+n {
+			break
+		}
+		msg := append([]byte(nil), st.buf[2:2+n]...)
+		st.buf = st.buf[2+n:]
+		if len(msg) >= 12 {
+			out = append(out, trace.Entry{
+				Time:     info.Timestamp,
+				Src:      key.src,
+				Dst:      key.dst,
+				Protocol: proto,
+				Message:  msg,
+			})
+		}
+	}
+	return out
+}
+
+// TraceReader adapts a pcap stream into a trace.Reader of DNS entries.
+type TraceReader struct {
+	pr      *Reader
+	x       *Extractor
+	pending []trace.Entry
+}
+
+// NewTraceReader wraps a pcap stream.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	pr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceReader{pr: pr, x: NewExtractor()}, nil
+}
+
+// Next implements trace.Reader, skipping non-DNS and undecodable packets.
+func (tr *TraceReader) Next() (trace.Entry, error) {
+	for {
+		if len(tr.pending) > 0 {
+			e := tr.pending[0]
+			tr.pending = tr.pending[1:]
+			return e, nil
+		}
+		info, data, err := tr.pr.Next()
+		if err != nil {
+			return trace.Entry{}, err
+		}
+		entries, err := tr.x.Packet(tr.pr.LinkType, info, data)
+		if err != nil {
+			continue // tolerate undecodable packets in real captures
+		}
+		tr.pending = entries
+	}
+}
+
+// WriteDNSPcap writes entries as an Ethernet/IPv4/UDP (or TCP) pcap file:
+// the inverse pipeline, used to build fixtures and to interoperate with
+// standard tools. TCP entries are emitted as one self-contained segment
+// per message with correct sequence progression per flow.
+func WriteDNSPcap(w io.Writer, entries []trace.Entry) error {
+	pw := NewWriter(w, LinkTypeEthernet)
+	seqs := make(map[flowKey]uint32)
+	for _, e := range entries {
+		var pkt []byte
+		eth := Ethernet{EtherType: EtherTypeIPv4}
+		pkt = eth.AppendTo(pkt)
+		switch e.Protocol {
+		case trace.UDP:
+			ip := IPv4{Protocol: IPProtoUDP, Src: e.Src.Addr(), Dst: e.Dst.Addr()}
+			pkt = ip.AppendTo(pkt, 8+len(e.Message))
+			udp := UDP{SrcPort: e.Src.Port(), DstPort: e.Dst.Port()}
+			pkt = udp.AppendTo(pkt, len(e.Message))
+			pkt = append(pkt, e.Message...)
+		default: // TCP and TLS share TCP framing on the wire
+			key := flowKey{src: e.Src, dst: e.Dst}
+			seq := seqs[key]
+			framed := make([]byte, 2+len(e.Message))
+			binary.BigEndian.PutUint16(framed, uint16(len(e.Message)))
+			copy(framed[2:], e.Message)
+			ip := IPv4{Protocol: IPProtoTCP, Src: e.Src.Addr(), Dst: e.Dst.Addr()}
+			pkt = ip.AppendTo(pkt, 20+len(framed))
+			tcp := TCP{SrcPort: e.Src.Port(), DstPort: e.Dst.Port(), Seq: seq, ACK: true}
+			pkt = tcp.AppendTo(pkt)
+			pkt = append(pkt, framed...)
+			seqs[key] = seq + uint32(len(framed))
+		}
+		if err := pw.WritePacket(e.Time, pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}

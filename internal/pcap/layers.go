@@ -1,0 +1,210 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Protocol layer decoding in the gopacket DecodingLayer style: each layer
+// is a value struct with DecodeFromBytes filling its fields and returning
+// the payload slice, so a full decode chain allocates nothing.
+
+// Ethernet header fields LDplayer cares about.
+type Ethernet struct {
+	EtherType uint16
+}
+
+// EtherTypes.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeIPv6 uint16 = 0x86DD
+)
+
+var errShortPacket = errors.New("pcap: packet too short")
+
+// DecodeFromBytes parses an Ethernet II header and returns its payload.
+func (e *Ethernet) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 14 {
+		return nil, errShortPacket
+	}
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	return data[14:], nil
+}
+
+// AppendTo serializes the header with zero MAC addresses (testbed traffic
+// has no meaningful L2 identity).
+func (e *Ethernet) AppendTo(buf []byte) []byte {
+	var hdr [14]byte
+	binary.BigEndian.PutUint16(hdr[12:14], e.EtherType)
+	return append(buf, hdr[:]...)
+}
+
+// IPProto values.
+const (
+	IPProtoTCP uint8 = 6
+	IPProtoUDP uint8 = 17
+)
+
+// IPv4 header fields.
+type IPv4 struct {
+	Protocol uint8
+	Src, Dst netip.Addr
+	// TotalLen is the IP total length, needed to strip Ethernet padding.
+	TotalLen int
+}
+
+// DecodeFromBytes parses an IPv4 header and returns its payload with any
+// link-layer padding removed.
+func (ip *IPv4) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 20 {
+		return nil, errShortPacket
+	}
+	if data[0]>>4 != 4 {
+		return nil, fmt.Errorf("pcap: not IPv4 (version %d)", data[0]>>4)
+	}
+	ihl := int(data[0]&0x0F) * 4
+	if ihl < 20 || len(data) < ihl {
+		return nil, errShortPacket
+	}
+	ip.TotalLen = int(binary.BigEndian.Uint16(data[2:4]))
+	if ip.TotalLen < ihl || ip.TotalLen > len(data) {
+		ip.TotalLen = len(data) // tolerate truncated captures
+	}
+	ip.Protocol = data[9]
+	ip.Src = netip.AddrFrom4([4]byte(data[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(data[16:20]))
+	return data[ihl:ip.TotalLen], nil
+}
+
+// AppendTo serializes a minimal IPv4 header for payloadLen payload bytes.
+func (ip *IPv4) AppendTo(buf []byte, payloadLen int) []byte {
+	var hdr [20]byte
+	hdr[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(20+payloadLen))
+	hdr[8] = 64 // TTL
+	hdr[9] = ip.Protocol
+	src, dst := ip.Src.As4(), ip.Dst.As4()
+	copy(hdr[12:16], src[:])
+	copy(hdr[16:20], dst[:])
+	binary.BigEndian.PutUint16(hdr[10:12], ipChecksum(hdr[:]))
+	return append(buf, hdr[:]...)
+}
+
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// IPv6 header fields (no extension-header support; DNS traces do not use
+// them in practice).
+type IPv6 struct {
+	NextHeader uint8
+	Src, Dst   netip.Addr
+}
+
+// DecodeFromBytes parses an IPv6 fixed header and returns its payload.
+func (ip *IPv6) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 40 {
+		return nil, errShortPacket
+	}
+	if data[0]>>4 != 6 {
+		return nil, fmt.Errorf("pcap: not IPv6 (version %d)", data[0]>>4)
+	}
+	payloadLen := int(binary.BigEndian.Uint16(data[4:6]))
+	ip.NextHeader = data[6]
+	ip.Src = netip.AddrFrom16([16]byte(data[8:24]))
+	ip.Dst = netip.AddrFrom16([16]byte(data[24:40]))
+	end := 40 + payloadLen
+	if end > len(data) {
+		end = len(data)
+	}
+	return data[40:end], nil
+}
+
+// UDP header fields.
+type UDP struct {
+	SrcPort, DstPort uint16
+}
+
+// DecodeFromBytes parses a UDP header and returns its payload.
+func (u *UDP) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 8 {
+		return nil, errShortPacket
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	ulen := int(binary.BigEndian.Uint16(data[4:6]))
+	if ulen < 8 || ulen > len(data) {
+		ulen = len(data)
+	}
+	return data[8:ulen], nil
+}
+
+// AppendTo serializes a UDP header (checksum 0 = unset, legal for IPv4).
+func (u *UDP) AppendTo(buf []byte, payloadLen int) []byte {
+	var hdr [8]byte
+	binary.BigEndian.PutUint16(hdr[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(8+payloadLen))
+	return append(buf, hdr[:]...)
+}
+
+// TCP header fields.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq              uint32
+	SYN, FIN, RST    bool
+	ACK              bool
+}
+
+// DecodeFromBytes parses a TCP header and returns its payload.
+func (t *TCP) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < 20 {
+		return nil, errShortPacket
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	off := int(data[12]>>4) * 4
+	if off < 20 || len(data) < off {
+		return nil, errShortPacket
+	}
+	flags := data[13]
+	t.FIN = flags&0x01 != 0
+	t.SYN = flags&0x02 != 0
+	t.RST = flags&0x04 != 0
+	t.ACK = flags&0x10 != 0
+	return data[off:], nil
+}
+
+// AppendTo serializes a minimal TCP header (no options).
+func (t *TCP) AppendTo(buf []byte) []byte {
+	var hdr [20]byte
+	binary.BigEndian.PutUint16(hdr[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(hdr[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(hdr[4:8], t.Seq)
+	hdr[12] = 5 << 4
+	var flags byte
+	if t.FIN {
+		flags |= 0x01
+	}
+	if t.SYN {
+		flags |= 0x02
+	}
+	if t.RST {
+		flags |= 0x04
+	}
+	if t.ACK {
+		flags |= 0x10
+	}
+	hdr[13] = flags
+	return append(buf, hdr[:]...)
+}

@@ -1,0 +1,148 @@
+// Package proxy implements the server proxies of §2.4 (Figure 2). Both the
+// recursive proxy and the authoritative proxy perform the same address
+// transformation on every captured packet:
+//
+//	src address ← original destination address (the OQDA rule)
+//	dst address ← the configured peer (the server at the other end)
+//
+// with ports preserved positionally. Applied at the recursive side to all
+// queries (destination port 53) this makes the query's original
+// destination — the public nameserver address, the only zone identifier —
+// arrive as the *source* the meta-DNS-server's split-horizon views match
+// on. Applied at the authoritative side to all responses (source port 53)
+// it restores a reply that appears to come from the address the recursive
+// queried, so the recursive accepts it without knowing any manipulation
+// happened.
+//
+// The paper reads packets from a TUN device with one reader thread and a
+// pool of rewrite workers; here the TUN is a netsim egress filter and the
+// pool is a channel-fed goroutine group.
+package proxy
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"ldplayer/internal/netsim"
+)
+
+// Rewrite applies the OQDA transformation toward peer.
+func Rewrite(d netsim.Datagram, peer netip.Addr) netsim.Datagram {
+	return netsim.Datagram{
+		Src:     netip.AddrPortFrom(d.Dst.Addr(), d.Src.Port()),
+		Dst:     netip.AddrPortFrom(peer, d.Dst.Port()),
+		Payload: d.Payload,
+	}
+}
+
+// Direction selects which packets a proxy captures.
+type Direction int
+
+// Capture directions.
+const (
+	// CaptureQueries diverts packets with destination port 53 (the
+	// recursive proxy's iptables rule).
+	CaptureQueries Direction = iota
+	// CaptureResponses diverts packets with source port 53 (the
+	// authoritative proxy's rule).
+	CaptureResponses
+)
+
+// Stats counts proxy activity.
+type Stats struct {
+	Captured  int64
+	Forwarded int64
+}
+
+// Proxy captures matching egress packets on a node, rewrites them, and
+// re-injects them toward the peer. Close drains the worker pool.
+type Proxy struct {
+	dir     Direction
+	peer    netip.Addr
+	network *netsim.Network
+
+	queue chan netsim.Datagram
+	wg    sync.WaitGroup
+
+	captured  atomic.Int64
+	forwarded atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// Options configures a Proxy.
+type Options struct {
+	// Workers is the rewrite worker-pool size; it mirrors the paper's
+	// multi-threaded proxy. Default 4.
+	Workers int
+	// QueueDepth bounds the reader-to-worker queue. Default 1024.
+	QueueDepth int
+}
+
+// Attach creates a proxy capturing dir packets leaving node, rewriting
+// them toward peer, and re-injecting them into network.
+func Attach(node *netsim.Node, network *netsim.Network, dir Direction, peer netip.Addr, opts Options) *Proxy {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 1024
+	}
+	p := &Proxy{
+		dir:     dir,
+		peer:    peer,
+		network: network,
+		queue:   make(chan netsim.Datagram, opts.QueueDepth),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	node.AddEgressFilter(p.capture)
+	return p
+}
+
+// capture is the egress filter: the analogue of the mangle-table rule that
+// marks packets for the TUN device.
+func (p *Proxy) capture(d netsim.Datagram) bool {
+	match := false
+	switch p.dir {
+	case CaptureQueries:
+		match = d.Dst.Port() == 53
+	case CaptureResponses:
+		match = d.Src.Port() == 53
+	}
+	if !match {
+		return false
+	}
+	p.captured.Add(1)
+	// A full queue drops the packet, exactly as a saturated TUN would;
+	// blocking here would stall the sender's packet path.
+	select {
+	case p.queue <- d:
+	default:
+	}
+	return true
+}
+
+func (p *Proxy) worker() {
+	defer p.wg.Done()
+	for d := range p.queue {
+		p.network.Inject(Rewrite(d, p.peer))
+		p.forwarded.Add(1)
+	}
+}
+
+// Stats returns capture and forward counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{Captured: p.captured.Load(), Forwarded: p.forwarded.Load()}
+}
+
+// Close stops the workers after draining queued packets.
+func (p *Proxy) Close() {
+	p.closeOnce.Do(func() {
+		close(p.queue)
+	})
+	p.wg.Wait()
+}

@@ -1,0 +1,178 @@
+package proxy
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ldplayer/internal/netsim"
+)
+
+var (
+	recAddr  = netip.MustParseAddr("10.1.0.1")
+	metaAddr = netip.MustParseAddr("10.2.0.1")
+	oqda     = netip.MustParseAddr("192.5.6.30") // public .com nameserver
+)
+
+func TestRewriteOQDARule(t *testing.T) {
+	// Query leaving the recursive: Rec:5353 -> .com:53.
+	q := netsim.Datagram{
+		Src:     netip.AddrPortFrom(recAddr, 5353),
+		Dst:     netip.AddrPortFrom(oqda, 53),
+		Payload: []byte("query"),
+	}
+	out := Rewrite(q, metaAddr)
+	if out.Src != netip.AddrPortFrom(oqda, 5353) {
+		t.Errorf("src = %v, want %v:5353 (OQDA keeps source port)", out.Src, oqda)
+	}
+	if out.Dst != netip.AddrPortFrom(metaAddr, 53) {
+		t.Errorf("dst = %v, want meta:53", out.Dst)
+	}
+
+	// Reply leaving the meta server: Meta:53 -> OQDA:5353.
+	r := netsim.Datagram{
+		Src:     netip.AddrPortFrom(metaAddr, 53),
+		Dst:     netip.AddrPortFrom(oqda, 5353),
+		Payload: []byte("reply"),
+	}
+	back := Rewrite(r, recAddr)
+	if back.Src != netip.AddrPortFrom(oqda, 53) {
+		t.Errorf("reply src = %v, want %v:53", back.Src, oqda)
+	}
+	if back.Dst != netip.AddrPortFrom(recAddr, 5353) {
+		t.Errorf("reply dst = %v, want rec:5353", back.Dst)
+	}
+}
+
+// TestRoundTripThroughBothProxies wires the full Figure 2 path and checks
+// the recursive observes a normal reply from the address it queried.
+func TestRoundTripThroughBothProxies(t *testing.T) {
+	n := netsim.New(0)
+	defer n.Close()
+	rec, err := n.AddNode("recursive", recAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := n.AddNode("meta", metaAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recProxy := Attach(rec, n, CaptureQueries, metaAddr, Options{})
+	defer recProxy.Close()
+	authProxy := Attach(meta, n, CaptureResponses, recAddr, Options{})
+	defer authProxy.Close()
+
+	// Meta server: answers every query, echoing payload, from its port 53.
+	meta.Handle(func(d netsim.Datagram) {
+		if d.Src.Addr() != oqda {
+			t.Errorf("meta saw query from %v, want OQDA %v", d.Src.Addr(), oqda)
+		}
+		meta.Send(netsim.Datagram{
+			Src:     netip.AddrPortFrom(metaAddr, 53),
+			Dst:     d.Src,
+			Payload: append([]byte("re:"), d.Payload...),
+		})
+	})
+
+	gotReply := make(chan netsim.Datagram, 1)
+	rec.Handle(func(d netsim.Datagram) { gotReply <- d })
+
+	// The recursive sends toward the *public* nameserver address.
+	rec.Send(netsim.Datagram{
+		Src:     netip.AddrPortFrom(recAddr, 40000),
+		Dst:     netip.AddrPortFrom(oqda, 53),
+		Payload: []byte("q1"),
+	})
+
+	select {
+	case d := <-gotReply:
+		if d.Src != netip.AddrPortFrom(oqda, 53) {
+			t.Errorf("recursive saw reply from %v, want %v:53", d.Src, oqda)
+		}
+		if d.Dst != netip.AddrPortFrom(recAddr, 40000) {
+			t.Errorf("reply dst = %v", d.Dst)
+		}
+		if string(d.Payload) != "re:q1" {
+			t.Errorf("payload = %q", d.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no reply through proxy chain")
+	}
+
+	if s := recProxy.Stats(); s.Captured != 1 || s.Forwarded != 1 {
+		t.Errorf("recursive proxy stats = %+v", s)
+	}
+	if s := authProxy.Stats(); s.Captured != 1 || s.Forwarded != 1 {
+		t.Errorf("authoritative proxy stats = %+v", s)
+	}
+	if n.Dropped() != 0 {
+		t.Errorf("dropped = %d", n.Dropped())
+	}
+}
+
+// TestNonDNSTrafficPasses ensures the capture rule is port-based, exactly
+// like the iptables mangle rule, and unrelated traffic is untouched.
+func TestNonDNSTrafficPasses(t *testing.T) {
+	n := netsim.New(0)
+	defer n.Close()
+	a, _ := n.AddNode("a", recAddr)
+	b, _ := n.AddNode("b", metaAddr)
+	p := Attach(a, n, CaptureQueries, metaAddr, Options{})
+	defer p.Close()
+	got := make(chan netsim.Datagram, 1)
+	b.Handle(func(d netsim.Datagram) { got <- d })
+	a.Send(netsim.Datagram{
+		Src:     netip.AddrPortFrom(recAddr, 12345),
+		Dst:     netip.AddrPortFrom(metaAddr, 8080),
+		Payload: []byte("http"),
+	})
+	select {
+	case d := <-got:
+		if d.Src.Addr() != recAddr {
+			t.Errorf("non-DNS packet was rewritten: %v", d)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("non-DNS packet lost")
+	}
+	if s := p.Stats(); s.Captured != 0 {
+		t.Errorf("captured = %d, want 0", s.Captured)
+	}
+}
+
+func TestProxyManyConcurrentQueries(t *testing.T) {
+	n := netsim.New(0)
+	defer n.Close()
+	rec, _ := n.AddNode("recursive", recAddr)
+	meta, _ := n.AddNode("meta", metaAddr)
+	recProxy := Attach(rec, n, CaptureQueries, metaAddr, Options{Workers: 8})
+	defer recProxy.Close()
+	authProxy := Attach(meta, n, CaptureResponses, recAddr, Options{Workers: 8})
+	defer authProxy.Close()
+
+	meta.Handle(func(d netsim.Datagram) {
+		meta.Send(netsim.Datagram{
+			Src:     netip.AddrPortFrom(metaAddr, 53),
+			Dst:     d.Src,
+			Payload: d.Payload,
+		})
+	})
+	const total = 500
+	replies := make(chan netsim.Datagram, total)
+	rec.Handle(func(d netsim.Datagram) { replies <- d })
+	for i := 0; i < total; i++ {
+		rec.Send(netsim.Datagram{
+			Src:     netip.AddrPortFrom(recAddr, uint16(10000+i)),
+			Dst:     netip.AddrPortFrom(oqda, 53),
+			Payload: []byte{byte(i), byte(i >> 8)},
+		})
+	}
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < total; i++ {
+		select {
+		case <-replies:
+		case <-deadline:
+			t.Fatalf("only %d/%d replies", i, total)
+		}
+	}
+}

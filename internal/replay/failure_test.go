@@ -1,0 +1,213 @@
+package replay
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ldplayer/internal/authserver"
+	"ldplayer/internal/trace"
+)
+
+// Failure injection: the replay engine must degrade gracefully when the
+// server misbehaves — drop responses, kill connections mid-stream, or
+// vanish entirely — and the controller link must surface a broken client
+// rather than hanging.
+
+// lossyUDPServer answers queries but drops every third response.
+func lossyUDPServer(t *testing.T) (addr string, served *atomic.Int64) {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	served = &atomic.Int64{}
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			n, raddr, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			i := served.Add(1)
+			if i%3 == 0 {
+				continue // drop
+			}
+			resp := append([]byte(nil), buf[:n]...)
+			resp[2] |= 0x80 // QR
+			_, _ = conn.WriteToUDP(resp, raddr)
+		}
+	}()
+	return conn.LocalAddr().String(), served
+}
+
+func TestReplaySurvivesDroppedResponses(t *testing.T) {
+	addr, served := lossyUDPServer(t)
+	en, err := New(Config{UDPTarget: addr, DrainTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := makeTrace(t, 30, 3, time.Millisecond, trace.UDP)
+	done := make(chan struct{})
+	var st *Stats
+	go func() {
+		defer close(done)
+		st, err = en.Replay(context.Background(), trace.NewSliceReader(entries))
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("replay hung on dropped responses")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent != 30 {
+		t.Errorf("sent = %d", st.Sent)
+	}
+	if st.Responses >= st.Sent || st.Responses == 0 {
+		t.Errorf("responses = %d of %d, expected partial", st.Responses, st.Sent)
+	}
+	if served.Load() != 30 {
+		t.Errorf("server saw %d queries", served.Load())
+	}
+}
+
+// rstTCPServer accepts connections and resets them after one response.
+func rstTCPServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				msg, err := authserver.ReadTCPMessage(c)
+				if err != nil {
+					return
+				}
+				msg[2] |= 0x80
+				_ = authserver.WriteTCPMessage(c, msg)
+				// Close immediately: the next query on this connection
+				// hits a dead socket and must trigger a reconnect.
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestReplayReconnectsAfterServerClose(t *testing.T) {
+	addr := rstTCPServer(t)
+	en, err := New(Config{TCPTarget: addr, DrainTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One source, several queries spaced out so each lands after the
+	// server has closed the previous connection.
+	entries := makeTrace(t, 5, 1, 60*time.Millisecond, trace.TCP)
+	st, err := en.Replay(context.Background(), trace.NewSliceReader(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent != 5 {
+		t.Errorf("sent = %d (errors %d)", st.Sent, st.Errors)
+	}
+	if st.ConnsOpened < 2 {
+		t.Errorf("conns opened = %d, expected reconnects", st.ConnsOpened)
+	}
+}
+
+func TestReplayServerGoneCountsErrors(t *testing.T) {
+	// Reserve a port, then close it: connections are refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	en, err := New(Config{TCPTarget: addr, DrainTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := makeTrace(t, 10, 2, 0, trace.TCP)
+	st, err := en.Replay(context.Background(), trace.NewSliceReader(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 10 || st.Sent != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestServeClientControllerCrash kills the controller link mid-stream; the
+// client must finish with what it received instead of hanging.
+func TestServeClientControllerCrash(t *testing.T) {
+	srvAddr, _ := lossyUDPServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	en, err := New(Config{UDPTarget: srvAddr, DrainTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		st  *Stats
+		err error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		st, err := ServeClient(ln, en)
+		resCh <- result{st, err}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Send the sync frame and two entries, then slam the connection shut.
+	entries := makeTrace(t, 2, 1, time.Millisecond, trace.UDP)
+	rc := &RemoteController{conns: []net.Conn{conn}}
+	rc.writers = append(rc.writers, newTestWriter(conn))
+	if err := rc.Run(trace.NewSliceReader(entries)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-resCh:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.st.Sent != 2 {
+			t.Errorf("client sent %d", r.st.Sent)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client hung after controller closed the link")
+	}
+}
+
+// TestLinkReaderRejectsGarbageFrame ensures a corrupted link fails fast.
+func TestLinkReaderRejectsGarbageFrame(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		c1.Write([]byte{'X', 1, 2, 3})
+		c1.Close()
+	}()
+	lr := newTestLinkReader(c2)
+	if _, err := lr.Next(); err == nil {
+		t.Error("garbage frame accepted")
+	}
+}

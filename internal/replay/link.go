@@ -1,0 +1,198 @@
+package replay
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"io"
+	"net"
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/trace"
+)
+
+// The controller-to-client-instance link (Figure 4/5): the controller's
+// Postman streams framed internal messages over TCP to remote client
+// instances, each running its own distributor + querier pool. The paper
+// chooses TCP for reliable message exchange among distributors; so do we.
+//
+// Frames: 'S' <int64 trace-start unixnano> broadcasts the time
+// synchronization point; 'E' <uint32 len> <record> carries one entry
+// (record encoding shared with the binary trace format).
+
+const (
+	frameSync  = 'S'
+	frameEntry = 'E'
+)
+
+// RemoteController distributes a trace stream to remote client instances
+// with the same sticky source assignment the in-process postman uses.
+type RemoteController struct {
+	conns   []net.Conn
+	writers []*bufio.Writer
+	seed    maphash.Seed
+}
+
+// DialClients connects to client instances listening at addrs.
+func DialClients(addrs ...string) (*RemoteController, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("replay: no client addresses")
+	}
+	rc := &RemoteController{seed: maphash.MakeSeed()}
+	for _, a := range addrs {
+		conn, err := net.Dial("tcp", a)
+		if err != nil {
+			rc.Close()
+			return nil, err
+		}
+		rc.conns = append(rc.conns, conn)
+		rc.writers = append(rc.writers, bufio.NewWriterSize(conn, 256*1024))
+	}
+	return rc, nil
+}
+
+// Run streams r to the clients until EOF, then flushes and closes the
+// links (which signals end-of-trace to the clients).
+func (rc *RemoteController) Run(r trace.Reader) error {
+	assign := make(map[netip.Addr]int, 1024)
+	synced := false
+	var scratch []byte
+	for {
+		e, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return err
+		}
+		if !synced {
+			var sf [9]byte
+			sf[0] = frameSync
+			binary.BigEndian.PutUint64(sf[1:], uint64(e.Time.UnixNano()))
+			for _, w := range rc.writers {
+				if _, err := w.Write(sf[:]); err != nil {
+					return err
+				}
+			}
+			synced = true
+		}
+		src := e.Src.Addr()
+		idx, ok := assign[src]
+		if !ok {
+			idx = int(maphash.Comparable(rc.seed, src)) % len(rc.writers)
+			if idx < 0 {
+				idx = -idx
+			}
+			assign[src] = idx
+		}
+		scratch = trace.MarshalEntry(scratch[:0], e)
+		w := rc.writers[idx]
+		var hdr [5]byte
+		hdr[0] = frameEntry
+		binary.BigEndian.PutUint32(hdr[1:], uint32(len(scratch)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(scratch); err != nil {
+			return err
+		}
+	}
+	for _, w := range rc.writers {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	rc.Close()
+	return nil
+}
+
+// Close closes all client links.
+func (rc *RemoteController) Close() {
+	for _, c := range rc.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// linkReader adapts an incoming controller link to trace.Reader and
+// captures the broadcast sync point.
+type linkReader struct {
+	r          *bufio.Reader
+	traceStart time.Time
+	haveSync   bool
+}
+
+// TraceStart implements the provider the engine consults so the remote
+// querier's Δt̄ is computed against the global trace start, not the first
+// entry that happened to reach this instance.
+func (lr *linkReader) TraceStart() (time.Time, bool) {
+	return lr.traceStart, lr.haveSync
+}
+
+func (lr *linkReader) Next() (trace.Entry, error) {
+	for {
+		t, err := lr.r.ReadByte()
+		if err != nil {
+			return trace.Entry{}, io.EOF // link closed = end of trace
+		}
+		switch t {
+		case frameSync:
+			var buf [8]byte
+			if _, err := io.ReadFull(lr.r, buf[:]); err != nil {
+				return trace.Entry{}, err
+			}
+			lr.traceStart = time.Unix(0, int64(binary.BigEndian.Uint64(buf[:])))
+			lr.haveSync = true
+		case frameEntry:
+			var hdr [4]byte
+			if _, err := io.ReadFull(lr.r, hdr[:]); err != nil {
+				return trace.Entry{}, err
+			}
+			n := binary.BigEndian.Uint32(hdr[:])
+			if n > maxLinkRecord {
+				return trace.Entry{}, fmt.Errorf("replay: link record of %d bytes", n)
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(lr.r, buf); err != nil {
+				return trace.Entry{}, err
+			}
+			return trace.UnmarshalEntry(buf)
+		default:
+			return trace.Entry{}, fmt.Errorf("replay: unknown link frame %q", t)
+		}
+	}
+}
+
+const maxLinkRecord = 8 + 1 + 2*(16+2) + 1 + 1<<16
+
+// traceStartProvider lets a reader supply the global trace start (the
+// sync broadcast) instead of the first locally seen entry.
+type traceStartProvider interface {
+	TraceStart() (time.Time, bool)
+}
+
+// ServeClient accepts one controller connection on ln and replays its
+// stream through en. It returns the run's statistics when the controller
+// closes the link.
+func ServeClient(ln net.Listener, en *Engine) (*Stats, error) {
+	conn, err := ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	lr := &linkReader{r: bufio.NewReaderSize(conn, 256*1024)}
+	return en.Replay(context.Background(), lr)
+}
+
+// newTestWriter and newTestLinkReader give tests access to the framing
+// internals without exporting them.
+func newTestWriter(conn net.Conn) *bufio.Writer { return bufio.NewWriter(conn) }
+
+func newTestLinkReader(conn net.Conn) *linkReader {
+	return &linkReader{r: bufio.NewReader(conn)}
+}

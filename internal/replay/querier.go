@@ -1,0 +1,341 @@
+package replay
+
+import (
+	"context"
+	"crypto/tls"
+	"net"
+	"sync"
+	"time"
+
+	"ldplayer/internal/authserver"
+	"ldplayer/internal/trace"
+)
+
+// querier owns sockets and replay timing for its share of the sources.
+// Same-source queries reuse the same socket while it is open; new sources
+// open new sockets; idle TCP/TLS connections close after the configured
+// timeout — the §2.6 connection-reuse emulation.
+type querier struct {
+	en   *Engine
+	name string
+	in   chan trace.Entry
+
+	syncMu sync.Mutex
+	sp     *syncPoint
+
+	mu   sync.Mutex
+	udp  map[sourceKey]*udpSocket
+	conn map[sourceKey]*streamConn
+
+	// io tracks socket reader and idle goroutines; they exit when
+	// closeSockets runs after the drain grace period.
+	io sync.WaitGroup
+}
+
+// sourceKey identifies an emulated query source. The original source
+// address is the key: its queries share sockets, per the paper.
+type sourceKey struct {
+	addr string
+	// proto separates the UDP socket from the TCP/TLS connection of the
+	// same source.
+	proto trace.Protocol
+}
+
+func newQuerier(en *Engine, name string) *querier {
+	return &querier{
+		en:   en,
+		name: name,
+		in:   make(chan trace.Entry, 256),
+		udp:  make(map[sourceKey]*udpSocket),
+		conn: make(map[sourceKey]*streamConn),
+	}
+}
+
+func (q *querier) setSync(sp *syncPoint) {
+	q.syncMu.Lock()
+	q.sp = sp
+	q.syncMu.Unlock()
+}
+
+func (q *querier) run(ctx context.Context) {
+	// The querier is a sequential event loop: its input arrives in trace
+	// order, so sleeping until each query's ΔTᵢ and then sending preserves
+	// both absolute timing and same-source ordering. A cancelled context
+	// aborts the current wait immediately.
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for e := range q.in {
+		if !q.en.cfg.FastMode {
+			q.syncMu.Lock()
+			sp := q.sp
+			q.syncMu.Unlock()
+			if sp != nil {
+				idealDelay := e.Time.Sub(sp.traceStart)     // Δt̄ᵢ
+				elapsed := time.Since(sp.realStart)         // Δtᵢ
+				if wait := idealDelay - elapsed; wait > 0 { // ΔTᵢ
+					timer.Reset(wait)
+					select {
+					case <-timer.C:
+					case <-ctx.Done():
+						if !timer.Stop() {
+							<-timer.C
+						}
+						return
+					}
+				}
+				// ΔTᵢ ≤ 0: input fell behind; send immediately.
+			}
+		}
+		q.send(e)
+	}
+}
+
+// send transmits one query on the appropriate socket.
+func (q *querier) send(e trace.Entry) {
+	var err error
+	switch e.Protocol {
+	case trace.UDP:
+		err = q.sendUDP(e)
+	case trace.TCP, trace.TLS:
+		err = q.sendStream(e)
+	}
+	at := time.Now()
+	if err != nil {
+		q.en.errorsCount.Add(1)
+		if q.en.cfg.OnError != nil {
+			q.en.cfg.OnError(&e, err)
+		}
+		return
+	}
+	q.en.sent.Add(1)
+	if q.en.cfg.OnSend != nil {
+		var schedErr time.Duration
+		q.syncMu.Lock()
+		sp := q.sp
+		q.syncMu.Unlock()
+		if sp != nil {
+			schedErr = at.Sub(sp.realStart) - e.Time.Sub(sp.traceStart)
+		}
+		q.en.cfg.OnSend(&e, at, schedErr)
+	}
+}
+
+// udpSocket is one emulated UDP source.
+type udpSocket struct {
+	conn *net.UDPConn
+}
+
+func (q *querier) sendUDP(e trace.Entry) error {
+	if q.en.cfg.UDPTarget == "" {
+		return errNoTarget{trace.UDP}
+	}
+	key := sourceKey{addr: e.Src.Addr().String(), proto: trace.UDP}
+	q.mu.Lock()
+	sock := q.udp[key]
+	q.mu.Unlock()
+	if sock == nil {
+		raddr, err := net.ResolveUDPAddr("udp", q.en.cfg.UDPTarget)
+		if err != nil {
+			return err
+		}
+		conn, err := net.DialUDP("udp", nil, raddr)
+		if err != nil {
+			return err
+		}
+		sock = &udpSocket{conn: conn}
+		q.mu.Lock()
+		// Re-check under the lock; a racing send for the same source wins.
+		if existing := q.udp[key]; existing != nil {
+			q.mu.Unlock()
+			conn.Close()
+			sock = existing
+		} else {
+			q.udp[key] = sock
+			q.mu.Unlock()
+			q.en.connsOpened.Add(1)
+			q.io.Add(1)
+			go q.readUDP(sock)
+		}
+	}
+	_, err := sock.conn.Write(e.Message)
+	return err
+}
+
+func (q *querier) readUDP(sock *udpSocket) {
+	defer q.io.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := sock.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		q.en.responses.Add(1)
+		if q.en.cfg.OnResponse != nil {
+			msg := make([]byte, n)
+			copy(msg, buf[:n])
+			q.en.cfg.OnResponse(msg, time.Now())
+		}
+	}
+}
+
+// streamConn is one reusable TCP or TLS connection for a source.
+type streamConn struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	lastUsed time.Time
+	closed   bool
+	done     chan struct{}
+}
+
+func (q *querier) sendStream(e trace.Entry) error {
+	target := q.en.cfg.TCPTarget
+	if e.Protocol == trace.TLS {
+		target = q.en.cfg.TLSTarget
+	}
+	if target == "" {
+		return errNoTarget{e.Protocol}
+	}
+	key := sourceKey{addr: e.Src.Addr().String(), proto: e.Protocol}
+
+	for attempt := 0; attempt < 2; attempt++ {
+		sc, err := q.getStream(key, e.Protocol, target)
+		if err != nil {
+			return err
+		}
+		sc.mu.Lock()
+		if sc.closed {
+			sc.mu.Unlock()
+			q.dropStream(key, sc)
+			continue // reconnect once
+		}
+		err = authserver.WriteTCPMessage(sc.conn, e.Message)
+		sc.lastUsed = time.Now()
+		sc.mu.Unlock()
+		if err != nil {
+			q.dropStream(key, sc)
+			continue
+		}
+		return nil
+	}
+	return errConnBroken{}
+}
+
+func (q *querier) getStream(key sourceKey, proto trace.Protocol, target string) (*streamConn, error) {
+	q.mu.Lock()
+	sc := q.conn[key]
+	q.mu.Unlock()
+	if sc != nil {
+		return sc, nil
+	}
+	var conn net.Conn
+	var err error
+	if proto == trace.TLS {
+		conn, err = tls.Dial("tcp", target, q.en.cfg.TLSConfig)
+	} else {
+		conn, err = net.Dial("tcp", target)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sc = &streamConn{conn: conn, lastUsed: time.Now(), done: make(chan struct{})}
+	q.mu.Lock()
+	if existing := q.conn[key]; existing != nil {
+		q.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	q.conn[key] = sc
+	q.mu.Unlock()
+	q.en.connsOpened.Add(1)
+	q.io.Add(1)
+	go q.readStream(key, sc)
+	q.io.Add(1)
+	go q.idleCloser(key, sc)
+	return sc, nil
+}
+
+func (q *querier) dropStream(key sourceKey, sc *streamConn) {
+	sc.mu.Lock()
+	if !sc.closed {
+		sc.closed = true
+		sc.conn.Close()
+		close(sc.done)
+	}
+	sc.mu.Unlock()
+	q.mu.Lock()
+	if q.conn[key] == sc {
+		delete(q.conn, key)
+	}
+	q.mu.Unlock()
+}
+
+func (q *querier) readStream(key sourceKey, sc *streamConn) {
+	defer q.io.Done()
+	for {
+		msg, err := authserver.ReadTCPMessage(sc.conn)
+		if err != nil {
+			q.dropStream(key, sc)
+			return
+		}
+		sc.mu.Lock()
+		sc.lastUsed = time.Now()
+		sc.mu.Unlock()
+		q.en.responses.Add(1)
+		if q.en.cfg.OnResponse != nil {
+			q.en.cfg.OnResponse(msg, time.Now())
+		}
+	}
+}
+
+// idleCloser enforces the client-side connection reuse timeout.
+func (q *querier) idleCloser(key sourceKey, sc *streamConn) {
+	defer q.io.Done()
+	timeout := q.en.cfg.IdleTimeout
+	ticker := time.NewTicker(timeout / 4)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sc.done:
+			return
+		case <-ticker.C:
+			sc.mu.Lock()
+			idle := time.Since(sc.lastUsed)
+			sc.mu.Unlock()
+			if idle >= timeout {
+				q.dropStream(key, sc)
+				return
+			}
+		}
+	}
+}
+
+// closeSockets tears down all sockets after the drain grace period.
+func (q *querier) closeSockets() {
+	q.mu.Lock()
+	for _, s := range q.udp {
+		s.conn.Close()
+	}
+	conns := make([]*streamConn, 0, len(q.conn))
+	keys := make([]sourceKey, 0, len(q.conn))
+	for k, c := range q.conn {
+		conns = append(conns, c)
+		keys = append(keys, k)
+	}
+	q.mu.Unlock()
+	for i, c := range conns {
+		q.dropStream(keys[i], c)
+	}
+	q.io.Wait()
+}
+
+type errNoTarget struct{ proto trace.Protocol }
+
+func (e errNoTarget) Error() string {
+	return "replay: no target configured for protocol " + e.proto.String()
+}
+
+type errConnBroken struct{}
+
+func (errConnBroken) Error() string { return "replay: connection broke twice" }

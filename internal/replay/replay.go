@@ -1,0 +1,350 @@
+// Package replay implements LDplayer's distributed query engine (§2.6,
+// Figure 4): a Controller whose Reader pre-loads a window of queries and
+// whose Postman distributes them stickily by original source address to
+// Distributors, which distribute — again stickily — to Queriers that own
+// the sockets and the replay timing.
+//
+// Timing follows the paper exactly: on the first query the controller
+// broadcasts a time-synchronization point (t̄₁, t₁); for query i a querier
+// computes the relative trace time Δt̄ᵢ = t̄ᵢ − t̄₁ and the relative real
+// time Δtᵢ = tᵢ − t₁, then schedules the send ΔTᵢ = Δt̄ᵢ − Δtᵢ in the
+// future — or immediately when the input has fallen behind (ΔTᵢ ≤ 0).
+//
+// Sticky distribution guarantees all queries from one original source
+// reach the same querier, which maps sources to sockets, so DNS-over-TCP
+// connection reuse is emulated faithfully; new sources open new sockets
+// and idle connections close after a configurable timeout.
+//
+// In the paper the controller and client instances are separate hosts
+// linked by TCP. Here distributors and queriers are goroutine pools in
+// one process by default (the coordination logic is identical), and the
+// same controller can feed remote distributors over real TCP links — see
+// link.go — which is how the multi-host topology of Figure 5 is exercised
+// in tests.
+package replay
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"io"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldplayer/internal/trace"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Distributors is the number of distributor workers (client
+	// instances). Default 1.
+	Distributors int
+	// QueriersPerDistributor is the querier pool per distributor. The
+	// paper's prototype runs six. Default 6.
+	QueriersPerDistributor int
+	// Window is the reader pre-load depth in queries ("the reader
+	// pre-loads a window of queries to avoid falling behind real time").
+	// Default 4096.
+	Window int
+
+	// UDPTarget, TCPTarget, TLSTarget are the testbed server addresses
+	// ("host:port"). An entry's protocol selects among them. Empty targets
+	// reject entries of that protocol.
+	UDPTarget string
+	TCPTarget string
+	TLSTarget string
+	// TLSConfig authenticates the TLS target.
+	TLSConfig *tls.Config
+
+	// IdleTimeout closes reusable TCP/TLS connections idle this long.
+	// Default 20s (the paper's reference timeout).
+	IdleTimeout time.Duration
+
+	// FastMode disables timing and sends queries as fast as possible
+	// (§2.6 load-testing option; the Figure 9 throughput mode).
+	FastMode bool
+
+	// DrainTimeout bounds the wait for outstanding responses after the
+	// last query is sent. Default 500ms.
+	DrainTimeout time.Duration
+
+	// OnSend, if set, observes every transmitted query with the actual
+	// send time and the scheduling error versus the ideal trace time.
+	OnSend func(e *trace.Entry, at time.Time, schedErr time.Duration)
+	// OnResponse, if set, observes every response with its arrival time.
+	OnResponse func(msg []byte, at time.Time)
+	// OnError, if set, observes per-query errors (connect failures etc).
+	OnError func(e *trace.Entry, err error)
+}
+
+// Stats summarizes one replay run.
+type Stats struct {
+	Sent        int64
+	Responses   int64
+	Errors      int64
+	ConnsOpened int64
+	Sources     int
+	Duration    time.Duration
+}
+
+// Engine replays traces against live servers.
+type Engine struct {
+	cfg Config
+
+	sent        atomic.Int64
+	responses   atomic.Int64
+	errorsCount atomic.Int64
+	connsOpened atomic.Int64
+
+	seed maphash.Seed
+}
+
+// New validates cfg and creates an Engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Distributors <= 0 {
+		cfg.Distributors = 1
+	}
+	if cfg.QueriersPerDistributor <= 0 {
+		cfg.QueriersPerDistributor = 6
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 4096
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 20 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 500 * time.Millisecond
+	}
+	if cfg.UDPTarget == "" && cfg.TCPTarget == "" && cfg.TLSTarget == "" {
+		return nil, errors.New("replay: no targets configured")
+	}
+	if cfg.TLSTarget != "" && cfg.TLSConfig == nil {
+		return nil, errors.New("replay: TLS target without TLSConfig")
+	}
+	return &Engine{cfg: cfg, seed: maphash.MakeSeed()}, nil
+}
+
+// syncPoint is the broadcast time synchronization: trace epoch and the
+// real time it corresponds to.
+type syncPoint struct {
+	traceStart time.Time
+	realStart  time.Time
+}
+
+// Replay streams r through the distribution tree until EOF or ctx
+// cancellation and returns run statistics.
+func (en *Engine) Replay(ctx context.Context, r trace.Reader) (*Stats, error) {
+	en.sent.Store(0)
+	en.responses.Store(0)
+	en.errorsCount.Store(0)
+	en.connsOpened.Store(0)
+
+	start := time.Now()
+
+	// Reader: pre-loads a window of queries (its own process in the
+	// paper's controller).
+	window := make(chan trace.Entry, en.cfg.Window)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(window)
+		for {
+			e, err := r.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					readErr <- err
+				}
+				return
+			}
+			select {
+			case window <- e:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Distributors and their querier pools.
+	nd := en.cfg.Distributors
+	sources := newSourceTracker()
+	dists := make([]*distributor, nd)
+	var wg sync.WaitGroup
+	for i := range dists {
+		dists[i] = newDistributor(en, i, sources)
+		wg.Add(1)
+		go func(d *distributor) {
+			defer wg.Done()
+			d.run(ctx)
+		}(dists[i])
+	}
+
+	// Postman: sticky source→distributor assignment.
+	var sync0 *syncPoint
+	assign := make(map[netip.Addr]int, 1024)
+	var err error
+loop:
+	for {
+		select {
+		case e, ok := <-window:
+			if !ok {
+				break loop
+			}
+			if sync0 == nil {
+				ts := e.Time
+				if p, ok := r.(traceStartProvider); ok {
+					if t0, have := p.TraceStart(); have {
+						ts = t0
+					}
+				}
+				sync0 = &syncPoint{traceStart: ts, realStart: time.Now()}
+				for _, d := range dists {
+					d.sync(sync0)
+				}
+			}
+			src := e.Src.Addr()
+			idx, ok2 := assign[src]
+			if !ok2 {
+				idx = int(maphash.Comparable(en.seed, src)) % nd
+				if idx < 0 {
+					idx = -idx
+				}
+				assign[src] = idx
+			}
+			select {
+			case dists[idx].in <- e:
+			case <-ctx.Done():
+				err = ctx.Err()
+				break loop
+			}
+		case e := <-readErr:
+			err = e
+			break loop
+		case <-ctx.Done():
+			err = ctx.Err()
+			break loop
+		}
+	}
+	for _, d := range dists {
+		close(d.in)
+	}
+	wg.Wait()
+	if err == nil {
+		// The reader goroutine exits silently on cancellation; surface it.
+		err = ctx.Err()
+	}
+
+	// Give in-flight responses a grace period, then shut sockets down.
+	if en.responses.Load() < en.sent.Load() && en.cfg.OnResponse != nil || en.cfg.DrainTimeout > 0 {
+		deadline := time.Now().Add(en.cfg.DrainTimeout)
+		for time.Now().Before(deadline) && en.responses.Load() < en.sent.Load() {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	for _, d := range dists {
+		d.closeQueriers()
+	}
+
+	st := &Stats{
+		Sent:        en.sent.Load(),
+		Responses:   en.responses.Load(),
+		Errors:      en.errorsCount.Load(),
+		ConnsOpened: en.connsOpened.Load(),
+		Sources:     sources.count(),
+		Duration:    time.Since(start),
+	}
+	return st, err
+}
+
+// sourceTracker counts distinct original sources across the run.
+type sourceTracker struct {
+	mu   sync.Mutex
+	seen map[netip.Addr]struct{}
+}
+
+func newSourceTracker() *sourceTracker {
+	return &sourceTracker{seen: make(map[netip.Addr]struct{}, 1024)}
+}
+
+func (s *sourceTracker) note(a netip.Addr) {
+	s.mu.Lock()
+	s.seen[a] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *sourceTracker) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.seen)
+}
+
+// distributor fans entries out to its querier pool, sticky by source.
+type distributor struct {
+	en       *Engine
+	idx      int
+	in       chan trace.Entry
+	queriers []*querier
+	sources  *sourceTracker
+}
+
+func newDistributor(en *Engine, idx int, sources *sourceTracker) *distributor {
+	d := &distributor{
+		en:      en,
+		idx:     idx,
+		in:      make(chan trace.Entry, 256),
+		sources: sources,
+	}
+	d.queriers = make([]*querier, en.cfg.QueriersPerDistributor)
+	for i := range d.queriers {
+		d.queriers[i] = newQuerier(en, fmt.Sprintf("d%d-q%d", idx, i))
+	}
+	return d
+}
+
+func (d *distributor) sync(sp *syncPoint) {
+	for _, q := range d.queriers {
+		q.setSync(sp)
+	}
+}
+
+func (d *distributor) run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, q := range d.queriers {
+		wg.Add(1)
+		go func(q *querier) {
+			defer wg.Done()
+			q.run(ctx)
+		}(q)
+	}
+	assign := make(map[netip.Addr]int, 256)
+	nq := len(d.queriers)
+	for e := range d.in {
+		src := e.Src.Addr()
+		d.sources.note(src)
+		idx, ok := assign[src]
+		if !ok {
+			idx = int(maphash.Comparable(d.en.seed, src)) % nq
+			if idx < 0 {
+				idx = -idx
+			}
+			assign[src] = idx
+		}
+		select {
+		case d.queriers[idx].in <- e:
+		case <-ctx.Done():
+		}
+	}
+	for _, q := range d.queriers {
+		close(q.in)
+	}
+	wg.Wait()
+}
+
+func (d *distributor) closeQueriers() {
+	for _, q := range d.queriers {
+		q.closeSockets()
+	}
+}

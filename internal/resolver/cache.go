@@ -1,0 +1,126 @@
+package resolver
+
+import (
+	"sync"
+	"time"
+
+	"ldplayer/internal/dnswire"
+)
+
+// cacheKey identifies a cached RRset.
+type cacheKey struct {
+	name string
+	typ  dnswire.Type
+}
+
+// cacheEntry is a cached RRset with its expiry.
+type cacheEntry struct {
+	rrs      []dnswire.RR
+	expires  time.Time
+	negative bool // cached nonexistence (NXDOMAIN/NODATA)
+}
+
+// Cache is a TTL-respecting RRset cache. It doubles as the infrastructure
+// cache: NS RRsets and nameserver addresses live in the same store, which
+// is what lets a warm resolver skip upper levels of the hierarchy — the
+// caching interplay the paper's experiments depend on.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[cacheKey]cacheEntry
+
+	hits   int64
+	misses int64
+}
+
+// NewCache creates an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]cacheEntry)}
+}
+
+// Put stores an RRset under (name, type) for the minimum TTL in the set.
+func (c *Cache) Put(name string, t dnswire.Type, rrs []dnswire.RR, now time.Time) {
+	if len(rrs) == 0 {
+		return
+	}
+	ttl := rrs[0].TTL
+	for _, rr := range rrs[1:] {
+		if rr.TTL < ttl {
+			ttl = rr.TTL
+		}
+	}
+	c.mu.Lock()
+	c.entries[cacheKey{dnswire.CanonicalName(name), t}] = cacheEntry{
+		rrs:     append([]dnswire.RR(nil), rrs...),
+		expires: now.Add(time.Duration(ttl) * time.Second),
+	}
+	c.mu.Unlock()
+}
+
+// PutNegative records the nonexistence of (name, type) for ttl seconds.
+func (c *Cache) PutNegative(name string, t dnswire.Type, ttl uint32, now time.Time) {
+	c.mu.Lock()
+	c.entries[cacheKey{dnswire.CanonicalName(name), t}] = cacheEntry{
+		negative: true,
+		expires:  now.Add(time.Duration(ttl) * time.Second),
+	}
+	c.mu.Unlock()
+}
+
+// Get returns the cached RRset and whether the hit was negative. ok is
+// false on miss or expiry.
+func (c *Cache) Get(name string, t dnswire.Type, now time.Time) (rrs []dnswire.RR, negative, ok bool) {
+	key := cacheKey{dnswire.CanonicalName(name), t}
+	c.mu.RLock()
+	e, found := c.entries[key]
+	c.mu.RUnlock()
+	if !found || now.After(e.expires) {
+		c.mu.Lock()
+		if found {
+			delete(c.entries, key)
+		}
+		c.misses++
+		c.mu.Unlock()
+		return nil, false, false
+	}
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	return e.rrs, e.negative, true
+}
+
+// Len returns the number of live entries (including expired ones not yet
+// evicted).
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Flush empties the cache (cold-cache experiment resets).
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	c.entries = make(map[cacheKey]cacheEntry)
+	c.mu.Unlock()
+}
+
+// HitsMisses returns the hit and miss counters.
+func (c *Cache) HitsMisses() (hits, misses int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}
+
+// bestNS walks qname toward the root and returns the deepest cached NS
+// RRset, giving the starting point for iteration.
+func (c *Cache) bestNS(qname string, now time.Time) (zoneName string, ns []dnswire.RR) {
+	name := dnswire.CanonicalName(qname)
+	for {
+		if rrs, neg, ok := c.Get(name, dnswire.TypeNS, now); ok && !neg && len(rrs) > 0 {
+			return name, rrs
+		}
+		if name == "." {
+			return "", nil
+		}
+		name = dnswire.ParentName(name)
+	}
+}

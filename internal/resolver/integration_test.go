@@ -1,0 +1,122 @@
+package resolver
+
+import (
+	"context"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"ldplayer/internal/authserver"
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/netsim"
+	"ldplayer/internal/proxy"
+	"ldplayer/internal/zone"
+)
+
+// TestHierarchyEmulationEndToEnd wires the complete Figure 2 deployment in
+// netsim: a recursive resolver whose port-53 egress is captured by the
+// recursive proxy, a single meta-DNS-server node hosting root, com, org
+// and example.com behind split-horizon views, and the authoritative proxy
+// capturing its responses. A cold-cache resolution must walk all three
+// hierarchy levels and produce the right answer, with zero leaked
+// (dropped) packets.
+func TestHierarchyEmulationEndToEnd(t *testing.T) {
+	recAddr := netip.MustParseAddr("10.1.0.1")
+	metaAddr := netip.MustParseAddr("10.2.0.1")
+
+	n := netsim.New(0)
+	defer n.Close()
+	recNode, err := n.AddNode("recursive", recAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaNode, err := n.AddNode("meta-dns", metaAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Proxies: queries leaving the recursive go to the meta server;
+	// responses leaving the meta server go back to the recursive.
+	recProxy := proxy.Attach(recNode, n, proxy.CaptureQueries, metaAddr, proxy.Options{})
+	defer recProxy.Close()
+	authProxy := proxy.Attach(metaNode, n, proxy.CaptureResponses, recAddr, proxy.Options{})
+	defer authProxy.Close()
+
+	// The meta-DNS-server with the full view set.
+	parse := func(text, origin string) *zone.Zone {
+		z, err := zone.Parse(strings.NewReader(text), origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return z
+	}
+	engine := authserver.NewEngine()
+	views := []*authserver.View{
+		{Name: "root", Sources: []netip.Addr{rootNS}, Zones: []*zone.Zone{parse(rootText, ".")}},
+		{Name: "com", Sources: []netip.Addr{comNS}, Zones: []*zone.Zone{parse(comText, "com.")}},
+		{Name: "org", Sources: []netip.Addr{orgNS}, Zones: []*zone.Zone{parse(orgText, "org.")}},
+		{Name: "example", Sources: []netip.Addr{exNS}, Zones: []*zone.Zone{parse(exText, "example.com."), parse(gluelessText, "glueless.com.")}},
+	}
+	for _, v := range views {
+		if err := engine.AddView(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	authserver.AttachNetsim(engine, metaNode)
+
+	// The resolver sends to *public* nameserver addresses; only the
+	// proxies make that work inside the testbed.
+	ex := NewNetsimExchanger(recNode, recAddr)
+	r, err := New(Config{
+		Roots:     []netip.Addr{rootNS},
+		Exchanger: ex,
+		Rand:      rand.New(rand.NewSource(42)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ans, err := r.Resolve(context.Background(), "www.example.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Records) != 1 || ans.Records[0].Data.String() != "192.0.2.80" {
+		t.Errorf("answer = %+v", ans)
+	}
+	if ans.Upstream != 3 {
+		t.Errorf("upstream = %d, want 3 (root, com, example)", ans.Upstream)
+	}
+
+	// Every query the resolver emitted crossed the recursive proxy; every
+	// reply crossed the authoritative proxy; nothing leaked.
+	if s := recProxy.Stats(); s.Captured != 3 {
+		t.Errorf("recursive proxy captured %d, want 3", s.Captured)
+	}
+	if s := authProxy.Stats(); s.Captured != 3 {
+		t.Errorf("authoritative proxy captured %d, want 3", s.Captured)
+	}
+	if n.Dropped() != 0 {
+		t.Errorf("dropped (leaked) packets: %d", n.Dropped())
+	}
+
+	// A second, cross-zone resolution through the same plumbing.
+	ans, err = r.Resolve(context.Background(), "alias.org.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ans.Records[len(ans.Records)-1]
+	if last.Data.String() != "192.0.2.80" {
+		t.Errorf("cross-zone answer = %v", ans.Records)
+	}
+	// The org branch was cold (root referral + org query), but the CNAME
+	// restart into example.com is answered entirely from cache.
+	if ans.Upstream != 2 {
+		t.Errorf("upstream = %d, want 2 (root + org; CNAME target cached)", ans.Upstream)
+	}
+
+	st := engine.Stats()
+	if st.Queries != 5 {
+		t.Errorf("meta server saw %d queries, want 5", st.Queries)
+	}
+}

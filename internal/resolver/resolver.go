@@ -1,0 +1,402 @@
+// Package resolver implements an iterative (recursive-mode) DNS resolver:
+// the "Recursive Server" box of Figure 1. Given a cold cache it walks the
+// emulated hierarchy — root, TLD, SLD — issuing one query per level
+// exactly like a production resolver, which is what makes replayed
+// recursive traces exercise every level of the meta-DNS-server. With a
+// warm cache it answers from memory, reproducing the cache interplay that
+// makes naive trace replay incomplete (§2.3).
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"ldplayer/internal/dnswire"
+)
+
+// Exchanger performs one query/response exchange with a nameserver. Both
+// the netsim transport and a live UDP transport implement it.
+type Exchanger interface {
+	Exchange(ctx context.Context, server netip.AddrPort, q *dnswire.Message) (*dnswire.Message, error)
+}
+
+// Config configures a Resolver.
+type Config struct {
+	// Roots are the root nameserver addresses (priming data).
+	Roots []netip.Addr
+	// Exchanger performs network exchanges.
+	Exchanger Exchanger
+	// MaxIterations bounds referral chasing per query (default 16).
+	MaxIterations int
+	// MaxCNAME bounds cross-zone CNAME restarts (default 8).
+	MaxCNAME int
+	// QueryTimeout bounds a single exchange (default 2s).
+	QueryTimeout time.Duration
+	// Now supplies time (for cache TTLs); defaults to time.Now.
+	Now func() time.Time
+	// Rand selects among equivalent nameservers; defaults to a private
+	// source. Deterministic tests inject their own.
+	Rand *rand.Rand
+}
+
+// Resolver is an iterative resolver with a shared cache. It is safe for
+// concurrent use.
+type Resolver struct {
+	cfg   Config
+	cache *Cache
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	queriesSent int64
+}
+
+// Answer is the result of a resolution.
+type Answer struct {
+	Rcode   dnswire.Rcode
+	Records []dnswire.RR
+	// Upstream counts the network exchanges this resolution needed
+	// (0 = pure cache hit).
+	Upstream int
+}
+
+// Errors returned by Resolve.
+var (
+	ErrNoServers     = errors.New("resolver: no nameservers to contact")
+	ErrIterationLoop = errors.New("resolver: too many referrals")
+	ErrCNAMEChain    = errors.New("resolver: CNAME chain too long")
+)
+
+// New creates a Resolver.
+func New(cfg Config) (*Resolver, error) {
+	if len(cfg.Roots) == 0 {
+		return nil, errors.New("resolver: no root servers configured")
+	}
+	if cfg.Exchanger == nil {
+		return nil, errors.New("resolver: no exchanger configured")
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 16
+	}
+	if cfg.MaxCNAME <= 0 {
+		cfg.MaxCNAME = 8
+	}
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = 2 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return &Resolver{cfg: cfg, cache: NewCache(), rng: rng}, nil
+}
+
+// Cache exposes the resolver's cache (for flushing between experiments
+// and inspecting hit rates).
+func (r *Resolver) Cache() *Cache { return r.cache }
+
+// QueriesSent returns the number of upstream queries issued.
+func (r *Resolver) QueriesSent() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.queriesSent
+}
+
+// Resolve answers (name, type) iteratively.
+func (r *Resolver) Resolve(ctx context.Context, name string, qtype dnswire.Type) (*Answer, error) {
+	st := &resolveState{gluelessBudget: 4}
+	return r.resolveWith(ctx, st, dnswire.CanonicalName(name), qtype, 0)
+}
+
+// resolveState carries per-resolution bookkeeping across recursive calls:
+// the glueless budget bounds how many NS-address side-quests one query may
+// trigger, so broken delegations cannot recurse forever.
+type resolveState struct {
+	gluelessBudget int
+	upstream       int
+}
+
+func (r *Resolver) resolveWith(ctx context.Context, st *resolveState, qname string, qtype dnswire.Type, cnameDepth int) (*Answer, error) {
+	if cnameDepth > r.cfg.MaxCNAME {
+		return nil, ErrCNAMEChain
+	}
+	now := r.cfg.Now()
+	ans := &Answer{}
+
+	// Cache first.
+	if rrs, neg, ok := r.cache.Get(qname, qtype, now); ok {
+		if neg {
+			ans.Rcode = dnswire.RcodeNXDomain
+			return ans, nil
+		}
+		ans.Records = rrs
+		return ans, nil
+	}
+	// A cached CNAME redirects even when the target type missed.
+	if rrs, neg, ok := r.cache.Get(qname, dnswire.TypeCNAME, now); ok && !neg && len(rrs) > 0 && qtype != dnswire.TypeCNAME {
+		target := rrs[0].Data.(dnswire.CNAME).Target
+		sub, err := r.resolveWith(ctx, st, target, qtype, cnameDepth+1)
+		if err != nil {
+			return nil, err
+		}
+		sub.Records = append(append([]dnswire.RR(nil), rrs...), sub.Records...)
+		return sub, nil
+	}
+
+	// Find the deepest known delegation to start from.
+	zoneName, nsSet := r.cache.bestNS(qname, now)
+	var servers []netip.AddrPort
+	if nsSet != nil {
+		servers = r.serverAddrs(nsSet, now)
+	}
+	if len(servers) == 0 {
+		zoneName = "."
+		for _, a := range r.cfg.Roots {
+			servers = append(servers, netip.AddrPortFrom(a, 53))
+		}
+	}
+	_ = zoneName
+
+	for iter := 0; iter < r.cfg.MaxIterations; iter++ {
+		if len(servers) == 0 {
+			return nil, ErrNoServers
+		}
+		server := servers[r.intn(len(servers))]
+		resp, err := r.exchange(ctx, server, qname, qtype)
+		if err != nil {
+			// Try another server once; a real resolver rotates through
+			// the NS set on timeouts.
+			servers = removeServer(servers, server)
+			continue
+		}
+		ans.Upstream++
+
+		switch classify(resp, qname, qtype) {
+		case kindAnswer:
+			rrs := answerRecords(resp, qname, qtype)
+			r.cacheResponse(resp, now)
+			// Handle a CNAME that needs cross-zone chasing: if the final
+			// record is a CNAME whose target wasn't answered, restart.
+			if last, target := trailingCNAME(rrs, qtype); last {
+				sub, err := r.resolveWith(ctx, st, target, qtype, cnameDepth+1)
+				if err != nil {
+					return nil, err
+				}
+				ans.Rcode = sub.Rcode
+				ans.Records = append(rrs, sub.Records...)
+				ans.Upstream += sub.Upstream
+				return ans, nil
+			}
+			ans.Records = rrs
+			return ans, nil
+		case kindNXDomain:
+			r.cacheNegative(resp, qname, qtype, now)
+			ans.Rcode = dnswire.RcodeNXDomain
+			ans.Records = nil
+			return ans, nil
+		case kindNoData:
+			r.cacheNegative(resp, qname, qtype, now)
+			ans.Rcode = dnswire.RcodeNoError
+			return ans, nil
+		case kindReferral:
+			r.cacheResponse(resp, now)
+			next := r.referralServers(ctx, st, resp, now)
+			if len(next) == 0 {
+				return nil, ErrNoServers
+			}
+			servers = next
+		default: // lame or error response: drop this server
+			servers = removeServer(servers, server)
+		}
+	}
+	return nil, ErrIterationLoop
+}
+
+func (r *Resolver) intn(n int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Intn(n)
+}
+
+func (r *Resolver) exchange(ctx context.Context, server netip.AddrPort, qname string, qtype dnswire.Type) (*dnswire.Message, error) {
+	r.mu.Lock()
+	id := uint16(r.rng.Intn(1 << 16))
+	r.queriesSent++
+	r.mu.Unlock()
+	q := dnswire.NewQuery(id, qname, qtype)
+	q.Header.RD = false // iterative
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.QueryTimeout)
+	defer cancel()
+	resp, err := r.cfg.Exchanger.Exchange(ctx, server, q)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.ID != id {
+		return nil, fmt.Errorf("resolver: response ID mismatch")
+	}
+	return resp, nil
+}
+
+// responseKind classifies an upstream response.
+type responseKind int
+
+const (
+	kindAnswer responseKind = iota
+	kindReferral
+	kindNXDomain
+	kindNoData
+	kindLame
+)
+
+func classify(resp *dnswire.Message, qname string, qtype dnswire.Type) responseKind {
+	switch {
+	case resp.Header.Rcode == dnswire.RcodeNXDomain:
+		return kindNXDomain
+	case resp.Header.Rcode != dnswire.RcodeNoError:
+		return kindLame
+	case len(resp.Answer) > 0:
+		return kindAnswer
+	case !resp.Header.AA && hasNS(resp.Authority):
+		return kindReferral
+	case resp.Header.AA:
+		return kindNoData
+	}
+	return kindLame
+}
+
+func hasNS(rrs []dnswire.RR) bool {
+	for _, rr := range rrs {
+		if rr.Type() == dnswire.TypeNS {
+			return true
+		}
+	}
+	return false
+}
+
+// answerRecords extracts the relevant answer chain for (qname, qtype).
+func answerRecords(resp *dnswire.Message, qname string, qtype dnswire.Type) []dnswire.RR {
+	return append([]dnswire.RR(nil), resp.Answer...)
+}
+
+// trailingCNAME reports whether the answer ends in an unchased CNAME and
+// returns its target.
+func trailingCNAME(rrs []dnswire.RR, qtype dnswire.Type) (bool, string) {
+	if qtype == dnswire.TypeCNAME || len(rrs) == 0 {
+		return false, ""
+	}
+	last := rrs[len(rrs)-1]
+	if last.Type() != dnswire.TypeCNAME {
+		return false, ""
+	}
+	return true, last.Data.(dnswire.CNAME).Target
+}
+
+// cacheResponse stores every RRset from all sections.
+func (r *Resolver) cacheResponse(resp *dnswire.Message, now time.Time) {
+	for _, sec := range [][]dnswire.RR{resp.Answer, resp.Authority, resp.Additional} {
+		bySet := make(map[cacheKey][]dnswire.RR)
+		for _, rr := range sec {
+			k := cacheKey{dnswire.CanonicalName(rr.Name), rr.Type()}
+			bySet[k] = append(bySet[k], rr)
+		}
+		for k, rrs := range bySet {
+			r.cache.Put(k.name, k.typ, rrs, now)
+		}
+	}
+}
+
+// cacheNegative stores an NXDOMAIN/NODATA for the SOA minimum TTL.
+func (r *Resolver) cacheNegative(resp *dnswire.Message, qname string, qtype dnswire.Type, now time.Time) {
+	ttl := uint32(60)
+	for _, rr := range resp.Authority {
+		if soa, ok := rr.Data.(dnswire.SOA); ok {
+			ttl = soa.Minimum
+			if rr.TTL < ttl {
+				ttl = rr.TTL
+			}
+			break
+		}
+	}
+	r.cache.PutNegative(qname, qtype, ttl, now)
+}
+
+// referralServers resolves the delegation NS set in resp to addresses,
+// using glue when present and recursing (bounded) when not.
+func (r *Resolver) referralServers(ctx context.Context, st *resolveState, resp *dnswire.Message, now time.Time) []netip.AddrPort {
+	var nsSet []dnswire.RR
+	for _, rr := range resp.Authority {
+		if rr.Type() == dnswire.TypeNS {
+			nsSet = append(nsSet, rr)
+		}
+	}
+	out := r.serverAddrs(nsSet, now)
+	if len(out) > 0 {
+		return out
+	}
+	// Glueless delegation: resolve the nameserver addresses themselves,
+	// within the per-query side-quest budget.
+	for _, rr := range nsSet {
+		ns, ok := rr.Data.(dnswire.NS)
+		if !ok || st.gluelessBudget <= 0 {
+			continue
+		}
+		st.gluelessBudget--
+		sub, err := r.resolveWith(ctx, st, ns.Host, dnswire.TypeA, 0)
+		if err != nil || sub.Rcode != dnswire.RcodeNoError {
+			continue
+		}
+		for _, a := range sub.Records {
+			if v, ok := a.Data.(dnswire.A); ok {
+				out = append(out, netip.AddrPortFrom(v.Addr, 53))
+			}
+		}
+		if len(out) > 0 {
+			break
+		}
+	}
+	return out
+}
+
+// serverAddrs maps NS records to addresses via the cache.
+func (r *Resolver) serverAddrs(nsSet []dnswire.RR, now time.Time) []netip.AddrPort {
+	var out []netip.AddrPort
+	for _, rr := range nsSet {
+		ns, ok := rr.Data.(dnswire.NS)
+		if !ok {
+			continue
+		}
+		if rrs, neg, ok := r.cache.Get(ns.Host, dnswire.TypeA, now); ok && !neg {
+			for _, a := range rrs {
+				if v, ok := a.Data.(dnswire.A); ok {
+					out = append(out, netip.AddrPortFrom(v.Addr, 53))
+				}
+			}
+		}
+		if rrs, neg, ok := r.cache.Get(ns.Host, dnswire.TypeAAAA, now); ok && !neg {
+			for _, a := range rrs {
+				if v, ok := a.Data.(dnswire.AAAA); ok {
+					out = append(out, netip.AddrPortFrom(v.Addr, 53))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func removeServer(servers []netip.AddrPort, s netip.AddrPort) []netip.AddrPort {
+	out := servers[:0]
+	for _, v := range servers {
+		if v != s {
+			out = append(out, v)
+		}
+	}
+	return out
+}

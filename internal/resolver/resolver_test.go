@@ -1,0 +1,428 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ldplayer/internal/authserver"
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/zone"
+)
+
+var (
+	rootNS = netip.MustParseAddr("198.41.0.4")
+	comNS  = netip.MustParseAddr("192.5.6.30")
+	orgNS  = netip.MustParseAddr("199.19.56.1")
+	exNS   = netip.MustParseAddr("192.0.2.1")
+)
+
+const rootText = `
+.	86400	IN	SOA	a.root-servers.net. nstld. 1 1800 900 604800 86400
+.	518400	IN	NS	a.root-servers.net.
+a.root-servers.net.	518400	IN	A	198.41.0.4
+com.	172800	IN	NS	a.gtld-servers.net.
+a.gtld-servers.net.	172800	IN	A	192.5.6.30
+org.	172800	IN	NS	a0.org-servers.net.
+a0.org-servers.net.	172800	IN	A	199.19.56.1
+`
+
+const comText = `
+com.	900	IN	SOA	a.gtld-servers.net. nstld. 1 1800 900 604800 900
+com.	172800	IN	NS	a.gtld-servers.net.
+example.com.	172800	IN	NS	ns1.example.com.
+ns1.example.com.	172800	IN	A	192.0.2.1
+glueless.com.	172800	IN	NS	ns1.example.com.
+`
+
+const orgText = `
+org.	900	IN	SOA	a0.org-servers.net. nstld. 1 1800 900 604800 900
+org.	172800	IN	NS	a0.org-servers.net.
+alias.org.	300	IN	CNAME	www.example.com.
+`
+
+const exText = `
+example.com.	3600	IN	SOA	ns1.example.com. host. 1 7200 3600 1209600 300
+example.com.	3600	IN	NS	ns1.example.com.
+ns1.example.com.	3600	IN	A	192.0.2.1
+www.example.com.	300	IN	A	192.0.2.80
+`
+
+// gluelessText is a second zone hosted by the same nameserver as
+// example.com (one server, many zones — the view carries both).
+const gluelessText = `
+glueless.com.	3600	IN	SOA	ns1.example.com. host. 1 7200 3600 1209600 300
+glueless.com.	3600	IN	NS	ns1.example.com.
+web.glueless.com.	60	IN	A	192.0.2.90
+`
+
+// engineExchanger answers exchanges from an authserver.Engine, passing the
+// *queried server address* as the split-horizon source — precisely the
+// transformation the proxies perform on the wire.
+type engineExchanger struct {
+	engine *authserver.Engine
+
+	mu    sync.Mutex
+	calls []netip.Addr
+	fail  map[netip.Addr]bool
+}
+
+func (e *engineExchanger) Exchange(ctx context.Context, server netip.AddrPort, q *dnswire.Message) (*dnswire.Message, error) {
+	e.mu.Lock()
+	e.calls = append(e.calls, server.Addr())
+	failed := e.fail[server.Addr()]
+	e.mu.Unlock()
+	if failed {
+		return nil, errors.New("server unreachable")
+	}
+	wire, err := q.Pack(nil)
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.engine.Respond(wire, server.Addr(), authserver.UDP)
+	if err != nil {
+		return nil, err
+	}
+	var resp dnswire.Message
+	if err := resp.Unpack(out); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (e *engineExchanger) callCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.calls)
+}
+
+func buildHierarchy(t *testing.T) *engineExchanger {
+	t.Helper()
+	parse := func(text, origin string) *zone.Zone {
+		z, err := zone.Parse(strings.NewReader(text), origin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return z
+	}
+	e := authserver.NewEngine()
+	views := []*authserver.View{
+		{Name: "root", Sources: []netip.Addr{rootNS}, Zones: []*zone.Zone{parse(rootText, ".")}},
+		{Name: "com", Sources: []netip.Addr{comNS}, Zones: []*zone.Zone{parse(comText, "com.")}},
+		{Name: "org", Sources: []netip.Addr{orgNS}, Zones: []*zone.Zone{parse(orgText, "org.")}},
+		{Name: "example", Sources: []netip.Addr{exNS}, Zones: []*zone.Zone{parse(exText, "example.com."), parse(gluelessText, "glueless.com.")}},
+	}
+	for _, v := range views {
+		if err := e.AddView(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &engineExchanger{engine: e, fail: make(map[netip.Addr]bool)}
+}
+
+func newResolver(t *testing.T, ex Exchanger, now func() time.Time) *Resolver {
+	t.Helper()
+	r, err := New(Config{
+		Roots:     []netip.Addr{rootNS},
+		Exchanger: ex,
+		Now:       now,
+		Rand:      rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestColdCacheWalksHierarchy(t *testing.T) {
+	ex := buildHierarchy(t)
+	r := newResolver(t, ex, nil)
+	ans, err := r.Resolve(context.Background(), "www.example.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Rcode != dnswire.RcodeNoError || len(ans.Records) != 1 {
+		t.Fatalf("answer = %+v", ans)
+	}
+	if ans.Records[0].Data.String() != "192.0.2.80" {
+		t.Errorf("records = %v", ans.Records)
+	}
+	// Cold cache must touch exactly root -> com -> example.
+	if ans.Upstream != 3 {
+		t.Errorf("upstream = %d, want 3", ans.Upstream)
+	}
+	want := []netip.Addr{rootNS, comNS, exNS}
+	for i, a := range ex.calls {
+		if a != want[i] {
+			t.Errorf("call %d went to %v, want %v", i, a, want[i])
+		}
+	}
+}
+
+func TestWarmCacheAnswersLocally(t *testing.T) {
+	ex := buildHierarchy(t)
+	r := newResolver(t, ex, nil)
+	if _, err := r.Resolve(context.Background(), "www.example.com.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	before := ex.callCount()
+	ans, err := r.Resolve(context.Background(), "www.example.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Upstream != 0 {
+		t.Errorf("warm resolve used %d upstream queries", ans.Upstream)
+	}
+	if ex.callCount() != before {
+		t.Errorf("warm resolve hit the network")
+	}
+}
+
+func TestWarmCacheSkipsUpperHierarchy(t *testing.T) {
+	ex := buildHierarchy(t)
+	r := newResolver(t, ex, nil)
+	if _, err := r.Resolve(context.Background(), "www.example.com.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	ex.mu.Lock()
+	ex.calls = nil
+	ex.mu.Unlock()
+	// A sibling name in the same zone: the cached example.com. NS set
+	// means only the example server is contacted, not root or com.
+	ans, err := r.Resolve(context.Background(), "ns1.example.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Upstream != 0 {
+		// ns1 A came as glue, so it may be answered entirely from cache.
+		for _, a := range ex.calls {
+			if a == rootNS || a == comNS {
+				t.Errorf("warm resolver contacted upper hierarchy: %v", ex.calls)
+			}
+		}
+	}
+}
+
+func TestNXDomainAndNegativeCache(t *testing.T) {
+	ex := buildHierarchy(t)
+	r := newResolver(t, ex, nil)
+	ans, err := r.Resolve(context.Background(), "missing.example.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Rcode != dnswire.RcodeNXDomain {
+		t.Fatalf("rcode = %v", ans.Rcode)
+	}
+	before := ex.callCount()
+	ans, err = r.Resolve(context.Background(), "missing.example.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Rcode != dnswire.RcodeNXDomain || ex.callCount() != before {
+		t.Errorf("negative cache miss: rcode=%v calls %d->%d", ans.Rcode, before, ex.callCount())
+	}
+}
+
+func TestCrossZoneCNAME(t *testing.T) {
+	ex := buildHierarchy(t)
+	r := newResolver(t, ex, nil)
+	ans, err := r.Resolve(context.Background(), "alias.org.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Records) < 2 {
+		t.Fatalf("records = %v", ans.Records)
+	}
+	if ans.Records[0].Type() != dnswire.TypeCNAME {
+		t.Errorf("first record = %v", ans.Records[0])
+	}
+	last := ans.Records[len(ans.Records)-1]
+	if last.Type() != dnswire.TypeA || last.Data.String() != "192.0.2.80" {
+		t.Errorf("last record = %v", last)
+	}
+}
+
+func TestGluelessDelegation(t *testing.T) {
+	ex := buildHierarchy(t)
+	r := newResolver(t, ex, nil)
+	// glueless.com. is delegated to ns1.example.com with no glue in com.
+	ans, err := r.Resolve(context.Background(), "web.glueless.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Records) != 1 || ans.Records[0].Data.String() != "192.0.2.90" {
+		t.Errorf("records = %v", ans.Records)
+	}
+}
+
+func TestTTLExpiryForcesRefetch(t *testing.T) {
+	ex := buildHierarchy(t)
+	current := time.Unix(1_700_000_000, 0)
+	var mu sync.Mutex
+	now := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return current
+	}
+	r := newResolver(t, ex, now)
+	if _, err := r.Resolve(context.Background(), "www.example.com.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	// Advance beyond the 300 s answer TTL but below the NS TTLs.
+	mu.Lock()
+	current = current.Add(10 * time.Minute)
+	mu.Unlock()
+	ans, err := r.Resolve(context.Background(), "www.example.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Upstream == 0 {
+		t.Error("expired answer served from cache")
+	}
+	if ans.Upstream != 1 {
+		t.Errorf("refetch used %d queries; cached NS should limit it to 1", ans.Upstream)
+	}
+}
+
+func TestServerFailureRotation(t *testing.T) {
+	ex := buildHierarchy(t)
+	// Two roots; the first is dead.
+	deadRoot := netip.MustParseAddr("198.41.0.5")
+	ex.fail[deadRoot] = true
+	r, err := New(Config{
+		Roots:     []netip.Addr{deadRoot, rootNS},
+		Exchanger: ex,
+		Rand:      rand.New(rand.NewSource(3)), // seed chosen to hit the dead root first
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := r.Resolve(context.Background(), "www.example.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Records) != 1 {
+		t.Errorf("records = %v", ans.Records)
+	}
+}
+
+func TestResolveTypeMismatchNoData(t *testing.T) {
+	ex := buildHierarchy(t)
+	r := newResolver(t, ex, nil)
+	ans, err := r.Resolve(context.Background(), "www.example.com.", dnswire.TypeTXT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Rcode != dnswire.RcodeNoError || len(ans.Records) != 0 {
+		t.Errorf("NODATA answer = %+v", ans)
+	}
+}
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache()
+	now := time.Unix(0, 0)
+	rr := dnswire.RR{Name: "x.example.", Class: dnswire.ClassINET, TTL: 60,
+		Data: dnswire.A{Addr: netip.MustParseAddr("192.0.2.7")}}
+	c.Put("x.example.", dnswire.TypeA, []dnswire.RR{rr}, now)
+	if got, _, ok := c.Get("X.EXAMPLE.", dnswire.TypeA, now.Add(59*time.Second)); !ok || len(got) != 1 {
+		t.Error("cache miss before expiry (case-insensitive)")
+	}
+	if _, _, ok := c.Get("x.example.", dnswire.TypeA, now.Add(61*time.Second)); ok {
+		t.Error("cache hit after expiry")
+	}
+	c.PutNegative("gone.example.", dnswire.TypeA, 30, now)
+	if _, neg, ok := c.Get("gone.example.", dnswire.TypeA, now); !ok || !neg {
+		t.Error("negative entry lost")
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Error("flush left entries")
+	}
+}
+
+// TestLameServerRotation: a nameserver answering REFUSED (lame) must be
+// dropped in favour of its siblings.
+func TestLameServerRotation(t *testing.T) {
+	ex := buildHierarchy(t)
+	// A second example.com nameserver that is not configured in any view:
+	// queries to it return REFUSED, making it lame.
+	lameNS := netip.MustParseAddr("192.0.2.2")
+	r, err := New(Config{
+		Roots:     []netip.Addr{rootNS},
+		Exchanger: ex,
+		Rand:      rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the cache so the resolver knows both example.com servers,
+	// one of them lame.
+	now := time.Now()
+	r.Cache().Put("example.com.", dnswire.TypeNS, []dnswire.RR{
+		{Name: "example.com.", Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.NS{Host: "ns1.example.com."}},
+		{Name: "example.com.", Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.NS{Host: "ns2.example.com."}},
+	}, now)
+	r.Cache().Put("ns1.example.com.", dnswire.TypeA, []dnswire.RR{
+		{Name: "ns1.example.com.", Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.A{Addr: exNS}},
+	}, now)
+	r.Cache().Put("ns2.example.com.", dnswire.TypeA, []dnswire.RR{
+		{Name: "ns2.example.com.", Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.A{Addr: lameNS}},
+	}, now)
+
+	// Run several resolutions; regardless of which server the RNG picks
+	// first, every one must eventually succeed via the healthy server.
+	for i := 0; i < 5; i++ {
+		r.Cache().Flush()
+		r.Cache().Put("example.com.", dnswire.TypeNS, []dnswire.RR{
+			{Name: "example.com.", Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.NS{Host: "ns1.example.com."}},
+			{Name: "example.com.", Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.NS{Host: "ns2.example.com."}},
+		}, now)
+		r.Cache().Put("ns1.example.com.", dnswire.TypeA, []dnswire.RR{
+			{Name: "ns1.example.com.", Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.A{Addr: exNS}},
+		}, now)
+		r.Cache().Put("ns2.example.com.", dnswire.TypeA, []dnswire.RR{
+			{Name: "ns2.example.com.", Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.A{Addr: lameNS}},
+		}, now)
+		ans, err := r.Resolve(context.Background(), "www.example.com.", dnswire.TypeA)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if len(ans.Records) != 1 || ans.Records[0].Data.String() != "192.0.2.80" {
+			t.Fatalf("iteration %d: records = %v", i, ans.Records)
+		}
+	}
+}
+
+// TestResolverConcurrentSafe hammers one resolver from many goroutines.
+func TestResolverConcurrentSafe(t *testing.T) {
+	ex := buildHierarchy(t)
+	r := newResolver(t, ex, nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				name := "www.example.com."
+				if (i+j)%3 == 0 {
+					name = "web.glueless.com."
+				}
+				if _, err := r.Resolve(context.Background(), name, dnswire.TypeA); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

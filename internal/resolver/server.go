@@ -1,0 +1,142 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldplayer/internal/dnswire"
+)
+
+// Server exposes a Resolver as a recursive DNS server over UDP — the
+// "Recursive Server" box of Figure 1 that recursive-trace replay targets.
+// Stub queries arrive with RD set; the server resolves them iteratively
+// through the emulated hierarchy (walking root → TLD → SLD on a cold
+// cache) and answers with RA set.
+type Server struct {
+	Resolver *Resolver
+	// Timeout bounds one recursive resolution (default 5 s).
+	Timeout time.Duration
+	// Workers is the handler pool size (default 8): one slow resolution
+	// must not head-of-line block the rest.
+	Workers int
+
+	conn   *net.UDPConn
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	queries  atomic.Int64
+	failures atomic.Int64
+}
+
+// Start binds the server to addr ("127.0.0.1:0" forms allowed).
+func (s *Server) Start(addr string) error {
+	if s.Resolver == nil {
+		return errors.New("resolver: Server.Resolver is nil")
+	}
+	if s.Timeout <= 0 {
+		s.Timeout = 5 * time.Second
+	}
+	if s.Workers <= 0 {
+		s.Workers = 8
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	if s.conn, err = net.ListenUDP("udp", uaddr); err != nil {
+		return err
+	}
+	// One reader fans queries out to a worker pool over a channel; the
+	// workers resolve and respond.
+	type job struct {
+		query []byte
+		from  netip.AddrPort
+	}
+	jobs := make(chan job, 256)
+	for i := 0; i < s.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range jobs {
+				s.handle(j.query, j.from)
+			}
+		}()
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(jobs)
+		buf := make([]byte, 64*1024)
+		for {
+			n, from, err := s.conn.ReadFromUDPAddrPort(buf)
+			if err != nil {
+				return // closed
+			}
+			q := make([]byte, n)
+			copy(q, buf[:n])
+			select {
+			case jobs <- job{query: q, from: from}:
+			default:
+				// Pool saturated: drop, like a real resolver under DoS.
+			}
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() *net.UDPAddr {
+	if s.conn == nil {
+		return nil
+	}
+	return s.conn.LocalAddr().(*net.UDPAddr)
+}
+
+// Queries returns the number of stub queries handled.
+func (s *Server) Queries() int64 { return s.queries.Load() }
+
+// Failures returns the number of resolutions that ended in SERVFAIL.
+func (s *Server) Failures() int64 { return s.failures.Load() }
+
+// Close shuts the server down and waits for in-flight resolutions.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) handle(query []byte, from netip.AddrPort) {
+	var q dnswire.Message
+	if err := q.Unpack(query); err != nil || q.Header.QR || len(q.Question) != 1 {
+		return // undecodable stub queries are dropped, like BIND's formerr path
+	}
+	s.queries.Add(1)
+	resp := dnswire.ResponseTo(&q)
+	resp.Header.RA = true
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.Timeout)
+	ans, err := s.Resolver.Resolve(ctx, q.Question[0].Name, q.Question[0].Type)
+	cancel()
+	switch {
+	case err != nil:
+		s.failures.Add(1)
+		resp.Header.Rcode = dnswire.RcodeServFail
+	default:
+		resp.Header.Rcode = ans.Rcode
+		resp.Answer = ans.Records
+	}
+	wire, err := resp.Pack(nil)
+	if err != nil {
+		return
+	}
+	_, _ = s.conn.WriteToUDPAddrPort(wire, from)
+}

@@ -1,0 +1,136 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/netsim"
+)
+
+// NetsimExchanger exchanges queries over a netsim node, emulating UDP
+// sockets: each in-flight exchange owns an ephemeral source port and
+// responses are demultiplexed by destination port.
+type NetsimExchanger struct {
+	node *netsim.Node
+	addr netip.Addr
+
+	mu       sync.Mutex
+	nextPort uint16
+	pending  map[uint16]chan netsim.Datagram
+}
+
+// NewNetsimExchanger wires an exchanger to node, sourcing traffic from
+// addr (one of the node's addresses). It installs the node's handler.
+func NewNetsimExchanger(node *netsim.Node, addr netip.Addr) *NetsimExchanger {
+	e := &NetsimExchanger{
+		node:     node,
+		addr:     addr,
+		nextPort: 32768,
+		pending:  make(map[uint16]chan netsim.Datagram),
+	}
+	node.Handle(e.deliver)
+	return e
+}
+
+func (e *NetsimExchanger) deliver(d netsim.Datagram) {
+	e.mu.Lock()
+	ch, ok := e.pending[d.Dst.Port()]
+	e.mu.Unlock()
+	if !ok {
+		return // late or unsolicited response
+	}
+	select {
+	case ch <- d:
+	default:
+	}
+}
+
+// Exchange implements Exchanger.
+func (e *NetsimExchanger) Exchange(ctx context.Context, server netip.AddrPort, q *dnswire.Message) (*dnswire.Message, error) {
+	wire, err := q.Pack(nil)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan netsim.Datagram, 1)
+	e.mu.Lock()
+	port := e.nextPort
+	e.nextPort++
+	if e.nextPort < 1024 {
+		e.nextPort = 32768
+	}
+	e.pending[port] = ch
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.pending, port)
+		e.mu.Unlock()
+	}()
+
+	e.node.Send(netsim.Datagram{
+		Src:     netip.AddrPortFrom(e.addr, port),
+		Dst:     server,
+		Payload: wire,
+	})
+	select {
+	case d := <-ch:
+		if d.Src != server {
+			return nil, fmt.Errorf("resolver: response from %v, queried %v", d.Src, server)
+		}
+		var resp dnswire.Message
+		if err := resp.Unpack(d.Payload); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// UDPExchanger exchanges queries over real UDP sockets (live mode).
+type UDPExchanger struct {
+	// MaxSize is the receive buffer size; defaults to 64 KiB.
+	MaxSize int
+}
+
+// Exchange implements Exchanger over a fresh UDP socket per query, the
+// way a cold-path resolver query goes out.
+func (e *UDPExchanger) Exchange(ctx context.Context, server netip.AddrPort, q *dnswire.Message) (*dnswire.Message, error) {
+	wire, err := q.Pack(nil)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("udp", server.String())
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	size := e.MaxSize
+	if size <= 0 {
+		size = 64 * 1024
+	}
+	buf := make([]byte, size)
+	n, err := conn.Read(buf)
+	if err != nil {
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			return nil, context.DeadlineExceeded
+		}
+		return nil, err
+	}
+	var resp dnswire.Message
+	if err := resp.Unpack(buf[:n]); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,52 @@
+package sysmodel
+
+import (
+	"testing"
+	"time"
+
+	"ldplayer/internal/trace"
+)
+
+// BenchmarkSimulateTCP measures discrete-event throughput: simulated
+// queries per wall-clock second determine how far past the paper's scale
+// the what-if experiments can go.
+func BenchmarkSimulateTCP(b *testing.B) {
+	entries := make([]trace.Entry, 0, 50000)
+	src := mkTraceB(b, 50000, 5000, 50*time.Microsecond, trace.TCP)
+	entries = append(entries, src...)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(trace.NewSliceReader(entries), Config{
+			RTT: 20 * time.Millisecond, IdleTimeout: 20 * time.Second,
+			SampleEvery: time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Queries != int64(len(entries)) {
+			b.Fatal("lost queries")
+		}
+	}
+	b.ReportMetric(float64(len(entries)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// mkTraceB mirrors the test helper for benchmarks.
+func mkTraceB(b *testing.B, n, nClients int, gap time.Duration, p trace.Protocol) []trace.Entry {
+	b.Helper()
+	t := &testing.T{}
+	_ = t
+	base := time.Unix(1_700_000_000, 0)
+	out := make([]trace.Entry, n)
+	msg := []byte{0, 1, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 7, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 0, 0, 1, 0, 1}
+	for i := range out {
+		out[i] = trace.Entry{
+			Time:     base.Add(time.Duration(i) * gap),
+			Src:      addrPortForClient(i % nClients),
+			Dst:      addrPortForClient(1 << 20),
+			Protocol: p,
+			Message:  msg,
+		}
+	}
+	return out
+}

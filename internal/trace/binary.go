@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The customized binary stream (§2.5, Figure 3): the length of each
+// message is pre-pended so the replay engine can carve the stream into
+// internal messages without parsing DNS. Layout per record (big endian):
+//
+//	uint32  payload length (everything after this field)
+//	int64   timestamp, unix nanoseconds
+//	uint8   address family: 4 or 16 (applies to both addresses)
+//	[n]byte src address  (4 or 16 bytes)
+//	uint16  src port
+//	[n]byte dst address
+//	uint16  dst port
+//	uint8   protocol
+//	[...]   wire-format DNS message
+//
+// The stream starts with an 8-byte magic "LDPLAY01" so truncated or
+// mis-typed input fails fast.
+
+var binaryMagic = [8]byte{'L', 'D', 'P', 'L', 'A', 'Y', '0', '1'}
+
+// maxBinaryRecord bounds a record payload: timestamp + addresses + the
+// largest possible DNS message.
+const maxBinaryRecord = 8 + 1 + 2*(16+2) + 1 + 1<<16
+
+// BinaryWriter writes the internal-message stream.
+type BinaryWriter struct {
+	w         *bufio.Writer
+	wroteHead bool
+	scratch   []byte
+}
+
+// NewBinaryWriter creates a BinaryWriter on w.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{w: bufio.NewWriterSize(w, 256*1024)}
+}
+
+// Write implements Writer.
+func (b *BinaryWriter) Write(e Entry) error {
+	if !b.wroteHead {
+		if _, err := b.w.Write(binaryMagic[:]); err != nil {
+			return err
+		}
+		b.wroteHead = true
+	}
+	b.scratch = MarshalEntry(b.scratch[:0], e)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b.scratch)))
+	if _, err := b.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := b.w.Write(b.scratch)
+	return err
+}
+
+// Flush flushes buffered output.
+func (b *BinaryWriter) Flush() error { return b.w.Flush() }
+
+// BinaryReader reads the internal-message stream.
+type BinaryReader struct {
+	r        *bufio.Reader
+	readHead bool
+}
+
+// NewBinaryReader creates a BinaryReader on r.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{r: bufio.NewReaderSize(r, 256*1024)}
+}
+
+// Next implements Reader.
+func (b *BinaryReader) Next() (Entry, error) {
+	if !b.readHead {
+		var magic [8]byte
+		if _, err := io.ReadFull(b.r, magic[:]); err != nil {
+			if err == io.EOF {
+				return Entry{}, io.EOF
+			}
+			return Entry{}, fmt.Errorf("trace: reading binary magic: %w", err)
+		}
+		if magic != binaryMagic {
+			return Entry{}, fmt.Errorf("trace: bad binary magic %q", magic[:])
+		}
+		b.readHead = true
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(b.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Entry{}, io.EOF
+		}
+		return Entry{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxBinaryRecord {
+		return Entry{}, fmt.Errorf("trace: binary record of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(b.r, buf); err != nil {
+		return Entry{}, fmt.Errorf("trace: truncated binary record: %w", err)
+	}
+	e, err := UnmarshalEntry(buf)
+	if err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// MarshalEntry appends the internal-message record encoding of e (the
+// payload that follows the length prefix in the binary stream format) to
+// buf. The controller-to-distributor links reuse this encoding.
+func MarshalEntry(buf []byte, e Entry) []byte {
+	src, dst := e.Src.Addr(), e.Dst.Addr()
+	fam := byte(4)
+	if src.Is6() || dst.Is6() {
+		fam = 16
+	}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Time.UnixNano()))
+	buf = append(buf, fam)
+	appendAddr := func(ap AddrPort) []byte {
+		if fam == 4 {
+			a4 := ap.Addr().As4()
+			buf = append(buf, a4[:]...)
+		} else {
+			a16 := ap.Addr().As16()
+			buf = append(buf, a16[:]...)
+		}
+		return binary.BigEndian.AppendUint16(buf, ap.Port())
+	}
+	buf = appendAddr(e.Src)
+	buf = appendAddr(e.Dst)
+	buf = append(buf, byte(e.Protocol))
+	return append(buf, e.Message...)
+}
+
+// AddrPort aliases netip.AddrPort for the helper above.
+type AddrPort = netip.AddrPort
+
+// UnmarshalEntry decodes a record payload produced by MarshalEntry. The
+// returned entry's Message aliases buf.
+func UnmarshalEntry(buf []byte) (Entry, error) {
+	if len(buf) < 8+1 {
+		return Entry{}, fmt.Errorf("trace: record too short")
+	}
+	var e Entry
+	e.Time = time.Unix(0, int64(binary.BigEndian.Uint64(buf)))
+	fam := buf[8]
+	if fam != 4 && fam != 16 {
+		return Entry{}, fmt.Errorf("trace: bad address family %d", fam)
+	}
+	addrLen := int(fam)
+	need := 9 + 2*(addrLen+2) + 1
+	if len(buf) < need {
+		return Entry{}, fmt.Errorf("trace: record too short for addresses")
+	}
+	off := 9
+	readAddr := func() netip.AddrPort {
+		var a netip.Addr
+		if fam == 4 {
+			a = netip.AddrFrom4([4]byte(buf[off : off+4]))
+		} else {
+			a = netip.AddrFrom16([16]byte(buf[off : off+16])).Unmap()
+		}
+		off += addrLen
+		p := binary.BigEndian.Uint16(buf[off:])
+		off += 2
+		return netip.AddrPortFrom(a, p)
+	}
+	e.Src = readAddr()
+	e.Dst = readAddr()
+	e.Protocol = Protocol(buf[off])
+	off++
+	e.Message = buf[off:]
+	return e, nil
+}

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"ldplayer/internal/dnswire"
+)
+
+// The plain-text trace format (§2.5): one DNS message per line, columns
+// separated by whitespace, editable with any text editor or awk:
+//
+//	<epoch.micros> <src ip:port> <dst ip:port> <proto> <id> <flags> <qname> <qclass> <qtype> <edns-size|-> <do|->
+//
+// Example:
+//
+//	1461234567.012345 192.168.1.1:5353 198.41.0.4:53 udp 4711 rd example.com. IN A 4096 do
+//
+// Flags is a +-joined subset of {rd,cd,ad,tc} or "-". The last two columns
+// are "-" when the query carries no OPT record. Lines starting with '#'
+// are comments.
+
+// TextWriter writes entries as editable text lines.
+type TextWriter struct {
+	w *bufio.Writer
+}
+
+// NewTextWriter creates a TextWriter on w.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{w: bufio.NewWriter(w)}
+}
+
+// Write implements Writer.
+func (t *TextWriter) Write(e Entry) error {
+	var m dnswire.Message
+	if err := m.Unpack(e.Message); err != nil {
+		return fmt.Errorf("trace: text-encoding undecodable message: %w", err)
+	}
+	if len(m.Question) != 1 {
+		return fmt.Errorf("trace: message has %d questions", len(m.Question))
+	}
+	q := m.Question[0]
+
+	var flags []string
+	if m.Header.RD {
+		flags = append(flags, "rd")
+	}
+	if m.Header.CD {
+		flags = append(flags, "cd")
+	}
+	if m.Header.AD {
+		flags = append(flags, "ad")
+	}
+	if m.Header.TC {
+		flags = append(flags, "tc")
+	}
+	flagStr := "-"
+	if len(flags) > 0 {
+		flagStr = strings.Join(flags, "+")
+	}
+	ednsStr, doStr := "-", "-"
+	if m.Edns != nil {
+		ednsStr = strconv.Itoa(int(m.Edns.UDPSize))
+		if m.Edns.DO {
+			doStr = "do"
+		}
+	}
+	_, err := fmt.Fprintf(t.w, "%d.%06d %s %s %s %d %s %s %s %s %s %s\n",
+		e.Time.Unix(), e.Time.Nanosecond()/1000,
+		e.Src, e.Dst, e.Protocol, m.Header.ID, flagStr,
+		q.Name, q.Class, q.Type, ednsStr, doStr)
+	return err
+}
+
+// Flush flushes buffered output.
+func (t *TextWriter) Flush() error { return t.w.Flush() }
+
+// TextReader parses the text format back into entries, rebuilding wire
+// messages from the parsed fields.
+type TextReader struct {
+	sc     *bufio.Scanner
+	lineno int
+}
+
+// NewTextReader creates a TextReader on r.
+func NewTextReader(r io.Reader) *TextReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &TextReader{sc: sc}
+}
+
+// Next implements Reader.
+func (t *TextReader) Next() (Entry, error) {
+	for t.sc.Scan() {
+		t.lineno++
+		line := strings.TrimSpace(t.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseTextLine(line)
+		if err != nil {
+			return Entry{}, fmt.Errorf("trace: line %d: %w", t.lineno, err)
+		}
+		return e, nil
+	}
+	if err := t.sc.Err(); err != nil {
+		return Entry{}, err
+	}
+	return Entry{}, io.EOF
+}
+
+func parseTextLine(line string) (Entry, error) {
+	f := strings.Fields(line)
+	if len(f) != 11 {
+		return Entry{}, fmt.Errorf("expected 11 fields, got %d", len(f))
+	}
+	var e Entry
+
+	secs, micros, ok := strings.Cut(f[0], ".")
+	if !ok {
+		return Entry{}, fmt.Errorf("bad timestamp %q", f[0])
+	}
+	sec, err1 := strconv.ParseInt(secs, 10, 64)
+	usec, err2 := strconv.ParseInt(micros, 10, 64)
+	if err1 != nil || err2 != nil || len(micros) != 6 {
+		return Entry{}, fmt.Errorf("bad timestamp %q", f[0])
+	}
+	e.Time = time.Unix(sec, usec*1000)
+
+	src, err := netip.ParseAddrPort(f[1])
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad src %q: %v", f[1], err)
+	}
+	e.Src = src
+	dst, err := netip.ParseAddrPort(f[2])
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad dst %q: %v", f[2], err)
+	}
+	e.Dst = dst
+
+	proto, ok := ParseProtocol(f[3])
+	if !ok {
+		return Entry{}, fmt.Errorf("bad protocol %q", f[3])
+	}
+	e.Protocol = proto
+
+	id, err := strconv.ParseUint(f[4], 10, 16)
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad id %q", f[4])
+	}
+
+	var m dnswire.Message
+	m.Header.ID = uint16(id)
+	if f[5] != "-" {
+		for _, fl := range strings.Split(f[5], "+") {
+			switch fl {
+			case "rd":
+				m.Header.RD = true
+			case "cd":
+				m.Header.CD = true
+			case "ad":
+				m.Header.AD = true
+			case "tc":
+				m.Header.TC = true
+			default:
+				return Entry{}, fmt.Errorf("bad flag %q", fl)
+			}
+		}
+	}
+
+	qclass, err := dnswire.ParseClass(f[7])
+	if err != nil {
+		return Entry{}, err
+	}
+	qtype, err := dnswire.ParseType(f[8])
+	if err != nil {
+		return Entry{}, err
+	}
+	if !dnswire.ValidName(f[6]) {
+		return Entry{}, fmt.Errorf("bad qname %q", f[6])
+	}
+	m.Question = []dnswire.Question{{Name: dnswire.CanonicalName(f[6]), Class: qclass, Type: qtype}}
+
+	if f[9] != "-" {
+		size, err := strconv.ParseUint(f[9], 10, 16)
+		if err != nil {
+			return Entry{}, fmt.Errorf("bad edns size %q", f[9])
+		}
+		m.Edns = &dnswire.EDNS{UDPSize: uint16(size), DO: f[10] == "do"}
+	} else if f[10] == "do" {
+		return Entry{}, fmt.Errorf("do bit without EDNS")
+	}
+
+	wire, err := m.Pack(nil)
+	if err != nil {
+		return Entry{}, err
+	}
+	e.Message = wire
+	return e, nil
+}

@@ -1,0 +1,498 @@
+// Package traceg synthesizes the trace families of Table 1. Real DITL
+// B-Root captures are proprietary (available only via DNS-OARC), so the
+// generators reproduce the paper's published statistics instead: median
+// per-second rate with second-scale variation, a heavy-tailed client
+// population in which roughly 1% of clients carry three quarters of the
+// load and ~81% are nearly inactive (Figure 15c), the mid-2016 protocol
+// mix (~3% TCP) and DO-bit fraction (72.3%), and the synthetic syn-0..4
+// traces with fixed inter-arrival times. Generation is deterministic for
+// a given seed and streams entries without materializing the trace.
+package traceg
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/trace"
+)
+
+// Popular TLDs for query-name synthesis, roughly by traffic share.
+var commonTLDs = []string{
+	"com", "net", "org", "arpa", "de", "uk", "jp", "fr", "nl", "br",
+	"it", "ru", "info", "io", "edu", "gov", "cn", "au", "ca", "eu",
+}
+
+// qtypeMix approximates a root server's query-type distribution.
+var qtypeMix = []struct {
+	t dnswire.Type
+	w float64
+}{
+	{dnswire.TypeA, 0.48},
+	{dnswire.TypeAAAA, 0.21},
+	{dnswire.TypeNS, 0.08},
+	{dnswire.TypeDS, 0.07},
+	{dnswire.TypeMX, 0.05},
+	{dnswire.TypeTXT, 0.04},
+	{dnswire.TypeSOA, 0.04},
+	{dnswire.TypePTR, 0.03},
+}
+
+// BRootConfig parameterizes a B-Root-like workload.
+type BRootConfig struct {
+	// Start is the trace epoch.
+	Start time.Time
+	// Duration is the trace length.
+	Duration time.Duration
+	// MedianRate is the median queries/second (the paper's B-Root-16
+	// median is 38k; scale to taste).
+	MedianRate float64
+	// RateSigma is the lognormal σ of per-second rate variation.
+	// Default 0.12.
+	RateSigma float64
+	// Clients is the client population size.
+	Clients int
+	// ClientSkew is the Zipf s parameter for per-client load among the
+	// busy population. Default 1.8.
+	ClientSkew float64
+	// HeavyShare is the fraction of queries from the busy ~1% of clients
+	// (Figure 15c: a tiny set of clients contributes three quarters of
+	// the load). Default 0.75.
+	HeavyShare float64
+	// TCPFraction of queries use TCP (mid-2017 B-Root: ~0.03).
+	TCPFraction float64
+	// DOFraction of queries set the EDNS DO bit (mid-2016: 0.723).
+	DOFraction float64
+	// JunkFraction of queries ask for nonexistent TLDs, as real root
+	// traffic overwhelmingly does. Default 0.35.
+	JunkFraction float64
+	// BurstProb is the probability that a query continues the previous
+	// client's burst instead of drawing a fresh client. Real resolvers
+	// emit clustered queries (retries, related lookups) separated by long
+	// idle gaps; this clustering is what makes fresh connections dominate
+	// non-busy clients in the paper's Figure 15b. Default 0.5.
+	BurstProb float64
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+func (c *BRootConfig) setDefaults() error {
+	if c.Duration <= 0 || c.MedianRate <= 0 || c.Clients <= 0 {
+		return fmt.Errorf("traceg: Duration, MedianRate and Clients must be positive")
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Unix(1_492_000_000, 0)
+	}
+	if c.RateSigma == 0 {
+		c.RateSigma = 0.12
+	}
+	if c.ClientSkew == 0 {
+		c.ClientSkew = 1.8
+	}
+	if c.JunkFraction == 0 {
+		c.JunkFraction = 0.35
+	}
+	if c.BurstProb == 0 {
+		c.BurstProb = 0.5
+	}
+	if c.HeavyShare == 0 {
+		c.HeavyShare = 0.75
+	}
+	return nil
+}
+
+// BRoot returns a streaming generator of a B-Root-like trace.
+func BRoot(cfg BRootConfig) (*BRootGen, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The client population is a two-part mixture: a busy pool of ~1% of
+	// clients (resolvers of large networks) carrying HeavyShare of the
+	// load with Zipf-skewed popularity, and a long tail of mostly
+	// one-shot clients.
+	busy := cfg.Clients / 100
+	if busy < 1 {
+		busy = 1
+	}
+	zipf := rand.NewZipf(rng, cfg.ClientSkew, 8, uint64(busy-1))
+	g := &BRootGen{
+		cfg:  cfg,
+		rng:  rng,
+		zipf: zipf,
+		busy: busy,
+		now:  cfg.Start,
+		end:  cfg.Start.Add(cfg.Duration),
+	}
+	g.rollRate()
+	return g, nil
+}
+
+// BRootGen implements trace.Reader.
+type BRootGen struct {
+	cfg  BRootConfig
+	rng  *rand.Rand
+	zipf *rand.Zipf
+
+	busy       int
+	now        time.Time
+	end        time.Time
+	epochEnd   time.Time
+	epochRate  float64
+	serial     uint64
+	lastClient uint64
+	haveLast   bool
+}
+
+// rollRate draws the next one-second epoch's rate.
+func (g *BRootGen) rollRate() {
+	g.epochRate = g.cfg.MedianRate * math.Exp(g.rng.NormFloat64()*g.cfg.RateSigma)
+	g.epochEnd = g.now.Truncate(time.Second).Add(time.Second)
+	if !g.epochEnd.After(g.now) {
+		g.epochEnd = g.now.Add(time.Second)
+	}
+}
+
+// Next implements trace.Reader.
+func (g *BRootGen) Next() (trace.Entry, error) {
+	// Exponential inter-arrival at the current epoch's rate.
+	gap := time.Duration(g.rng.ExpFloat64() / g.epochRate * float64(time.Second))
+	g.now = g.now.Add(gap)
+	for g.now.After(g.epochEnd) {
+		g.rollRate()
+	}
+	if g.now.After(g.end) {
+		return trace.Entry{}, io.EOF
+	}
+	g.serial++
+
+	var idx uint64
+	switch {
+	case g.haveLast && g.rng.Float64() < g.cfg.BurstProb:
+		idx = g.lastClient
+	case g.rng.Float64() < g.cfg.HeavyShare:
+		idx = g.zipf.Uint64()
+	default:
+		idx = uint64(g.busy + g.rng.Intn(g.cfg.Clients-g.busy+1))
+	}
+	g.lastClient, g.haveLast = idx, true
+	client := g.clientAddr(idx)
+	proto := trace.UDP
+	if g.rng.Float64() < g.cfg.TCPFraction {
+		proto = trace.TCP
+	}
+	name := g.queryName()
+	qt := pickQType(g.rng)
+	// A small share of root traffic targets the apex itself: priming
+	// (./NS), key fetches (./DNSKEY), and SOA checks.
+	if g.rng.Float64() < 0.03 {
+		name = "."
+		switch g.rng.Intn(3) {
+		case 0:
+			qt = dnswire.TypeNS
+		case 1:
+			qt = dnswire.TypeDNSKEY
+		default:
+			qt = dnswire.TypeSOA
+		}
+	}
+	m := dnswire.NewQuery(uint16(g.rng.Intn(1<<16)), name, qt)
+	m.Header.RD = g.rng.Float64() < 0.2 // some stubs leak RD to the root
+	if g.rng.Float64() < g.cfg.DOFraction {
+		m.Edns = &dnswire.EDNS{UDPSize: dnswire.DefaultEDNSSize, DO: true}
+	} else if g.rng.Float64() < 0.5 {
+		m.Edns = &dnswire.EDNS{UDPSize: 1232}
+	}
+	wire, err := m.Pack(nil)
+	if err != nil {
+		return trace.Entry{}, err
+	}
+	return trace.Entry{
+		Time:     g.now,
+		Src:      netip.AddrPortFrom(client, uint16(1024+g.rng.Intn(64000))),
+		Dst:      netip.MustParseAddrPort("199.9.14.201:53"), // b.root-servers.net
+		Protocol: proto,
+		Message:  wire,
+	}, nil
+}
+
+// clientAddr maps a client index to a stable synthetic address.
+func (g *BRootGen) clientAddr(idx uint64) netip.Addr {
+	// Spread across 10.x.x.x deterministically.
+	return netip.AddrFrom4([4]byte{
+		10,
+		byte(idx >> 16),
+		byte(idx >> 8),
+		byte(idx),
+	})
+}
+
+// queryName draws a realistic root-traffic query name.
+func (g *BRootGen) queryName() string {
+	if g.rng.Float64() < g.cfg.JunkFraction {
+		// Chrome-style junk TLD probes and typos.
+		return randLabel(g.rng, 7+g.rng.Intn(9)) + "."
+	}
+	tld := commonTLDs[g.rng.Intn(len(commonTLDs))]
+	switch g.rng.Intn(4) {
+	case 0:
+		return tld + "."
+	case 1:
+		return randLabel(g.rng, 3+g.rng.Intn(10)) + "." + tld + "."
+	default:
+		return "www." + randLabel(g.rng, 3+g.rng.Intn(10)) + "." + tld + "."
+	}
+}
+
+func randLabel(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(26)] // letters dominate
+		if i > 0 && rng.Intn(8) == 0 {
+			b[i] = alphabet[26+rng.Intn(10)]
+		}
+	}
+	return string(b)
+}
+
+func pickQType(rng *rand.Rand) dnswire.Type {
+	x := rng.Float64()
+	for _, m := range qtypeMix {
+		if x < m.w {
+			return m.t
+		}
+		x -= m.w
+	}
+	return dnswire.TypeA
+}
+
+// SyntheticConfig parameterizes a syn-N trace: fixed inter-arrival, each
+// query carrying a unique name so replays can be matched afterwards
+// (§4.1).
+type SyntheticConfig struct {
+	Start time.Time
+	// InterArrival is the fixed gap between queries (0.1ms–1s in Table 1).
+	InterArrival time.Duration
+	// Duration is the trace length (60 minutes in Table 1).
+	Duration time.Duration
+	// Clients caps the distinct source addresses (Table 1: 3k–10k).
+	Clients int
+	// BaseName anchors the unique names, default "example.com.".
+	BaseName string
+	Seed     int64
+}
+
+// Synthetic returns a fixed-inter-arrival generator.
+func Synthetic(cfg SyntheticConfig) (*SyntheticGen, error) {
+	if cfg.InterArrival <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("traceg: InterArrival and Duration must be positive")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1000
+	}
+	if cfg.BaseName == "" {
+		cfg.BaseName = "example.com."
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Unix(1_492_000_000, 0)
+	}
+	return &SyntheticGen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), now: cfg.Start}, nil
+}
+
+// SyntheticGen implements trace.Reader.
+type SyntheticGen struct {
+	cfg    SyntheticConfig
+	rng    *rand.Rand
+	now    time.Time
+	serial uint64
+}
+
+// Next implements trace.Reader.
+func (g *SyntheticGen) Next() (trace.Entry, error) {
+	if g.serial > 0 {
+		g.now = g.now.Add(g.cfg.InterArrival)
+	}
+	if g.now.Sub(g.cfg.Start) >= g.cfg.Duration {
+		return trace.Entry{}, io.EOF
+	}
+	g.serial++
+	name := fmt.Sprintf("u%d.%s", g.serial, g.cfg.BaseName)
+	m := dnswire.NewQuery(uint16(g.serial), name, dnswire.TypeA)
+	wire, err := m.Pack(nil)
+	if err != nil {
+		return trace.Entry{}, err
+	}
+	client := uint64(g.rng.Intn(g.cfg.Clients))
+	return trace.Entry{
+		Time:     g.now,
+		Src:      netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, byte(client >> 16), byte(client >> 8), byte(client)}), 5353),
+		Dst:      netip.MustParseAddrPort("192.0.2.53:53"),
+		Protocol: trace.UDP,
+		Message:  wire,
+	}, nil
+}
+
+// RecursiveConfig parameterizes a Rec-17-like department-level recursive
+// trace: slow (mean inter-arrival ~0.18s), few clients (~91), names
+// spread over hundreds of zones.
+type RecursiveConfig struct {
+	Start    time.Time
+	Duration time.Duration
+	// MeanInterArrival between queries; default 180.8ms (Table 1).
+	MeanInterArrival time.Duration
+	// Clients defaults to 91 (Table 1).
+	Clients int
+	// Zones defaults to 549 distinct SLDs (§2.4).
+	Zones int
+	Seed  int64
+}
+
+// Recursive returns a recursive-workload generator.
+func Recursive(cfg RecursiveConfig) (*RecursiveGen, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("traceg: Duration must be positive")
+	}
+	if cfg.MeanInterArrival <= 0 {
+		cfg.MeanInterArrival = 180800 * time.Microsecond
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 91
+	}
+	if cfg.Zones <= 0 {
+		cfg.Zones = 549
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Unix(1_504_286_520, 0)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &RecursiveGen{cfg: cfg, rng: rng, now: cfg.Start}
+	g.zones = make([]string, cfg.Zones)
+	for i := range g.zones {
+		tld := commonTLDs[rng.Intn(len(commonTLDs))]
+		g.zones[i] = randLabel(rng, 4+rng.Intn(10)) + "." + tld + "."
+	}
+	// Zone popularity is itself skewed.
+	g.zipf = rand.NewZipf(rng, 1.2, 4, uint64(cfg.Zones-1))
+	return g, nil
+}
+
+// RecursiveGen implements trace.Reader.
+type RecursiveGen struct {
+	cfg   RecursiveConfig
+	rng   *rand.Rand
+	zones []string
+	zipf  *rand.Zipf
+	now   time.Time
+}
+
+// Zones returns the SLD origins the generator queries, so experiments can
+// build the matching hierarchy.
+func (g *RecursiveGen) Zones() []string {
+	return append([]string(nil), g.zones...)
+}
+
+// Next implements trace.Reader.
+func (g *RecursiveGen) Next() (trace.Entry, error) {
+	gap := time.Duration(g.rng.ExpFloat64() * float64(g.cfg.MeanInterArrival))
+	g.now = g.now.Add(gap)
+	if g.now.Sub(g.cfg.Start) >= g.cfg.Duration {
+		return trace.Entry{}, io.EOF
+	}
+	zone := g.zones[g.zipf.Uint64()]
+	var name string
+	switch g.rng.Intn(3) {
+	case 0:
+		name = zone
+	case 1:
+		name = "www." + zone
+	default:
+		name = randLabel(g.rng, 2+g.rng.Intn(8)) + "." + zone
+	}
+	qt := dnswire.TypeA
+	if g.rng.Float64() < 0.3 {
+		qt = dnswire.TypeAAAA
+	}
+	m := dnswire.NewQuery(uint16(g.rng.Intn(1<<16)), name, qt)
+	m.Header.RD = true
+	wire, err := m.Pack(nil)
+	if err != nil {
+		return trace.Entry{}, err
+	}
+	client := g.rng.Intn(g.cfg.Clients)
+	return trace.Entry{
+		Time:     g.now,
+		Src:      netip.AddrPortFrom(netip.AddrFrom4([4]byte{192, 168, 1, byte(client)}), uint16(1024+g.rng.Intn(60000))),
+		Dst:      netip.MustParseAddrPort("192.168.1.254:53"),
+		Protocol: trace.UDP,
+		Message:  wire,
+	}, nil
+}
+
+// Stats summarizes a trace in Table 1's columns.
+type Stats struct {
+	Records        int
+	Clients        int
+	Duration       time.Duration
+	MeanInterArriv time.Duration
+	StdInterArriv  time.Duration
+	TCPFraction    float64
+	DOFraction     float64
+}
+
+// ComputeStats drains r and produces Table 1 statistics.
+func ComputeStats(r trace.Reader) (*Stats, error) {
+	var st Stats
+	clients := make(map[netip.Addr]struct{})
+	var prev time.Time
+	var first time.Time
+	var sum, sumSq float64
+	var tcp, do int
+	var m dnswire.Message
+	for {
+		e, err := r.Next()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		if st.Records == 0 {
+			first = e.Time
+		} else {
+			gap := e.Time.Sub(prev).Seconds()
+			sum += gap
+			sumSq += gap * gap
+		}
+		prev = e.Time
+		st.Records++
+		clients[e.Src.Addr()] = struct{}{}
+		if e.Protocol != trace.UDP {
+			tcp++
+		}
+		if err := m.Unpack(e.Message); err == nil && m.Edns != nil && m.Edns.DO {
+			do++
+		}
+	}
+	st.Clients = len(clients)
+	if st.Records > 1 {
+		n := float64(st.Records - 1)
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		st.MeanInterArriv = time.Duration(mean * float64(time.Second))
+		st.StdInterArriv = time.Duration(math.Sqrt(variance) * float64(time.Second))
+		st.Duration = prev.Sub(first)
+	}
+	if st.Records > 0 {
+		st.TCPFraction = float64(tcp) / float64(st.Records)
+		st.DOFraction = float64(do) / float64(st.Records)
+	}
+	return &st, nil
+}

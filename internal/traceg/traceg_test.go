@@ -1,0 +1,214 @@
+package traceg
+
+import (
+	"io"
+	"math"
+	"net/netip"
+	"sort"
+	"testing"
+	"time"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/trace"
+)
+
+func TestBRootRateMatchesConfig(t *testing.T) {
+	g, err := BRoot(BRootConfig{
+		Duration:    20 * time.Second,
+		MedianRate:  500,
+		Clients:     5000,
+		TCPFraction: 0.03,
+		DOFraction:  0.723,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ComputeStats(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(st.Records) / st.Duration.Seconds()
+	if rate < 400 || rate > 620 {
+		t.Errorf("rate = %.0f q/s, want ~500", rate)
+	}
+	if st.TCPFraction < 0.015 || st.TCPFraction > 0.05 {
+		t.Errorf("TCP fraction = %.3f", st.TCPFraction)
+	}
+	if st.DOFraction < 0.68 || st.DOFraction > 0.77 {
+		t.Errorf("DO fraction = %.3f", st.DOFraction)
+	}
+}
+
+func TestBRootDeterministic(t *testing.T) {
+	mk := func() []trace.Entry {
+		g, err := BRoot(BRootConfig{Duration: 2 * time.Second, MedianRate: 200, Clients: 100, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := trace.ReadAll(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Time.Equal(b[i].Time) || a[i].Src != b[i].Src || string(a[i].Message) != string(b[i].Message) {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+// TestBRootClientSkew checks the Figure 15c shape: a tiny fraction of
+// clients carries most of the load and most clients are nearly inactive.
+func TestBRootClientSkew(t *testing.T) {
+	g, err := BRoot(BRootConfig{Duration: 30 * time.Second, MedianRate: 2000, Clients: 20000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[netip.Addr]int)
+	total := 0
+	for {
+		e, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[e.Src.Addr()]++
+		total++
+	}
+	loads := make([]int, 0, len(counts))
+	for _, c := range counts {
+		loads = append(loads, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(loads)))
+	top1pct := len(loads) / 100
+	if top1pct == 0 {
+		top1pct = 1
+	}
+	topLoad := 0
+	for _, c := range loads[:top1pct] {
+		topLoad += c
+	}
+	topShare := float64(topLoad) / float64(total)
+	if topShare < 0.5 {
+		t.Errorf("top 1%% of clients carry %.1f%% of load, want heavy tail (>50%%)", topShare*100)
+	}
+	inactive := 0
+	for _, c := range loads {
+		if c < 10 {
+			inactive++
+		}
+	}
+	inactiveShare := float64(inactive) / float64(len(loads))
+	if inactiveShare < 0.5 {
+		t.Errorf("only %.1f%% of clients are near-inactive, want most", inactiveShare*100)
+	}
+}
+
+func TestSyntheticFixedInterArrival(t *testing.T) {
+	for _, gap := range []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond} {
+		g, err := Synthetic(SyntheticConfig{InterArrival: gap, Duration: time.Second, Clients: 10, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := trace.ReadAll(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(time.Second / gap)
+		if len(entries) != want {
+			t.Errorf("gap %v: %d entries, want %d", gap, len(entries), want)
+		}
+		for i := 1; i < len(entries); i++ {
+			if d := entries[i].Time.Sub(entries[i-1].Time); d != gap {
+				t.Fatalf("gap %v: inter-arrival %v at %d", gap, d, i)
+			}
+		}
+	}
+}
+
+func TestSyntheticUniqueNames(t *testing.T) {
+	g, err := Synthetic(SyntheticConfig{InterArrival: time.Millisecond, Duration: 200 * time.Millisecond, Clients: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := trace.ReadAll(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	var m dnswire.Message
+	for _, e := range entries {
+		if err := e.Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		name := m.Question[0].Name
+		if seen[name] {
+			t.Fatalf("duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestRecursiveStats(t *testing.T) {
+	g, err := Recursive(RecursiveConfig{Duration: 10 * time.Minute, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Zones()) != 549 {
+		t.Errorf("zones = %d", len(g.Zones()))
+	}
+	st, err := ComputeStats(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Clients > 91 {
+		t.Errorf("clients = %d, want <= 91", st.Clients)
+	}
+	mean := st.MeanInterArriv.Seconds()
+	if math.Abs(mean-0.1808) > 0.03 {
+		t.Errorf("mean inter-arrival = %.4fs, want ~0.1808", mean)
+	}
+}
+
+func TestComputeStatsEmptyAndSingle(t *testing.T) {
+	st, err := ComputeStats(trace.NewSliceReader(nil))
+	if err != nil || st.Records != 0 {
+		t.Errorf("empty: %+v %v", st, err)
+	}
+	g, _ := Synthetic(SyntheticConfig{InterArrival: time.Second, Duration: 1500 * time.Millisecond, Clients: 1})
+	st, err = ComputeStats(g)
+	if err != nil || st.Records != 2 {
+		t.Errorf("two-record stats: %+v %v", st, err)
+	}
+}
+
+func TestBRootNamesValid(t *testing.T) {
+	g, err := BRoot(BRootConfig{Duration: 2 * time.Second, MedianRate: 500, Clients: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m dnswire.Message
+	for {
+		e, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Decode(&m); err != nil {
+			t.Fatalf("generated undecodable message: %v", err)
+		}
+		if !dnswire.ValidName(m.Question[0].Name) {
+			t.Fatalf("invalid name %q", m.Question[0].Name)
+		}
+	}
+}

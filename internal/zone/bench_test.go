@@ -1,0 +1,90 @@
+package zone
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"ldplayer/internal/dnswire"
+)
+
+// benchZone builds a 10k-name zone with delegations and a wildcard.
+func benchZone(b *testing.B) *Zone {
+	b.Helper()
+	z := New("example.com.")
+	must := func(rr dnswire.RR) {
+		if err := z.Add(rr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	must(dnswire.RR{Name: "example.com.", Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.SOA{
+		MName: "ns1.example.com.", RName: "host.", Serial: 1, Refresh: 1, Retry: 1, Expire: 1, Minimum: 300}})
+	must(dnswire.RR{Name: "example.com.", Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.NS{Host: "ns1.example.com."}})
+	must(dnswire.RR{Name: "ns1.example.com.", Class: dnswire.ClassINET, TTL: 3600,
+		Data: dnswire.A{Addr: netip.AddrFrom4([4]byte{192, 0, 2, 1})}})
+	must(dnswire.RR{Name: "*.wild.example.com.", Class: dnswire.ClassINET, TTL: 300,
+		Data: dnswire.A{Addr: netip.AddrFrom4([4]byte{192, 0, 2, 99})}})
+	for i := 0; i < 10000; i++ {
+		must(dnswire.RR{Name: fmt.Sprintf("host%d.example.com.", i), Class: dnswire.ClassINET, TTL: 300,
+			Data: dnswire.A{Addr: netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})}})
+	}
+	for i := 0; i < 500; i++ {
+		sub := fmt.Sprintf("sub%d.example.com.", i)
+		must(dnswire.RR{Name: sub, Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.NS{Host: "ns." + sub}})
+		must(dnswire.RR{Name: "ns." + sub, Class: dnswire.ClassINET, TTL: 3600,
+			Data: dnswire.A{Addr: netip.AddrFrom4([4]byte{10, 99, byte(i >> 8), byte(i)})}})
+	}
+	return z
+}
+
+// BenchmarkLookupAnswer measures positive lookups in a 10k-name zone.
+func BenchmarkLookupAnswer(b *testing.B) {
+	z := benchZone(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := z.Lookup(fmt.Sprintf("host%d.example.com.", i%10000), dnswire.TypeA, LookupOptions{})
+		if res.Kind != Answer {
+			b.Fatal(res.Kind)
+		}
+	}
+}
+
+// BenchmarkLookupReferral measures delegation lookups.
+func BenchmarkLookupReferral(b *testing.B) {
+	z := benchZone(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := z.Lookup(fmt.Sprintf("deep.sub%d.example.com.", i%500), dnswire.TypeA, LookupOptions{})
+		if res.Kind != Referral {
+			b.Fatal(res.Kind)
+		}
+	}
+}
+
+// BenchmarkLookupNXDomain measures the negative path (SOA attach).
+func BenchmarkLookupNXDomain(b *testing.B) {
+	z := benchZone(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := z.Lookup(fmt.Sprintf("missing%d.example.com.", i), dnswire.TypeA, LookupOptions{})
+		if res.Kind != NXDomain {
+			b.Fatal(res.Kind)
+		}
+	}
+}
+
+// BenchmarkLookupWildcard measures wildcard synthesis.
+func BenchmarkLookupWildcard(b *testing.B) {
+	z := benchZone(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := z.Lookup(fmt.Sprintf("x%d.wild.example.com.", i), dnswire.TypeA, LookupOptions{})
+		if res.Kind != Answer {
+			b.Fatal(res.Kind)
+		}
+	}
+}

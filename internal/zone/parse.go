@@ -1,0 +1,509 @@
+package zone
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"ldplayer/internal/dnswire"
+)
+
+// Parse reads a master-file-format zone from r. The defaultOrigin applies
+// until a $ORIGIN directive overrides it. Supported syntax: comments (;),
+// $ORIGIN and $TTL directives, @, relative names, owner inheritance from
+// the previous record, multi-line records with parentheses, optional TTL
+// and class in either order, and quoted character-strings.
+func Parse(r io.Reader, defaultOrigin string) (*Zone, error) {
+	p := &parser{
+		origin: dnswire.CanonicalName(defaultOrigin),
+		ttl:    3600,
+	}
+	z := New(defaultOrigin)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	var pending []string // tokens accumulated across parenthesized lines
+	parenDepth := 0
+	pendingStart := 0
+	for sc.Scan() {
+		lineno++
+		tokens, opens, closes, startsWithWS := tokenize(sc.Text())
+		if parenDepth == 0 {
+			pendingStart = lineno
+			pending = pending[:0]
+			if len(tokens) == 0 {
+				continue
+			}
+			p.ownerImplicit = startsWithWS
+		}
+		pending = append(pending, tokens...)
+		parenDepth += opens - closes
+		if parenDepth < 0 {
+			return nil, fmt.Errorf("zone parse line %d: unbalanced ')'", lineno)
+		}
+		if parenDepth > 0 {
+			continue
+		}
+		if len(pending) == 0 {
+			continue
+		}
+		rr, directive, err := p.record(pending)
+		if err != nil {
+			return nil, fmt.Errorf("zone parse line %d: %w", pendingStart, err)
+		}
+		if directive {
+			continue
+		}
+		if err := z.Add(rr); err != nil {
+			return nil, fmt.Errorf("zone parse line %d: %w", pendingStart, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if parenDepth != 0 {
+		return nil, fmt.Errorf("zone parse: unbalanced '(' at EOF")
+	}
+	return z, nil
+}
+
+// tokenize splits a master-file line into tokens, stripping comments and
+// counting parentheses (which act as whitespace). Quoted strings are kept
+// as single tokens with the quotes preserved.
+func tokenize(line string) (tokens []string, opens, closes int, startsWithWS bool) {
+	startsWithWS = len(line) > 0 && (line[0] == ' ' || line[0] == '\t')
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inQuote:
+			cur.WriteByte(c)
+			if c == '\\' && i+1 < len(line) {
+				i++
+				cur.WriteByte(line[i])
+			} else if c == '"' {
+				inQuote = false
+				flush()
+			}
+		case c == '"':
+			flush()
+			cur.WriteByte(c)
+			inQuote = true
+		case c == ';':
+			flush()
+			return tokens, opens, closes, startsWithWS
+		case c == '(':
+			flush()
+			opens++
+		case c == ')':
+			flush()
+			closes++
+		case c == ' ' || c == '\t':
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return tokens, opens, closes, startsWithWS
+}
+
+type parser struct {
+	origin        string
+	ttl           uint32
+	lastOwner     string
+	ownerImplicit bool
+}
+
+// absName resolves a possibly relative name token against $ORIGIN.
+func (p *parser) absName(tok string) string {
+	if tok == "@" {
+		return p.origin
+	}
+	if strings.HasSuffix(tok, ".") {
+		return dnswire.CanonicalName(tok)
+	}
+	if p.origin == "." {
+		return dnswire.CanonicalName(tok + ".")
+	}
+	return dnswire.CanonicalName(tok + "." + p.origin)
+}
+
+// record parses one logical record (or directive) from its tokens.
+func (p *parser) record(tokens []string) (dnswire.RR, bool, error) {
+	switch strings.ToUpper(tokens[0]) {
+	case "$ORIGIN":
+		if len(tokens) != 2 {
+			return dnswire.RR{}, false, fmt.Errorf("$ORIGIN needs one argument")
+		}
+		p.origin = dnswire.CanonicalName(tokens[1])
+		return dnswire.RR{}, true, nil
+	case "$TTL":
+		if len(tokens) != 2 {
+			return dnswire.RR{}, false, fmt.Errorf("$TTL needs one argument")
+		}
+		n, err := parseTTL(tokens[1])
+		if err != nil {
+			return dnswire.RR{}, false, err
+		}
+		p.ttl = n
+		return dnswire.RR{}, true, nil
+	case "$INCLUDE":
+		return dnswire.RR{}, false, fmt.Errorf("$INCLUDE is not supported")
+	}
+
+	var rr dnswire.RR
+	rr.Class = dnswire.ClassINET
+	rr.TTL = p.ttl
+
+	i := 0
+	if p.ownerImplicit {
+		if p.lastOwner == "" {
+			return rr, false, fmt.Errorf("record with no owner and no previous owner")
+		}
+		rr.Name = p.lastOwner
+	} else {
+		rr.Name = p.absName(tokens[0])
+		p.lastOwner = rr.Name
+		i = 1
+	}
+
+	// TTL and class may appear in either order before the type.
+	sawTTL := false
+	for i < len(tokens) {
+		tok := tokens[i]
+		if !sawTTL {
+			if n, err := parseTTL(tok); err == nil {
+				rr.TTL = n
+				sawTTL = true
+				i++
+				continue
+			}
+		}
+		if c, err := dnswire.ParseClass(strings.ToUpper(tok)); err == nil && looksLikeClass(tok) {
+			rr.Class = c
+			i++
+			continue
+		}
+		break
+	}
+	if i >= len(tokens) {
+		return rr, false, fmt.Errorf("record for %s missing type", rr.Name)
+	}
+	typ, err := dnswire.ParseType(strings.ToUpper(tokens[i]))
+	if err != nil {
+		return rr, false, err
+	}
+	i++
+	data, err := p.rdata(typ, tokens[i:])
+	if err != nil {
+		return rr, false, fmt.Errorf("%s %s: %w", rr.Name, typ, err)
+	}
+	rr.Data = data
+	return rr, false, nil
+}
+
+// looksLikeClass avoids interpreting a type mnemonic such as "ANY" or an
+// rdata token as a class: only the real class mnemonics qualify.
+func looksLikeClass(tok string) bool {
+	switch strings.ToUpper(tok) {
+	case "IN", "CH", "HS", "CS":
+		return true
+	}
+	return strings.HasPrefix(strings.ToUpper(tok), "CLASS")
+}
+
+// parseTTL accepts plain seconds or BIND duration shorthand (1h30m, 2d, 1w).
+func parseTTL(tok string) (uint32, error) {
+	if n, err := strconv.ParseUint(tok, 10, 32); err == nil {
+		return uint32(n), nil
+	}
+	total := uint64(0)
+	num := uint64(0)
+	sawDigit := false
+	for _, c := range strings.ToLower(tok) {
+		switch {
+		case c >= '0' && c <= '9':
+			num = num*10 + uint64(c-'0')
+			sawDigit = true
+		case c == 's' || c == 'm' || c == 'h' || c == 'd' || c == 'w':
+			if !sawDigit {
+				return 0, fmt.Errorf("bad TTL %q", tok)
+			}
+			mult := map[rune]uint64{'s': 1, 'm': 60, 'h': 3600, 'd': 86400, 'w': 604800}[c]
+			total += num * mult
+			num, sawDigit = 0, false
+		default:
+			return 0, fmt.Errorf("bad TTL %q", tok)
+		}
+	}
+	if sawDigit {
+		total += num
+	}
+	if total > 1<<31 {
+		return 0, fmt.Errorf("TTL %q too large", tok)
+	}
+	if total == 0 && !strings.ContainsAny(tok, "0") {
+		return 0, fmt.Errorf("bad TTL %q", tok)
+	}
+	return uint32(total), nil
+}
+
+func (p *parser) rdata(typ dnswire.Type, tokens []string) (dnswire.RData, error) {
+	need := func(n int) error {
+		if len(tokens) < n {
+			return fmt.Errorf("need %d rdata fields, have %d", n, len(tokens))
+		}
+		return nil
+	}
+	switch typ {
+	case dnswire.TypeA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a, err := netip.ParseAddr(tokens[0])
+		if err != nil || !a.Is4() {
+			return nil, fmt.Errorf("bad IPv4 address %q", tokens[0])
+		}
+		return dnswire.A{Addr: a}, nil
+	case dnswire.TypeAAAA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a, err := netip.ParseAddr(tokens[0])
+		if err != nil || !a.Is6() || a.Is4In6() {
+			return nil, fmt.Errorf("bad IPv6 address %q", tokens[0])
+		}
+		return dnswire.AAAA{Addr: a}, nil
+	case dnswire.TypeNS:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return dnswire.NS{Host: p.absName(tokens[0])}, nil
+	case dnswire.TypeCNAME:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return dnswire.CNAME{Target: p.absName(tokens[0])}, nil
+	case dnswire.TypePTR:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return dnswire.PTR{Target: p.absName(tokens[0])}, nil
+	case dnswire.TypeMX:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		pref, err := strconv.ParseUint(tokens[0], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad MX preference %q", tokens[0])
+		}
+		return dnswire.MX{Preference: uint16(pref), Host: p.absName(tokens[1])}, nil
+	case dnswire.TypeTXT:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		var ss []string
+		for _, tok := range tokens {
+			if strings.HasPrefix(tok, `"`) {
+				s, err := strconv.Unquote(tok)
+				if err != nil {
+					return nil, fmt.Errorf("bad quoted string %s", tok)
+				}
+				ss = append(ss, s)
+			} else {
+				ss = append(ss, tok)
+			}
+		}
+		return dnswire.TXT{Strings: ss}, nil
+	case dnswire.TypeSOA:
+		if err := need(7); err != nil {
+			return nil, err
+		}
+		nums := make([]uint32, 5)
+		for i := 0; i < 5; i++ {
+			n, err := parseTTL(tokens[2+i])
+			if err != nil {
+				return nil, fmt.Errorf("bad SOA field %q", tokens[2+i])
+			}
+			nums[i] = n
+		}
+		return dnswire.SOA{
+			MName: p.absName(tokens[0]), RName: p.absName(tokens[1]),
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2],
+			Expire: nums[3], Minimum: nums[4],
+		}, nil
+	case dnswire.TypeSRV:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		var vals [3]uint16
+		for i := 0; i < 3; i++ {
+			n, err := strconv.ParseUint(tokens[i], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("bad SRV field %q", tokens[i])
+			}
+			vals[i] = uint16(n)
+		}
+		return dnswire.SRV{Priority: vals[0], Weight: vals[1], Port: vals[2], Target: p.absName(tokens[3])}, nil
+	case dnswire.TypeDS:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		tag, err1 := strconv.ParseUint(tokens[0], 10, 16)
+		alg, err2 := strconv.ParseUint(tokens[1], 10, 8)
+		dt, err3 := strconv.ParseUint(tokens[2], 10, 8)
+		digest, err4 := hex.DecodeString(strings.ToLower(strings.Join(tokens[3:], "")))
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("bad DS rdata")
+		}
+		return dnswire.DS{KeyTag: uint16(tag), Algorithm: uint8(alg), DigestType: uint8(dt), Digest: digest}, nil
+	case dnswire.TypeDNSKEY:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		flags, err1 := strconv.ParseUint(tokens[0], 10, 16)
+		proto, err2 := strconv.ParseUint(tokens[1], 10, 8)
+		alg, err3 := strconv.ParseUint(tokens[2], 10, 8)
+		key, err4 := base64.StdEncoding.DecodeString(strings.Join(tokens[3:], ""))
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("bad DNSKEY rdata")
+		}
+		return dnswire.DNSKEY{Flags: uint16(flags), Protocol: uint8(proto), Algorithm: uint8(alg), PublicKey: key}, nil
+	case dnswire.TypeRRSIG:
+		if err := need(9); err != nil {
+			return nil, err
+		}
+		covered, err := dnswire.ParseType(strings.ToUpper(tokens[0]))
+		if err != nil {
+			return nil, err
+		}
+		alg, err1 := strconv.ParseUint(tokens[1], 10, 8)
+		labels, err2 := strconv.ParseUint(tokens[2], 10, 8)
+		origTTL, err3 := strconv.ParseUint(tokens[3], 10, 32)
+		exp, err4 := strconv.ParseUint(tokens[4], 10, 32)
+		inc, err5 := strconv.ParseUint(tokens[5], 10, 32)
+		tag, err6 := strconv.ParseUint(tokens[6], 10, 16)
+		sig, err7 := base64.StdEncoding.DecodeString(strings.Join(tokens[8:], ""))
+		for _, e := range []error{err1, err2, err3, err4, err5, err6, err7} {
+			if e != nil {
+				return nil, fmt.Errorf("bad RRSIG rdata: %v", e)
+			}
+		}
+		return dnswire.RRSIG{
+			TypeCovered: covered, Algorithm: uint8(alg), Labels: uint8(labels),
+			OrigTTL: uint32(origTTL), Expiration: uint32(exp), Inception: uint32(inc),
+			KeyTag: uint16(tag), SignerName: p.absName(tokens[7]), Signature: sig,
+		}, nil
+	case dnswire.TypeNSEC:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		n := dnswire.NSEC{NextName: p.absName(tokens[0])}
+		for _, tok := range tokens[1:] {
+			t, err := dnswire.ParseType(strings.ToUpper(tok))
+			if err != nil {
+				return nil, err
+			}
+			n.Types = append(n.Types, t)
+		}
+		return n, nil
+	case dnswire.TypeNSEC3:
+		if err := need(5); err != nil {
+			return nil, err
+		}
+		alg, err1 := strconv.ParseUint(tokens[0], 10, 8)
+		flags, err2 := strconv.ParseUint(tokens[1], 10, 8)
+		iter, err3 := strconv.ParseUint(tokens[2], 10, 16)
+		salt, err4 := parseNSEC3Salt(tokens[3])
+		next, err5 := dnswire.DecodeBase32Hex(tokens[4])
+		for _, e := range []error{err1, err2, err3, err4, err5} {
+			if e != nil {
+				return nil, fmt.Errorf("bad NSEC3 rdata: %v", e)
+			}
+		}
+		n := dnswire.NSEC3{
+			HashAlg: uint8(alg), Flags: uint8(flags), Iterations: uint16(iter),
+			Salt: salt, NextHashed: next,
+		}
+		for _, tok := range tokens[5:] {
+			t, err := dnswire.ParseType(strings.ToUpper(tok))
+			if err != nil {
+				return nil, err
+			}
+			n.Types = append(n.Types, t)
+		}
+		return n, nil
+	case dnswire.TypeNSEC3PARAM:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		alg, err1 := strconv.ParseUint(tokens[0], 10, 8)
+		flags, err2 := strconv.ParseUint(tokens[1], 10, 8)
+		iter, err3 := strconv.ParseUint(tokens[2], 10, 16)
+		salt, err4 := parseNSEC3Salt(tokens[3])
+		for _, e := range []error{err1, err2, err3, err4} {
+			if e != nil {
+				return nil, fmt.Errorf("bad NSEC3PARAM rdata: %v", e)
+			}
+		}
+		return dnswire.NSEC3PARAM{
+			HashAlg: uint8(alg), Flags: uint8(flags), Iterations: uint16(iter), Salt: salt,
+		}, nil
+	default:
+		// RFC 3597 unknown-type syntax: \# <len> <hex>.
+		if len(tokens) >= 2 && tokens[0] == `\#` {
+			want, err := strconv.Atoi(tokens[1])
+			if err != nil {
+				return nil, fmt.Errorf("bad \\# length")
+			}
+			data, err := hex.DecodeString(strings.Join(tokens[2:], ""))
+			if err != nil || len(data) != want {
+				return nil, fmt.Errorf("bad \\# payload")
+			}
+			return dnswire.RawRData{RRType: typ, Data: data}, nil
+		}
+		return nil, fmt.Errorf("unsupported rdata for type %s", typ)
+	}
+}
+
+// parseNSEC3Salt decodes the salt field: "-" means empty.
+func parseNSEC3Salt(tok string) ([]byte, error) {
+	if tok == "-" {
+		return nil, nil
+	}
+	return hex.DecodeString(strings.ToLower(tok))
+}
+
+// Write serializes the zone in master-file form, deterministically ordered.
+// The output starts with $ORIGIN and $TTL directives and round-trips
+// through Parse.
+func (z *Zone) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$ORIGIN %s\n", z.Origin)
+	fmt.Fprintf(bw, "$TTL 3600\n")
+	records := z.Records()
+	// SOA first: conventional and required by some loaders.
+	if soa, ok := z.SOA(); ok {
+		fmt.Fprintln(bw, soa.String())
+	}
+	for _, rr := range records {
+		if rr.Type() == dnswire.TypeSOA && rr.Name == z.Origin {
+			continue
+		}
+		fmt.Fprintln(bw, rr.String())
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,237 @@
+package zone
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ldplayer/internal/dnswire"
+)
+
+const sampleZoneText = `
+$ORIGIN example.com.
+$TTL 1h
+@	3600	IN	SOA	ns1 hostmaster (
+		2026070501 ; serial
+		7200       ; refresh
+		3600       ; retry
+		1209600    ; expire
+		300 )      ; minimum
+@	IN	NS	ns1
+	IN	NS	ns2.example.com.
+ns1	IN	A	192.0.2.1
+ns2	300	IN	A	192.0.2.2
+www	IN	A	192.0.2.80
+www	IN	AAAA	2001:db8::80
+alias	IN	CNAME	www
+@	IN	MX	10 mail
+mail	IN	A	192.0.2.25
+txt	IN	TXT	"hello world" "second string"
+_dns._tcp	IN	SRV	0 5 853 ns1
+sub	IN	NS	ns.sub
+ns.sub	IN	A	192.0.2.53
+*.wild	60	IN	A	192.0.2.99
+`
+
+func TestParseSampleZone(t *testing.T) {
+	z, err := Parse(strings.NewReader(sampleZoneText), "example.com.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	soa, ok := z.SOA()
+	if !ok {
+		t.Fatal("no SOA parsed")
+	}
+	s := soa.Data.(dnswire.SOA)
+	if s.Serial != 2026070501 || s.Minimum != 300 {
+		t.Errorf("SOA = %+v", s)
+	}
+	if s.MName != "ns1.example.com." {
+		t.Errorf("SOA MName = %q (relative name resolution)", s.MName)
+	}
+	if got := len(z.RRset("example.com.", dnswire.TypeNS)); got != 2 {
+		t.Errorf("apex NS count = %d", got)
+	}
+	if got := z.RRset("ns2.example.com.", dnswire.TypeA); len(got) != 1 || got[0].TTL != 300 {
+		t.Errorf("explicit TTL: %v", got)
+	}
+	if got := z.RRset("ns1.example.com.", dnswire.TypeA); len(got) != 1 || got[0].TTL != 3600 {
+		t.Errorf("$TTL 1h default: %v", got)
+	}
+	txt := z.RRset("txt.example.com.", dnswire.TypeTXT)
+	if len(txt) != 1 {
+		t.Fatalf("TXT = %v", txt)
+	}
+	if strs := txt[0].Data.(dnswire.TXT).Strings; len(strs) != 2 || strs[0] != "hello world" {
+		t.Errorf("TXT strings = %q", strs)
+	}
+	srv := z.RRset("_dns._tcp.example.com.", dnswire.TypeSRV)
+	if len(srv) != 1 || srv[0].Data.(dnswire.SRV).Port != 853 {
+		t.Errorf("SRV = %v", srv)
+	}
+	if errs := z.Validate(); len(errs) != 0 {
+		t.Errorf("Validate: %v", errs)
+	}
+}
+
+func TestParseOwnerInheritance(t *testing.T) {
+	z, err := Parse(strings.NewReader(sampleZoneText), "example.com.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bare "	IN NS ns2..." line inherits the @ owner.
+	found := false
+	for _, rr := range z.RRset("example.com.", dnswire.TypeNS) {
+		if rr.Data.(dnswire.NS).Host == "ns2.example.com." {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("owner inheritance lost the second NS record")
+	}
+}
+
+func TestZoneWriteParseRoundTrip(t *testing.T) {
+	z, err := Parse(strings.NewReader(sampleZoneText), "example.com.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := z.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	z2, err := Parse(bytes.NewReader(buf.Bytes()), "example.com.")
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if z.NumRecords() != z2.NumRecords() {
+		t.Fatalf("record count %d -> %d after round trip\n%s", z.NumRecords(), z2.NumRecords(), buf.String())
+	}
+	a, b := z.Records(), z2.Records()
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Errorf("record %d: %q != %q", i, a[i].String(), b[i].String())
+		}
+	}
+}
+
+func TestParseTTLForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint32
+		ok   bool
+	}{
+		{"300", 300, true},
+		{"1h", 3600, true},
+		{"1h30m", 5400, true},
+		{"2d", 172800, true},
+		{"1w", 604800, true},
+		{"0", 0, true},
+		{"ns1", 0, false},
+		{"h1", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseTTL(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseTTL(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseTTL(%q) succeeded with %d", c.in, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"www IN A not-an-ip\n",
+		"www IN AAAA 192.0.2.1\n",
+		"www IN MX ten mail\n",
+		"www IN\n",
+		"$ORIGIN\n",
+		"$TTL abc\n",
+		"www IN A 192.0.2.1 (\n",            // unbalanced paren at EOF
+		"www.example.org. IN A 192.0.2.1\n", // out of zone
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c), "example.com."); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestParseUnknownTypeRFC3597(t *testing.T) {
+	z, err := Parse(strings.NewReader("x IN TYPE999 \\# 3 010203\n"), "example.com.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := z.RRset("x.example.com.", dnswire.Type(999))
+	if len(set) != 1 {
+		t.Fatalf("set = %v", set)
+	}
+	raw := set[0].Data.(dnswire.RawRData)
+	if len(raw.Data) != 3 || raw.Data[0] != 1 {
+		t.Errorf("raw = %v", raw)
+	}
+}
+
+func TestParseRootZoneFragment(t *testing.T) {
+	text := `
+.	86400	IN	SOA	a.root-servers.net. nstld.verisign-grs.com. 2026070500 1800 900 604800 86400
+.	518400	IN	NS	a.root-servers.net.
+.	518400	IN	NS	b.root-servers.net.
+a.root-servers.net.	518400	IN	A	198.41.0.4
+b.root-servers.net.	518400	IN	A	199.9.14.201
+com.	172800	IN	NS	a.gtld-servers.net.
+a.gtld-servers.net.	172800	IN	A	192.5.6.30
+`
+	z, err := Parse(strings.NewReader(text), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := z.Lookup("www.google.com.", dnswire.TypeA, LookupOptions{})
+	if res.Kind != Referral {
+		t.Fatalf("root lookup for com name: kind = %v", res.Kind)
+	}
+	if len(res.Authority) != 1 || res.Authority[0].Name != "com." {
+		t.Errorf("authority = %v", res.Authority)
+	}
+	if len(res.Additional) != 1 {
+		t.Errorf("glue = %v", res.Additional)
+	}
+}
+
+func TestParseNSEC3Records(t *testing.T) {
+	text := `
+com.	86400	IN	NSEC3PARAM	1 0 0 -
+ck0pojmg874ljref7efn8430qvit8bsm.com.	86400	IN	NSEC3	1 1 0 - CK0Q2D6NI4I7EQH8NA30NS61O48UL8G5 NS SOA RRSIG DNSKEY NSEC3PARAM
+`
+	z, err := Parse(strings.NewReader(text), "com.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	param := z.RRset("com.", dnswire.TypeNSEC3PARAM)
+	if len(param) != 1 {
+		t.Fatalf("NSEC3PARAM = %v", param)
+	}
+	n3 := z.RRset("ck0pojmg874ljref7efn8430qvit8bsm.com.", dnswire.TypeNSEC3)
+	if len(n3) != 1 {
+		t.Fatalf("NSEC3 = %v", n3)
+	}
+	rec := n3[0].Data.(dnswire.NSEC3)
+	if rec.Flags != 1 || len(rec.NextHashed) != 20 || len(rec.Types) != 5 {
+		t.Errorf("NSEC3 = %+v", rec)
+	}
+	// Round trip through Write/Parse.
+	var buf bytes.Buffer
+	if err := z.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	z2, err := Parse(bytes.NewReader(buf.Bytes()), "com.")
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if z.NumRecords() != z2.NumRecords() {
+		t.Errorf("round trip lost records")
+	}
+}

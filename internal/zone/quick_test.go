@@ -1,0 +1,176 @@
+package zone
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ldplayer/internal/dnswire"
+)
+
+// randomZone builds a structurally valid random zone under example.com.
+func randomZone(rng *rand.Rand) *Zone {
+	z := New("example.com.")
+	must := func(rr dnswire.RR) {
+		if err := z.Add(rr); err != nil {
+			panic(err)
+		}
+	}
+	must(dnswire.RR{Name: "example.com.", Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.SOA{
+		MName: "ns1.example.com.", RName: "host.example.com.",
+		Serial: rng.Uint32(), Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300}})
+	must(dnswire.RR{Name: "example.com.", Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.NS{Host: "ns1.example.com."}})
+	must(dnswire.RR{Name: "ns1.example.com.", Class: dnswire.ClassINET, TTL: 3600,
+		Data: dnswire.A{Addr: netip.AddrFrom4([4]byte{192, 0, 2, 1})}})
+	n := rng.Intn(30)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s.example.com.", randomLabel(rng))
+		switch rng.Intn(5) {
+		case 0:
+			var b [4]byte
+			rng.Read(b[:])
+			must(dnswire.RR{Name: name, Class: dnswire.ClassINET, TTL: rng.Uint32() % 86400,
+				Data: dnswire.A{Addr: netip.AddrFrom4(b)}})
+		case 1:
+			var b [16]byte
+			rng.Read(b[:])
+			b[0] = 0x20
+			must(dnswire.RR{Name: name, Class: dnswire.ClassINET, TTL: rng.Uint32() % 86400,
+				Data: dnswire.AAAA{Addr: netip.AddrFrom16(b)}})
+		case 2:
+			must(dnswire.RR{Name: name, Class: dnswire.ClassINET, TTL: rng.Uint32() % 86400,
+				Data: dnswire.TXT{Strings: []string{randomLabel(rng), randomLabel(rng)}}})
+		case 3:
+			must(dnswire.RR{Name: name, Class: dnswire.ClassINET, TTL: rng.Uint32() % 86400,
+				Data: dnswire.MX{Preference: uint16(rng.Intn(100)), Host: "mail.example.com."}})
+		default:
+			must(dnswire.RR{Name: name, Class: dnswire.ClassINET, TTL: rng.Uint32() % 86400,
+				Data: dnswire.CNAME{Target: "example.com."}})
+		}
+	}
+	return z
+}
+
+func randomLabel(rng *rand.Rand) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789-"
+	n := 1 + rng.Intn(20)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(26)]
+	}
+	return string(b)
+}
+
+// TestQuickZoneWriteParseRoundTrip: any zone survives serialization to
+// master-file format and back, record for record.
+func TestQuickZoneWriteParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		z := randomZone(rng)
+		var buf bytes.Buffer
+		if err := z.Write(&buf); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		z2, err := Parse(bytes.NewReader(buf.Bytes()), z.Origin)
+		if err != nil {
+			t.Logf("reparse: %v\n%s", err, buf.String())
+			return false
+		}
+		a, b := z.Records(), z2.Records()
+		if len(a) != len(b) {
+			t.Logf("record counts %d vs %d", len(a), len(b))
+			return false
+		}
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				t.Logf("record %d: %q vs %q", i, a[i].String(), b[i].String())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLookupInvariants: for any zone and any query, the lookup
+// outcome is internally consistent.
+func TestQuickLookupInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		z := randomZone(rng)
+		for i := 0; i < 20; i++ {
+			var qname string
+			if rng.Intn(2) == 0 {
+				qname = randomLabel(rng) + ".example.com."
+			} else {
+				names := z.Names()
+				qname = names[rng.Intn(len(names))]
+			}
+			qtype := []dnswire.Type{dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypeTXT, dnswire.TypeMX}[rng.Intn(4)]
+			res := z.Lookup(qname, qtype, LookupOptions{})
+			switch res.Kind {
+			case Answer:
+				if len(res.Records) == 0 {
+					return false
+				}
+				// Every answer record's owner chain starts at qname.
+				if res.Records[0].Name != dnswire.CanonicalName(qname) {
+					return false
+				}
+			case NXDomain:
+				// The name must really not exist.
+				if z.NameExists(qname) {
+					return false
+				}
+				if len(res.Authority) == 0 || res.Authority[0].Type() != dnswire.TypeSOA {
+					return false
+				}
+			case NoData:
+				if len(res.Authority) == 0 || res.Authority[0].Type() != dnswire.TypeSOA {
+					return false
+				}
+			case Referral:
+				hasNS := false
+				for _, rr := range res.Authority {
+					if rr.Type() == dnswire.TypeNS {
+						hasNS = true
+					}
+				}
+				if !hasNS {
+					return false
+				}
+			case OutOfZone:
+				if dnswire.IsSubdomain(qname, z.Origin) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParseNeverPanics: arbitrary text must never panic the parser.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(text string) bool {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Errorf("panic on %q: %v", text, p)
+			}
+		}()
+		_, _ = Parse(strings.NewReader(text), "example.com.")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

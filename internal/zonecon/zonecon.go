@@ -1,0 +1,243 @@
+// Package zonecon rebuilds DNS zones from captured response traffic,
+// implementing §2.3: scan every response for NS records and nameserver
+// addresses, group the nameservers serving each domain, aggregate the
+// response data by the responding server's address, split the aggregate
+// by zone cut into per-origin zone files, recover missing SOA/NS records
+// (a fake but valid SOA when none was observed), and resolve conflicting
+// answers by keeping the first (CDN-style churn produces the conflicts;
+// simulating CDN behaviour is future work in the paper too).
+package zonecon
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/zone"
+)
+
+// Options configures construction.
+type Options struct {
+	// RootHints identifies root-server addresses: the one part of the
+	// hierarchy a resolver knows a priori rather than from responses.
+	RootHints []netip.Addr
+	// SyntheticSOASerial seeds fake SOA records (default 1).
+	SyntheticSOASerial uint32
+}
+
+// Construction is the rebuilt hierarchy.
+type Construction struct {
+	// Zones maps canonical origins to reconstructed zones.
+	Zones map[string]*zone.Zone
+	// NSAddrs maps each origin to the nameserver addresses observed
+	// serving it — the split-horizon match sets for replay.
+	NSAddrs map[string][]netip.Addr
+	// Dropped counts records that could not be attributed to any zone.
+	Dropped int
+	// Conflicts counts later records discarded under first-answer-wins.
+	Conflicts int
+	// SynthesizedSOA and SynthesizedNS list origins that needed recovery.
+	SynthesizedSOA []string
+	SynthesizedNS  []string
+}
+
+// attributed is one response record plus the server that sent it.
+type attributed struct {
+	rr     dnswire.RR
+	server netip.Addr
+}
+
+// Construct drains r (a capture taken at the recursive server's upstream
+// interface: responses from authoritative servers) and rebuilds the zones.
+func Construct(r trace.Reader, opts Options) (*Construction, error) {
+	if opts.SyntheticSOASerial == 0 {
+		opts.SyntheticSOASerial = 1
+	}
+
+	// Pass 1: harvest all records, NS sets, and nameserver addresses.
+	var records []attributed
+	nsSets := make(map[string]map[string]struct{}) // origin -> NS hosts
+	hostAddrs := make(map[string][]netip.Addr)     // NS host -> addresses
+	var msg dnswire.Message
+	for {
+		e, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+		if err := msg.Unpack(e.Message); err != nil {
+			continue // tolerate undecodable packets in captures
+		}
+		if !msg.Header.QR {
+			continue // queries carry no zone data
+		}
+		server := e.Src.Addr()
+		for _, sec := range [][]dnswire.RR{msg.Answer, msg.Authority, msg.Additional} {
+			for _, rr := range sec {
+				rr.Name = dnswire.CanonicalName(rr.Name)
+				records = append(records, attributed{rr: rr, server: server})
+				switch d := rr.Data.(type) {
+				case dnswire.NS:
+					set := nsSets[rr.Name]
+					if set == nil {
+						set = make(map[string]struct{})
+						nsSets[rr.Name] = set
+					}
+					set[dnswire.CanonicalName(d.Host)] = struct{}{}
+				case dnswire.A:
+					hostAddrs[rr.Name] = appendAddrOnce(hostAddrs[rr.Name], d.Addr)
+				case dnswire.AAAA:
+					hostAddrs[rr.Name] = appendAddrOnce(hostAddrs[rr.Name], d.Addr)
+				}
+			}
+		}
+	}
+
+	// Derive the server-address → served-zones mapping: address A serves
+	// zone O when some NS host of O resolves to A. Root hints serve ".".
+	addrZones := make(map[netip.Addr]map[string]struct{})
+	addZone := func(a netip.Addr, origin string) {
+		z := addrZones[a]
+		if z == nil {
+			z = make(map[string]struct{})
+			addrZones[a] = z
+		}
+		z[origin] = struct{}{}
+	}
+	c := &Construction{
+		Zones:   make(map[string]*zone.Zone),
+		NSAddrs: make(map[string][]netip.Addr),
+	}
+	for origin, hosts := range nsSets {
+		for host := range hosts {
+			for _, a := range hostAddrs[host] {
+				addZone(a, origin)
+				c.NSAddrs[origin] = appendAddrOnce(c.NSAddrs[origin], a)
+			}
+		}
+	}
+	hasRootHints := len(opts.RootHints) > 0
+	for _, a := range opts.RootHints {
+		addZone(a, ".")
+		c.NSAddrs["."] = appendAddrOnce(c.NSAddrs["."], a)
+	}
+
+	// The reconstructed zone set: every origin we saw NS records for,
+	// plus the root when hints were given.
+	zoneFor := func(origin string) *zone.Zone {
+		z := c.Zones[origin]
+		if z == nil {
+			z = zone.New(origin)
+			c.Zones[origin] = z
+		}
+		return z
+	}
+	for origin := range nsSets {
+		zoneFor(origin)
+	}
+	if hasRootHints {
+		zoneFor(".")
+	}
+
+	// Pass 2: attribute each record to the longest-origin zone among the
+	// zones its sending server serves. Singleton types (SOA, CNAME) keep
+	// the first-seen value.
+	type singletonKey struct {
+		origin, name string
+		typ          dnswire.Type
+	}
+	firstSeen := make(map[singletonKey]string)
+	for _, ar := range records {
+		zones := addrZones[ar.server]
+		best := ""
+		for origin := range zones {
+			if dnswire.IsSubdomain(ar.rr.Name, origin) && dnswire.CountLabels(origin) >= dnswire.CountLabels(best) {
+				if best == "" || dnswire.CountLabels(origin) > dnswire.CountLabels(best) {
+					best = origin
+				}
+			}
+		}
+		if best == "" {
+			c.Dropped++
+			continue
+		}
+		if t := ar.rr.Type(); t == dnswire.TypeSOA || t == dnswire.TypeCNAME {
+			key := singletonKey{best, ar.rr.Name, t}
+			if prev, seen := firstSeen[key]; seen {
+				if prev != ar.rr.Data.String() {
+					c.Conflicts++
+				}
+				continue
+			}
+			firstSeen[key] = ar.rr.Data.String()
+		}
+		if err := zoneFor(best).Add(ar.rr); err != nil {
+			c.Dropped++
+		}
+	}
+
+	// Recovery: fake SOA and apex NS where the capture lacked them.
+	for origin, z := range c.Zones {
+		if _, ok := z.SOA(); !ok {
+			soa := dnswire.SOA{
+				MName:   "reconstructed." + zoneApexHost(origin),
+				RName:   "hostmaster." + zoneApexHost(origin),
+				Serial:  opts.SyntheticSOASerial,
+				Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300,
+			}
+			if err := z.Add(dnswire.RR{Name: origin, Class: dnswire.ClassINET, TTL: 3600, Data: soa}); err != nil {
+				return nil, fmt.Errorf("zonecon: synthesizing SOA for %s: %w", origin, err)
+			}
+			c.SynthesizedSOA = append(c.SynthesizedSOA, origin)
+		}
+		if len(z.RRset(origin, dnswire.TypeNS)) == 0 {
+			if hosts, ok := nsSets[origin]; ok {
+				for host := range hosts {
+					rr := dnswire.RR{Name: origin, Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.NS{Host: host}}
+					if err := z.Add(rr); err != nil {
+						return nil, err
+					}
+				}
+				c.SynthesizedNS = append(c.SynthesizedNS, origin)
+			}
+		}
+	}
+	sort.Strings(c.SynthesizedSOA)
+	sort.Strings(c.SynthesizedNS)
+	return c, nil
+}
+
+// zoneApexHost makes a syntactically valid host label base for synthetic
+// SOA fields ("." -> "root.", "com." -> "com.").
+func zoneApexHost(origin string) string {
+	if origin == "." {
+		return "root."
+	}
+	return origin
+}
+
+// appendAddrOnce appends a if absent.
+func appendAddrOnce(s []netip.Addr, a netip.Addr) []netip.Addr {
+	for _, x := range s {
+		if x == a {
+			return s
+		}
+	}
+	return append(s, a)
+}
+
+// Origins lists reconstructed zone origins in canonical order.
+func (c *Construction) Origins() []string {
+	out := make([]string, 0, len(c.Zones))
+	for o := range c.Zones {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return dnswire.CompareNames(out[i], out[j]) < 0 })
+	return out
+}

@@ -1,0 +1,308 @@
+package zonecon
+
+import (
+	"context"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"ldplayer/internal/authserver"
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/hierarchy"
+	"ldplayer/internal/resolver"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/zone"
+)
+
+// capturingExchanger resolves against an engine and records every response
+// as it would appear at the recursive's upstream interface.
+type capturingExchanger struct {
+	engine *authserver.Engine
+
+	mu      sync.Mutex
+	capture []trace.Entry
+	now     time.Time
+}
+
+func (e *capturingExchanger) Exchange(ctx context.Context, server netip.AddrPort, q *dnswire.Message) (*dnswire.Message, error) {
+	wire, err := q.Pack(nil)
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.engine.Respond(wire, server.Addr(), authserver.UDP)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.now = e.now.Add(time.Millisecond)
+	e.capture = append(e.capture, trace.Entry{
+		Time:     e.now,
+		Src:      server, // response comes from the authoritative server
+		Dst:      netip.MustParseAddrPort("192.168.1.254:53"),
+		Protocol: trace.UDP,
+		Message:  append([]byte(nil), out...),
+	})
+	e.mu.Unlock()
+	var resp dnswire.Message
+	if err := resp.Unpack(out); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// buildAndCapture resolves names through a synthesized hierarchy with a
+// cold cache, capturing the upstream responses — the paper's one-time
+// Internet pass.
+func buildAndCapture(t *testing.T, slds, names []string) (*hierarchy.Hierarchy, []trace.Entry) {
+	t.Helper()
+	h, err := hierarchy.Build(slds, hierarchy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := authserver.NewEngine()
+	for _, v := range h.Views() {
+		if err := engine.AddView(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex := &capturingExchanger{engine: engine, now: time.Unix(1_700_000_000, 0)}
+	r, err := resolver.New(resolver.Config{
+		Roots:     h.NSAddrs["."][:3],
+		Exchanger: ex,
+		Rand:      rand.New(rand.NewSource(11)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if _, err := r.Resolve(context.Background(), name, dnswire.TypeA); err != nil {
+			t.Fatalf("resolving %s: %v", name, err)
+		}
+	}
+	return h, ex.capture
+}
+
+func TestConstructRebuildsHierarchy(t *testing.T) {
+	slds := []string{"example.com.", "foo.org."}
+	names := []string{"www.example.com.", "mail.example.com.", "www.foo.org."}
+	h, capture := buildAndCapture(t, slds, names)
+
+	con, err := Construct(trace.NewSliceReader(capture), Options{RootHints: h.NSAddrs["."]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zones for root, com, org, and both SLDs must exist.
+	for _, origin := range []string{".", "com.", "org.", "example.com.", "foo.org."} {
+		if _, ok := con.Zones[origin]; !ok {
+			t.Errorf("zone %s not reconstructed (have %v)", origin, con.Origins())
+		}
+	}
+	if con.Dropped != 0 {
+		t.Errorf("dropped %d records", con.Dropped)
+	}
+	// The reconstructed root delegates com. with glue.
+	res := con.Zones["."].Lookup("www.example.com.", dnswire.TypeA, zone.LookupOptions{})
+	if res.Kind != zone.Referral || len(res.Additional) == 0 {
+		t.Errorf("reconstructed root: kind=%v glue=%v", res.Kind, res.Additional)
+	}
+	// The reconstructed SLD answers the exercised names authoritatively.
+	res = con.Zones["example.com."].Lookup("www.example.com.", dnswire.TypeA, zone.LookupOptions{})
+	if res.Kind != zone.Answer {
+		t.Errorf("reconstructed example.com: kind = %v", res.Kind)
+	}
+	// The answer matches the original zone's data.
+	orig := h.SLDs["example.com."].Lookup("www.example.com.", dnswire.TypeA, zone.LookupOptions{})
+	if res.Records[0].Data.String() != orig.Records[0].Data.String() {
+		t.Errorf("reconstructed %v != original %v", res.Records[0], orig.Records[0])
+	}
+}
+
+// TestReplayAgainstReconstructedZones is the paper's core repeatability
+// claim: replaying the same queries against the reconstructed hierarchy,
+// with no Internet access, yields the same answers.
+func TestReplayAgainstReconstructedZones(t *testing.T) {
+	slds := []string{"example.com.", "foo.org.", "bar.com."}
+	names := []string{"www.example.com.", "www.foo.org.", "mail.bar.com.", "bar.com."}
+	h, capture := buildAndCapture(t, slds, names)
+
+	con, err := Construct(trace.NewSliceReader(capture), Options{RootHints: h.NSAddrs["."]})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stand up a fresh meta-DNS engine from the reconstruction.
+	engine := authserver.NewEngine()
+	for origin, z := range con.Zones {
+		v := &authserver.View{Name: "rebuilt-" + origin, Sources: con.NSAddrs[origin], Zones: []*zone.Zone{z}}
+		if err := engine.AddView(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex := &capturingExchanger{engine: engine, now: time.Unix(1_800_000_000, 0)}
+	r, err := resolver.New(resolver.Config{
+		Roots:     con.NSAddrs["."][:1],
+		Exchanger: ex,
+		Rand:      rand.New(rand.NewSource(13)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		ans, err := r.Resolve(context.Background(), name, dnswire.TypeA)
+		if err != nil {
+			t.Fatalf("replay resolve %s: %v", name, err)
+		}
+		if ans.Rcode != dnswire.RcodeNoError || len(ans.Records) == 0 {
+			t.Errorf("replay %s: rcode=%v records=%v", name, ans.Rcode, ans.Records)
+			continue
+		}
+		// Compare the final address with the original hierarchy's answer.
+		origZone := h.SLDs[sldOf(name)]
+		orig := origZone.Lookup(name, dnswire.TypeA, zone.LookupOptions{})
+		if len(orig.Records) == 0 {
+			t.Fatalf("original zone has no records for %s", name)
+		}
+		if ans.Records[len(ans.Records)-1].Data.String() != orig.Records[len(orig.Records)-1].Data.String() {
+			t.Errorf("%s: replay answer %v != original %v", name, ans.Records, orig.Records)
+		}
+	}
+}
+
+func sldOf(name string) string {
+	n := dnswire.CanonicalName(name)
+	for dnswire.CountLabels(n) > 2 {
+		n = dnswire.ParentName(n)
+	}
+	return n
+}
+
+func TestSOARecoverySynthesized(t *testing.T) {
+	// A capture with only a referral (no SOA anywhere).
+	referral := &dnswire.Message{Header: dnswire.Header{ID: 1, QR: true}}
+	referral.Question = []dnswire.Question{{Name: "www.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET}}
+	referral.Authority = []dnswire.RR{
+		{Name: "com.", Class: dnswire.ClassINET, TTL: 172800, Data: dnswire.NS{Host: "a.gtld.com."}},
+	}
+	referral.Additional = []dnswire.RR{
+		{Name: "a.gtld.com.", Class: dnswire.ClassINET, TTL: 172800, Data: dnswire.A{Addr: netip.MustParseAddr("198.18.0.5")}},
+	}
+	wire, err := referral.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootAddr := netip.MustParseAddr("198.18.0.1")
+	entries := []trace.Entry{{
+		Time:    time.Unix(0, 0),
+		Src:     netip.AddrPortFrom(rootAddr, 53),
+		Dst:     netip.MustParseAddrPort("192.168.1.254:40000"),
+		Message: wire,
+	}}
+	con, err := Construct(trace.NewSliceReader(entries), Options{RootHints: []netip.Addr{rootAddr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := con.Zones["."]
+	if root == nil {
+		t.Fatal("no root zone")
+	}
+	if _, ok := root.SOA(); !ok {
+		t.Error("synthetic SOA missing")
+	}
+	if len(con.SynthesizedSOA) == 0 {
+		t.Error("SynthesizedSOA not reported")
+	}
+	// The referral data must be in the root zone.
+	if len(root.RRset("com.", dnswire.TypeNS)) != 1 {
+		t.Error("delegation lost")
+	}
+}
+
+func TestFirstAnswerWinsOnConflict(t *testing.T) {
+	// Two responses from the same server give different CNAME targets for
+	// the same name (CDN churn); the first must win.
+	server := netip.MustParseAddr("198.18.0.9")
+	mkResp := func(id uint16, target string) trace.Entry {
+		m := &dnswire.Message{Header: dnswire.Header{ID: id, QR: true, AA: true}}
+		m.Question = []dnswire.Question{{Name: "cdn.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET}}
+		m.Answer = []dnswire.RR{
+			{Name: "cdn.example.com.", Class: dnswire.ClassINET, TTL: 30, Data: dnswire.CNAME{Target: target}},
+		}
+		m.Authority = []dnswire.RR{
+			{Name: "example.com.", Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.NS{Host: "ns.example.com."}},
+		}
+		m.Additional = []dnswire.RR{
+			{Name: "ns.example.com.", Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.A{Addr: server}},
+		}
+		wire, err := m.Pack(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.Entry{
+			Time:    time.Unix(int64(id), 0),
+			Src:     netip.AddrPortFrom(server, 53),
+			Dst:     netip.MustParseAddrPort("192.168.1.254:40000"),
+			Message: wire,
+		}
+	}
+	entries := []trace.Entry{mkResp(1, "edge-a.cdn.net."), mkResp(2, "edge-b.cdn.net.")}
+	con, err := Construct(trace.NewSliceReader(entries), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := con.Zones["example.com."]
+	if z == nil {
+		t.Fatalf("zones = %v", con.Origins())
+	}
+	set := z.RRset("cdn.example.com.", dnswire.TypeCNAME)
+	if len(set) != 1 || set[0].Data.(dnswire.CNAME).Target != "edge-a.cdn.net." {
+		t.Errorf("CNAME set = %v", set)
+	}
+	if con.Conflicts != 1 {
+		t.Errorf("conflicts = %d, want 1", con.Conflicts)
+	}
+}
+
+func TestUnattributableRecordsDropped(t *testing.T) {
+	// A response from an address no NS record maps to, with no root hints:
+	// everything is dropped, nothing invents a zone.
+	m := &dnswire.Message{Header: dnswire.Header{ID: 1, QR: true, AA: true}}
+	m.Question = []dnswire.Question{{Name: "x.example.", Type: dnswire.TypeA, Class: dnswire.ClassINET}}
+	m.Answer = []dnswire.RR{{Name: "x.example.", Class: dnswire.ClassINET, TTL: 1, Data: dnswire.A{Addr: netip.MustParseAddr("192.0.2.1")}}}
+	wire, _ := m.Pack(nil)
+	entries := []trace.Entry{{
+		Time:    time.Unix(0, 0),
+		Src:     netip.MustParseAddrPort("203.0.113.7:53"),
+		Dst:     netip.MustParseAddrPort("192.168.1.254:40000"),
+		Message: wire,
+	}}
+	con, err := Construct(trace.NewSliceReader(entries), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if con.Dropped == 0 {
+		t.Error("expected dropped records")
+	}
+	if len(con.Zones) != 0 {
+		t.Errorf("zones = %v", con.Origins())
+	}
+}
+
+func TestQueriesIgnored(t *testing.T) {
+	q := dnswire.NewQuery(7, "www.example.com.", dnswire.TypeA)
+	wire, _ := q.Pack(nil)
+	entries := []trace.Entry{{
+		Time:    time.Unix(0, 0),
+		Src:     netip.MustParseAddrPort("192.168.1.5:5353"),
+		Dst:     netip.MustParseAddrPort("198.18.0.1:53"),
+		Message: wire,
+	}}
+	con, err := Construct(trace.NewSliceReader(entries), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(con.Zones) != 0 || con.Dropped != 0 {
+		t.Errorf("construction from queries: %+v", con)
+	}
+}
