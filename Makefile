@@ -1,0 +1,32 @@
+# Development targets for the LDplayer reproduction. `make check` is the
+# gate every change must pass: vet, build, the full test suite under the
+# race detector, and a short-form run of the engine hot-path benchmarks
+# (which also executes their allocation sanity assertions).
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A fast smoke run of the meta-DNS-server hot path: enough iterations to
+# exercise the cached, miss, and many-zone routes without benchmarking
+# noise dominating CI time.
+bench-smoke:
+	$(GO) test -run XXX -bench=EngineRespond -benchtime=100x ./internal/authserver/
+
+# Full benchmark sweep (regenerates the paper's tables and figures).
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

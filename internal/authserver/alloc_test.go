@@ -1,0 +1,55 @@
+package authserver
+
+import (
+	"testing"
+
+	"ldplayer/internal/dnswire"
+)
+
+// TestRespondCachedAllocs pins the cache-hit fast path at ≤1 allocation
+// per query (the caller-owned response copy). A regression here means a
+// future change re-introduced per-query garbage on the hot path.
+func TestRespondCachedAllocs(t *testing.T) {
+	e := hierarchyEngine(t)
+	wire, err := dnswire.NewQuery(1, "www.example.com.", dnswire.TypeA).Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache.
+	if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("cached Respond allocs/op = %.2f, want ≤ 1", allocs)
+	}
+	if cs := e.CacheStats(); cs.Hits == 0 {
+		t.Fatal("fast path never hit the cache")
+	}
+}
+
+// TestRespondCachedAllocsEDNS covers the fast path's OPT parse too.
+func TestRespondCachedAllocsEDNS(t *testing.T) {
+	e := hierarchyEngine(t)
+	q := dnswire.NewQuery(2, "www.example.com.", dnswire.TypeA)
+	q.Edns = &dnswire.EDNS{UDPSize: 4096, DO: true}
+	wire, err := q.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("cached EDNS Respond allocs/op = %.2f, want ≤ 1", allocs)
+	}
+}

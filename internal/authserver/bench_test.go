@@ -1,6 +1,7 @@
 package authserver
 
 import (
+	"fmt"
 	"net/netip"
 	"strings"
 	"testing"
@@ -82,6 +83,95 @@ func BenchmarkEngineRespondDNSSEC(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRespondCached measures the packed-response fast path:
+// repeated identical questions are answered from the cache by patching a
+// copy of the stored wire image (≤1 alloc/op — the caller-owned copy).
+func BenchmarkEngineRespondCached(b *testing.B) {
+	e := benchEngine(b)
+	wire, err := dnswire.NewQuery(4, "www.example.com.", dnswire.TypeA).Pack(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Respond(wire, exNSAddr, UDP); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if cs := e.CacheStats(); cs.Hits < int64(b.N) {
+		b.Fatalf("cache hits = %d, want ≥ %d", cs.Hits, b.N)
+	}
+}
+
+// BenchmarkEngineRespondMiss measures the full parse→route→lookup→pack
+// path with the response cache disabled: the cost of every first-seen
+// question, and the baseline the cache is compared against.
+func BenchmarkEngineRespondMiss(b *testing.B) {
+	e := benchEngine(b)
+	e.SetResponseCacheCap(0)
+	wire, err := dnswire.NewQuery(5, "www.example.com.", dnswire.TypeA).Pack(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRespondManyZones exercises zone selection in a view
+// hosting 549 zones (the paper's Rec-17 recursive experiment scale).
+// With the origin suffix map this costs O(qname labels), independent of
+// the zone count; the old linear scan was O(zones) per query.
+func BenchmarkEngineRespondManyZones(b *testing.B) {
+	zones := make([]*zone.Zone, 0, 549)
+	for i := 0; i < 549; i++ {
+		origin := fmt.Sprintf("z%03d.example.", i)
+		z := zone.New(origin)
+		for _, rr := range []dnswire.RR{
+			{Name: origin, Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.SOA{
+				MName: "ns." + origin, RName: "root." + origin, Serial: 1,
+				Refresh: 1, Retry: 1, Expire: 1, Minimum: 300}},
+			{Name: origin, Class: dnswire.ClassINET, TTL: 3600, Data: dnswire.NS{Host: "ns." + origin}},
+			{Name: "www." + origin, Class: dnswire.ClassINET, TTL: 300,
+				Data: dnswire.A{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})}},
+		} {
+			if err := z.Add(rr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		zones = append(zones, z)
+	}
+	e := NewEngine()
+	e.SetResponseCacheCap(0) // isolate routing + lookup, not the cache
+	if err := e.AddView(&View{Name: "default", Zones: zones}); err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]byte, 64)
+	for i := range queries {
+		wire, err := dnswire.NewQuery(uint16(i), fmt.Sprintf("www.z%03d.example.", i*7%549), dnswire.TypeA).Pack(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries[i] = wire
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Respond(queries[i%len(queries)], clientAddr, UDP); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,210 @@
+package authserver
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"ldplayer/internal/dnswire"
+)
+
+// Packed-response cache. Zones are immutable for the lifetime of a run
+// (§2.3: reconstructed zone files are fixed artifacts), so a response to
+// a given (view, question, DO, transport-class, size-limit) tuple never
+// changes and can be cached as a fully-encoded wire image. A hit copies
+// the image and patches only the 2-byte ID, the echoed RD bit, and the
+// question bytes (preserving the client's 0x20 label case), skipping
+// parse, zone lookup, and packing entirely.
+
+// Cache key layout (built into scratch.key, so the map probe via
+// m[string(key)] compiles to a no-allocation lookup):
+//
+//	lowercased qname in wire form (length-prefixed labels, no terminator)
+//	qtype (2) | qclass (2) | flag byte | effective UDP limit (2)
+const (
+	keyDO      = 1 << 0 // query asked for DNSSEC records
+	keyHasEDNS = 1 << 1 // response must echo an OPT
+	keyStream  = 1 << 2 // TCP/TLS: truncation never applies
+)
+
+// buildCacheKey validates that query has the canonical cacheable shape —
+// opcode QUERY, QR clear, exactly one question with an uncompressed
+// qname, no answer/authority records, and at most a well-formed OPT in
+// additional — and assembles the cache key into sc.key. It returns the
+// wire length of the question name (for ID/question patching) and
+// whether the query is cacheable. Anything unusual (compression pointers
+// in the qname, TSIG, multiple questions) falls back to the slow path
+// and is simply not cached, which keeps hit behaviour bit-identical to
+// the slow path by construction.
+func buildCacheKey(sc *scratch, query []byte, transport Transport) (int, bool) {
+	if len(query) < 12 {
+		return 0, false
+	}
+	flags := binary.BigEndian.Uint16(query[2:])
+	if flags&0x8000 != 0 { // QR: a response, not a query
+		return 0, false
+	}
+	if (flags>>11)&0xF != 0 { // non-QUERY opcode
+		return 0, false
+	}
+	qd := binary.BigEndian.Uint16(query[4:])
+	an := binary.BigEndian.Uint16(query[6:])
+	ns := binary.BigEndian.Uint16(query[8:])
+	ar := binary.BigEndian.Uint16(query[10:])
+	if qd != 1 || an != 0 || ns != 0 || ar > 1 {
+		return 0, false
+	}
+
+	key := sc.key[:0]
+	off := 12
+	for {
+		if off >= len(query) {
+			return 0, false
+		}
+		b := int(query[off])
+		if b == 0 {
+			off++
+			break
+		}
+		if b&0xC0 != 0 { // compressed or reserved label: slow path
+			return 0, false
+		}
+		if off+1+b > len(query) || off+1+b-12 > 255 {
+			return 0, false
+		}
+		key = append(key, byte(b))
+		for _, c := range query[off+1 : off+1+b] {
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			key = append(key, c)
+		}
+		off += 1 + b
+	}
+	qnameLen := off - 12
+	if off+4 > len(query) {
+		return 0, false
+	}
+	key = append(key, query[off:off+4]...) // qtype, qclass
+	off += 4
+
+	var kf byte
+	limit := uint16(dnswire.MaxUDPSize)
+	if ar == 1 {
+		// The single additional record must be an OPT at the root owner;
+		// anything else (e.g. TSIG) is not cacheable.
+		if off+11 > len(query) || query[off] != 0 {
+			return 0, false
+		}
+		if dnswire.Type(binary.BigEndian.Uint16(query[off+1:])) != dnswire.TypeOPT {
+			return 0, false
+		}
+		sz := binary.BigEndian.Uint16(query[off+3:])
+		ttl := binary.BigEndian.Uint32(query[off+5:])
+		rdlen := int(binary.BigEndian.Uint16(query[off+9:]))
+		if off+11+rdlen > len(query) {
+			return 0, false
+		}
+		kf |= keyHasEDNS
+		if ttl&(1<<15) != 0 {
+			kf |= keyDO
+		}
+		if sz > limit {
+			limit = sz
+		}
+	}
+	if transport != UDP {
+		kf |= keyStream
+		limit = 0 // normalize: stream responses are never truncated
+	}
+	key = append(key, kf, byte(limit>>8), byte(limit))
+	sc.key = key
+	return qnameLen, true
+}
+
+// cacheEntry is one packed response. wire holds the full encoding with a
+// zeroed ID and the canonical (lowercase) question; truncated/refused
+// replay the stat accounting the original slow-path build performed.
+type cacheEntry struct {
+	wire      []byte
+	truncated bool
+	refused   bool
+}
+
+// respCache is a bounded map from cache key to packed response. Reads
+// take an RLock; inserts are rare once the (bounded) key space has been
+// seen, so the write lock is effectively never contended at steady state.
+type respCache struct {
+	mu sync.RWMutex
+	m  map[string]*cacheEntry
+}
+
+func newRespCache() *respCache {
+	return &respCache{m: make(map[string]*cacheEntry)}
+}
+
+// get returns a caller-owned response for key, patched with query's ID,
+// RD bit, and question bytes, or nil on miss. It charges the engine's
+// response counters exactly as the slow path would have.
+func (c *respCache) get(key, query []byte, qnameLen int, e *Engine) []byte {
+	c.mu.RLock()
+	ent := c.m[string(key)]
+	c.mu.RUnlock()
+	if ent == nil {
+		return nil
+	}
+	out := make([]byte, len(ent.wire))
+	copy(out, ent.wire)
+	// Patch the ID, echo the client's RD flag, and echo the question
+	// region byte-for-byte so 0x20-style mixed-case names round-trip.
+	out[0], out[1] = query[0], query[1]
+	out[2] = out[2]&^0x01 | query[2]&0x01
+	copy(out[12:12+qnameLen+4], query[12:12+qnameLen+4])
+	e.responses.Add(1)
+	e.respBytes.Add(int64(len(out)))
+	if ent.truncated {
+		e.truncated.Add(1)
+	}
+	if ent.refused {
+		e.refused.Add(1)
+	}
+	return out
+}
+
+// put stores a copy of out under key, evicting an arbitrary entry when
+// the cache is at capacity. The stored image gets a zeroed ID (hits
+// always overwrite it) but is otherwise byte-identical to what the slow
+// path returned.
+func (c *respCache) put(key, out []byte, qnameLen int, meta respMeta, capacity int) {
+	if capacity <= 0 || len(out) < 12+qnameLen+4 {
+		return
+	}
+	wire := make([]byte, len(out))
+	copy(wire, out)
+	wire[0], wire[1] = 0, 0
+	ent := &cacheEntry{wire: wire, truncated: meta.truncated, refused: meta.refused}
+	c.mu.Lock()
+	if _, exists := c.m[string(key)]; !exists {
+		for len(c.m) >= capacity {
+			for k := range c.m {
+				delete(c.m, k)
+				break
+			}
+		}
+	}
+	c.m[string(key)] = ent
+	c.mu.Unlock()
+}
+
+// len returns the current entry count.
+func (c *respCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// clear drops every entry.
+func (c *respCache) clear() {
+	c.mu.Lock()
+	c.m = make(map[string]*cacheEntry)
+	c.mu.Unlock()
+}

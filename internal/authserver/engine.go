@@ -9,11 +9,20 @@
 //
 // The engine is transport-agnostic; UDP, TCP and TLS listeners (live mode)
 // and a netsim adapter (testbed mode) all feed it.
+//
+// The query hot path is engineered for replay-scale rates (§4.5): view
+// routing is an atomically-swapped immutable snapshot (no per-packet
+// locks), zone selection is a longest-enclosing-origin suffix-map walk
+// (O(qname labels), not O(zones)), and fully-encoded responses are kept
+// in a per-view packed-response cache so repeated questions are answered
+// by patching two ID bytes and the echoed question into a copy of the
+// cached wire image.
 package authserver
 
 import (
 	"fmt"
 	"net/netip"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -52,75 +61,163 @@ type View struct {
 	Zones   []*zone.Zone
 }
 
+// viewRoute is the immutable per-view runtime state built when the view
+// is registered: the origin suffix map for O(labels) zone selection and
+// the packed-response cache. Zones are immutable after load (§2.3 zone
+// files are fixed artifacts for a run), so neither structure ever needs
+// invalidation.
+type viewRoute struct {
+	view *View
+	// zones maps canonical zone origin → zone.
+	zones map[string]*zone.Zone
+	cache *respCache
+}
+
+// newViewRoute precomputes the routing state for v.
+func newViewRoute(v *View) *viewRoute {
+	vr := &viewRoute{
+		view:  v,
+		zones: make(map[string]*zone.Zone, len(v.Zones)),
+		cache: newRespCache(),
+	}
+	for _, z := range v.Zones {
+		// First zone with a given origin wins, matching the old
+		// first-longest linear scan on (pathological) duplicate origins.
+		if _, dup := vr.zones[z.Origin]; !dup {
+			vr.zones[z.Origin] = z
+		}
+	}
+	return vr
+}
+
+// zoneFor selects the view's zone with the longest origin enclosing
+// qname by walking qname's ancestor chain through the origin map. qname
+// must be canonical (lowercase, dot-terminated), which holds for every
+// name produced by dnswire unpacking.
+func (vr *viewRoute) zoneFor(qname string) *zone.Zone {
+	for name := qname; ; {
+		if z, ok := vr.zones[name]; ok {
+			return z
+		}
+		if name == "." {
+			return nil
+		}
+		if i := strings.IndexByte(name, '.'); i+1 < len(name) {
+			name = name[i+1:]
+		} else {
+			name = "."
+		}
+	}
+}
+
+// routing is the immutable source→view snapshot the hot path reads with
+// a single atomic load. AddView builds a new snapshot and swaps it in.
+type routing struct {
+	bySource    map[netip.Addr]*viewRoute
+	defaultView *viewRoute
+}
+
+// route returns the view route matching src (or the default, or nil).
+func (rt *routing) route(src netip.Addr) *viewRoute {
+	if vr, ok := rt.bySource[src]; ok {
+		return vr
+	}
+	return rt.defaultView
+}
+
+// DefaultResponseCacheCap bounds each view's packed-response cache. The
+// recursive experiment's 549 zones stay well under it while replayed
+// B-Root traffic (heavy-tailed repeat questions) gets near-total hits.
+const DefaultResponseCacheCap = 8192
+
 // Engine answers DNS queries from a set of views. It is safe for
-// concurrent use once configured.
+// concurrent use; views may even be added while serving.
 type Engine struct {
-	mu sync.RWMutex
-	// bySource maps a match address to its view.
-	bySource map[netip.Addr]*View
-	// defaultView answers queries from unmatched sources ("" match-all).
-	defaultView *View
+	addMu    sync.Mutex // serializes AddView / cache-cap changes
+	routing  atomic.Pointer[routing]
+	cacheCap atomic.Int64
 
 	// Stats
-	queries    atomic.Int64
-	responses  atomic.Int64
-	truncated  atomic.Int64
-	formErrs   atomic.Int64
-	refused    atomic.Int64
-	respBytes  atomic.Int64
-	queryBytes atomic.Int64
+	queries     atomic.Int64
+	responses   atomic.Int64
+	truncated   atomic.Int64
+	formErrs    atomic.Int64
+	refused     atomic.Int64
+	notImpl     atomic.Int64
+	respBytes   atomic.Int64
+	queryBytes  atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 }
 
 // NewEngine creates an empty engine.
 func NewEngine() *Engine {
-	return &Engine{bySource: make(map[netip.Addr]*View)}
+	e := &Engine{}
+	e.cacheCap.Store(DefaultResponseCacheCap)
+	e.routing.Store(&routing{bySource: make(map[netip.Addr]*viewRoute)})
+	return e
+}
+
+// SetResponseCacheCap sets the per-view packed-response cache capacity.
+// n <= 0 disables the cache entirely. Existing cached entries are
+// dropped so a smaller cap (or disablement) takes effect immediately.
+func (e *Engine) SetResponseCacheCap(n int) {
+	e.addMu.Lock()
+	defer e.addMu.Unlock()
+	e.cacheCap.Store(int64(n))
+	rt := e.routing.Load()
+	seen := make(map[*respCache]struct{})
+	for _, vr := range rt.bySource {
+		seen[vr.cache] = struct{}{}
+	}
+	if rt.defaultView != nil {
+		seen[rt.defaultView.cache] = struct{}{}
+	}
+	for c := range seen {
+		c.clear()
+	}
 }
 
 // AddView registers v. Views with no Sources become the default view; a
-// source address may belong to only one view.
+// source address may belong to only one view. The new routing snapshot
+// becomes visible atomically; in-flight queries finish on the old one.
 func (e *Engine) AddView(v *View) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.addMu.Lock()
+	defer e.addMu.Unlock()
+	cur := e.routing.Load()
+	next := &routing{
+		bySource:    make(map[netip.Addr]*viewRoute, len(cur.bySource)+len(v.Sources)),
+		defaultView: cur.defaultView,
+	}
+	for src, vr := range cur.bySource {
+		next.bySource[src] = vr
+	}
+	vr := newViewRoute(v)
 	if len(v.Sources) == 0 {
-		if e.defaultView != nil {
+		if cur.defaultView != nil {
 			return fmt.Errorf("authserver: second default view %q", v.Name)
 		}
-		e.defaultView = v
-		return nil
-	}
-	for _, src := range v.Sources {
-		if owner, dup := e.bySource[src]; dup {
-			return fmt.Errorf("authserver: source %v already matched by view %q", src, owner.Name)
+		next.defaultView = vr
+	} else {
+		for _, src := range v.Sources {
+			if owner, dup := next.bySource[src]; dup {
+				return fmt.Errorf("authserver: source %v already matched by view %q", src, owner.view.Name)
+			}
+		}
+		for _, src := range v.Sources {
+			next.bySource[src] = vr
 		}
 	}
-	for _, src := range v.Sources {
-		e.bySource[src] = v
-	}
+	e.routing.Store(next)
 	return nil
 }
 
 // ViewFor returns the view matching src (or the default view, or nil).
 func (e *Engine) ViewFor(src netip.Addr) *View {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if v, ok := e.bySource[src]; ok {
-		return v
+	if vr := e.routing.Load().route(src); vr != nil {
+		return vr.view
 	}
-	return e.defaultView
-}
-
-// zoneFor selects the view's zone with the longest origin enclosing qname.
-func (v *View) zoneFor(qname string) *zone.Zone {
-	var best *zone.Zone
-	bestLabels := -1
-	for _, z := range v.Zones {
-		if dnswire.IsSubdomain(qname, z.Origin) {
-			if n := dnswire.CountLabels(z.Origin); n > bestLabels {
-				best, bestLabels = z, n
-			}
-		}
-	}
-	return best
+	return nil
 }
 
 // Stats is a snapshot of engine counters.
@@ -130,6 +227,7 @@ type Stats struct {
 	Truncated     int64
 	FormErrs      int64
 	Refused       int64
+	NotImpl       int64
 	QueryBytes    int64
 	ResponseBytes int64
 }
@@ -142,39 +240,126 @@ func (e *Engine) Stats() Stats {
 		Truncated:     e.truncated.Load(),
 		FormErrs:      e.formErrs.Load(),
 		Refused:       e.refused.Load(),
+		NotImpl:       e.notImpl.Load(),
 		QueryBytes:    e.queryBytes.Load(),
 		ResponseBytes: e.respBytes.Load(),
 	}
 }
 
+// CacheStats is a snapshot of the packed-response cache counters.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int64
+}
+
+// CacheStats returns hit/miss counters and the current entry count
+// across every view's response cache.
+func (e *Engine) CacheStats() CacheStats {
+	st := CacheStats{Hits: e.cacheHits.Load(), Misses: e.cacheMisses.Load()}
+	rt := e.routing.Load()
+	seen := make(map[*respCache]struct{})
+	for _, vr := range rt.bySource {
+		seen[vr.cache] = struct{}{}
+	}
+	if rt.defaultView != nil {
+		seen[rt.defaultView.cache] = struct{}{}
+	}
+	for c := range seen {
+		st.Entries += int64(c.len())
+	}
+	return st
+}
+
+// scratch bundles the per-call reusable state: unpack/response messages,
+// the pack buffer, the cache key, and the echoed OPT. Pooled so the
+// steady-state Respond path performs no per-query setup allocations.
+type scratch struct {
+	q        dnswire.Message
+	resp     dnswire.Message
+	edns     dnswire.EDNS
+	key      []byte
+	buf      []byte
+	qnameLen int
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &scratch{
+			key: make([]byte, 0, 280),
+			buf: make([]byte, 0, 2048),
+		}
+	},
+}
+
+// respMeta records which stat counters a packed response charged, so
+// cache hits can replay the same accounting.
+type respMeta struct {
+	cacheable bool
+	truncated bool
+	refused   bool
+}
+
 // Respond answers the wire-format query arriving from src over transport.
 // It always returns a response to send when err is nil; unparseable
 // queries yield FORMERR when at least the header was readable, and a nil
-// response (drop) otherwise.
+// response (drop) otherwise. The returned slice is freshly allocated and
+// owned by the caller.
 func (e *Engine) Respond(query []byte, src netip.Addr, transport Transport) ([]byte, error) {
 	e.queries.Add(1)
 	e.queryBytes.Add(int64(len(query)))
 
-	var q dnswire.Message
+	vr := e.routing.Load().route(src)
+
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
+	cacheable := false
+	if vr != nil && e.cacheCap.Load() > 0 {
+		if qnameLen, ok := buildCacheKey(sc, query, transport); ok {
+			cacheable = true
+			sc.qnameLen = qnameLen
+			if out := vr.cache.get(sc.key, query, qnameLen, e); out != nil {
+				e.cacheHits.Add(1)
+				return out, nil
+			}
+			e.cacheMisses.Add(1)
+		}
+	}
+
+	out, meta, err := e.respondSlow(sc, query, vr, transport)
+	if err == nil && cacheable && meta.cacheable {
+		vr.cache.put(sc.key, out, sc.qnameLen, meta, int(e.cacheCap.Load()))
+	}
+	return out, err
+}
+
+// respondSlow is the full parse → route → lookup → pack path.
+func (e *Engine) respondSlow(sc *scratch, query []byte, vr *viewRoute, transport Transport) ([]byte, respMeta, error) {
+	q := &sc.q
 	if err := q.Unpack(query); err != nil {
 		if len(query) >= 12 {
 			e.formErrs.Add(1)
-			return e.errorResponse(query, dnswire.RcodeFormErr)
+			out, err := e.errorResponse(sc, query, dnswire.RcodeFormErr)
+			return out, respMeta{}, err
 		}
-		return nil, fmt.Errorf("authserver: undecodable query: %w", err)
+		return nil, respMeta{}, fmt.Errorf("authserver: undecodable query: %w", err)
 	}
 	if q.Header.Opcode != dnswire.OpcodeQuery {
 		// NOTIFY/UPDATE/IQUERY are out of scope for an authoritative
 		// replay target; answer NOTIMP like NSD does.
-		return e.errorResponse(query, dnswire.RcodeNotImp)
+		e.notImpl.Add(1)
+		out, err := e.errorResponse(sc, query, dnswire.RcodeNotImp)
+		return out, respMeta{}, err
 	}
 	if q.Header.QR || len(q.Question) != 1 {
 		e.formErrs.Add(1)
-		return e.errorResponse(query, dnswire.RcodeFormErr)
+		out, err := e.errorResponse(sc, query, dnswire.RcodeFormErr)
+		return out, respMeta{}, err
 	}
 
-	view := e.ViewFor(src)
-	resp := dnswire.ResponseTo(&q)
+	resp := &sc.resp
+	resp.SetResponseTo(q)
 	// Echo EDNS: respond with our own OPT advertising a large buffer and
 	// mirroring the DO bit, as real authoritative servers do.
 	dnssecOK := false
@@ -184,18 +369,22 @@ func (e *Engine) Respond(query []byte, src netip.Addr, transport Transport) ([]b
 		if int(q.Edns.UDPSize) > udpLimit {
 			udpLimit = int(q.Edns.UDPSize)
 		}
-		resp.Edns = &dnswire.EDNS{UDPSize: dnswire.DefaultEDNSSize, DO: q.Edns.DO}
+		sc.edns = dnswire.EDNS{UDPSize: dnswire.DefaultEDNSSize, DO: q.Edns.DO}
+		resp.Edns = &sc.edns
 	}
 
+	meta := respMeta{cacheable: true}
 	question := q.Question[0]
 	var z *zone.Zone
-	if view != nil {
-		z = view.zoneFor(question.Name)
+	if vr != nil {
+		z = vr.zoneFor(question.Name)
 	}
 	if z == nil {
 		e.refused.Add(1)
+		meta.refused = true
 		resp.Header.Rcode = dnswire.RcodeRefused
-		return e.pack(resp, transport, udpLimit)
+		out, err := e.pack(sc, resp, transport, udpLimit, &meta)
+		return out, meta, err
 	}
 
 	res := z.Lookup(question.Name, question.Type, zone.LookupOptions{DNSSEC: dnssecOK})
@@ -218,46 +407,58 @@ func (e *Engine) Respond(query []byte, src netip.Addr, transport Transport) ([]b
 		resp.Additional = res.Additional
 	case zone.OutOfZone:
 		e.refused.Add(1)
+		meta.refused = true
 		resp.Header.Rcode = dnswire.RcodeRefused
 	}
-	return e.pack(resp, transport, udpLimit)
+	out, err := e.pack(sc, resp, transport, udpLimit, &meta)
+	return out, meta, err
 }
 
-// pack encodes resp, applying UDP truncation when necessary.
-func (e *Engine) pack(resp *dnswire.Message, transport Transport, udpLimit int) ([]byte, error) {
-	wire, err := resp.Pack(nil)
+// pack encodes resp into the scratch buffer, applying UDP truncation when
+// necessary, and returns a caller-owned copy.
+func (e *Engine) pack(sc *scratch, resp *dnswire.Message, transport Transport, udpLimit int, meta *respMeta) ([]byte, error) {
+	wire, err := resp.Pack(sc.buf[:0])
 	if err != nil {
 		return nil, err
 	}
+	sc.buf = wire[:0]
 	if transport == UDP && len(wire) > udpLimit {
 		e.truncated.Add(1)
+		meta.truncated = true
 		resp.Header.TC = true
 		// RFC 2181 §9: truncate to an empty answer; the client retries
 		// over TCP. Keep the question and OPT only.
 		resp.Answer = nil
 		resp.Authority = nil
 		resp.Additional = nil
-		if wire, err = resp.Pack(nil); err != nil {
+		if wire, err = resp.Pack(sc.buf[:0]); err != nil {
 			return nil, err
 		}
+		sc.buf = wire[:0]
 	}
 	e.responses.Add(1)
 	e.respBytes.Add(int64(len(wire)))
-	return wire, nil
+	out := make([]byte, len(wire))
+	copy(out, wire)
+	return out, nil
 }
 
 // errorResponse builds a minimal response with rcode from a raw query
 // whose header (at least) was parseable.
-func (e *Engine) errorResponse(query []byte, rcode dnswire.Rcode) ([]byte, error) {
-	resp := &dnswire.Message{}
+func (e *Engine) errorResponse(sc *scratch, query []byte, rcode dnswire.Rcode) ([]byte, error) {
+	resp := &sc.resp
+	resp.Reset()
 	resp.Header.ID = uint16(query[0])<<8 | uint16(query[1])
 	resp.Header.QR = true
 	resp.Header.Rcode = rcode
-	wire, err := resp.Pack(nil)
+	wire, err := resp.Pack(sc.buf[:0])
 	if err != nil {
 		return nil, err
 	}
+	sc.buf = wire[:0]
 	e.responses.Add(1)
 	e.respBytes.Add(int64(len(wire)))
-	return wire, nil
+	out := make([]byte, len(wire))
+	copy(out, wire)
+	return out, nil
 }

@@ -310,4 +310,7 @@ func TestUnsupportedOpcodeNotImp(t *testing.T) {
 	if resp.Header.ID != 11 {
 		t.Errorf("ID = %d", resp.Header.ID)
 	}
+	if st := e.Stats(); st.NotImpl != 1 {
+		t.Errorf("NotImpl = %d, want 1 (NOTIMP traffic must be counted)", st.NotImpl)
+	}
 }

@@ -1,6 +1,7 @@
 package authserver
 
 import (
+	"context"
 	"crypto/tls"
 	"encoding/binary"
 	"errors"
@@ -28,10 +29,15 @@ type Server struct {
 	TLSConfig *tls.Config
 	// UDPWorkers sets the UDP read-loop worker pool size (default 4).
 	UDPWorkers int
+	// ReusePort opens one SO_REUSEPORT UDP socket per worker so the
+	// kernel fans incoming packets out across workers instead of all
+	// workers contending on one socket's receive queue. Silently falls
+	// back to a single shared socket on platforms without SO_REUSEPORT.
+	ReusePort bool
 
-	udpConn *net.UDPConn
-	tcpLn   net.Listener
-	tlsLn   net.Listener
+	udpConns []*net.UDPConn
+	tcpLn    net.Listener
+	tlsLn    net.Listener
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -63,16 +69,12 @@ func (s *Server) Start(udpAddr, tcpAddr, tlsAddr string) error {
 	s.conns = make(map[net.Conn]struct{})
 
 	if udpAddr != "" {
-		addr, err := net.ResolveUDPAddr("udp", udpAddr)
-		if err != nil {
-			return err
-		}
-		if s.udpConn, err = net.ListenUDP("udp", addr); err != nil {
+		if err := s.listenUDP(udpAddr); err != nil {
 			return err
 		}
 		for i := 0; i < s.UDPWorkers; i++ {
 			s.wg.Add(1)
-			go s.serveUDP()
+			go s.serveUDP(s.udpConns[i%len(s.udpConns)])
 		}
 	}
 	if tcpAddr != "" {
@@ -102,12 +104,54 @@ func (s *Server) Start(udpAddr, tcpAddr, tlsAddr string) error {
 	return nil
 }
 
-// UDPAddr returns the bound UDP address, or nil.
-func (s *Server) UDPAddr() *net.UDPAddr {
-	if s.udpConn == nil {
+// listenUDP binds the UDP socket(s): one socket shared by all workers,
+// or — with ReusePort on a supporting platform — one per worker, all
+// bound to the same address so the kernel distributes load.
+func (s *Server) listenUDP(udpAddr string) error {
+	addr, err := net.ResolveUDPAddr("udp", udpAddr)
+	if err != nil {
+		return err
+	}
+	sockets := 1
+	if s.ReusePort && reusePortSupported && s.UDPWorkers > 1 {
+		sockets = s.UDPWorkers
+	}
+	if sockets == 1 {
+		conn, err := net.ListenUDP("udp", addr)
+		if err != nil {
+			return err
+		}
+		s.udpConns = []*net.UDPConn{conn}
 		return nil
 	}
-	return s.udpConn.LocalAddr().(*net.UDPAddr)
+	lc := net.ListenConfig{Control: reusePortControl}
+	bind := addr.String()
+	for i := 0; i < sockets; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp", bind)
+		if err != nil {
+			for _, c := range s.udpConns {
+				c.Close()
+			}
+			s.udpConns = nil
+			return err
+		}
+		conn := pc.(*net.UDPConn)
+		s.udpConns = append(s.udpConns, conn)
+		if i == 0 {
+			// A ":0" request resolves on the first bind; the remaining
+			// sockets must share that concrete port.
+			bind = conn.LocalAddr().String()
+		}
+	}
+	return nil
+}
+
+// UDPAddr returns the bound UDP address, or nil.
+func (s *Server) UDPAddr() *net.UDPAddr {
+	if len(s.udpConns) == 0 {
+		return nil
+	}
+	return s.udpConns[0].LocalAddr().(*net.UDPAddr)
 }
 
 // TCPAddr returns the bound TCP address, or nil.
@@ -137,8 +181,8 @@ func (s *Server) TotalTCPConns() int64 { return s.tcpTotal.Load() }
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
-	if s.udpConn != nil {
-		s.udpConn.Close()
+	for _, c := range s.udpConns {
+		c.Close()
 	}
 	if s.tcpLn != nil {
 		s.tcpLn.Close()
@@ -153,11 +197,13 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-func (s *Server) serveUDP() {
+func (s *Server) serveUDP(conn *net.UDPConn) {
 	defer s.wg.Done()
+	// One read buffer per worker: the engine never retains the query
+	// bytes, so the buffer is reused for every packet.
 	buf := make([]byte, 64*1024)
 	for {
-		n, raddr, err := s.udpConn.ReadFromUDPAddrPort(buf)
+		n, raddr, err := conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			return // closed
 		}
@@ -165,7 +211,7 @@ func (s *Server) serveUDP() {
 		if err != nil || resp == nil {
 			continue
 		}
-		_, _ = s.udpConn.WriteToUDPAddrPort(resp, raddr)
+		_, _ = conn.WriteToUDPAddrPort(resp, raddr)
 	}
 }
 
@@ -201,9 +247,12 @@ func (s *Server) serveConn(conn net.Conn, transport Transport) {
 		s.mu.Unlock()
 	}()
 	src := remoteAddr(conn)
+	// Per-connection reusable read buffer: the engine never retains the
+	// query bytes, so each message overwrites the last.
+	var rbuf []byte
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
-		query, err := ReadTCPMessage(conn)
+		query, err := readTCPMessage(conn, &rbuf)
 		if err != nil {
 			return // idle timeout, EOF, or garbage: drop the connection
 		}
@@ -224,33 +273,57 @@ func remoteAddr(conn net.Conn) netip.Addr {
 	return netip.Addr{}
 }
 
-// ReadTCPMessage reads one RFC 1035 §4.2.2 length-prefixed DNS message.
+// ReadTCPMessage reads one RFC 1035 §4.2.2 length-prefixed DNS message
+// into a fresh buffer.
 func ReadTCPMessage(r io.Reader) ([]byte, error) {
+	var buf []byte
+	return readTCPMessage(r, &buf)
+}
+
+// readTCPMessage reads one length-prefixed message into *buf, growing it
+// as needed; the returned slice aliases *buf and is valid until the next
+// call with the same buffer.
+func readTCPMessage(r io.Reader, buf *[]byte) ([]byte, error) {
 	var lenBuf [2]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint16(lenBuf[:])
+	n := int(binary.BigEndian.Uint16(lenBuf[:]))
 	if n == 0 {
 		return nil, errors.New("authserver: zero-length TCP message")
 	}
-	msg := make([]byte, n)
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	msg := (*buf)[:n]
 	if _, err := io.ReadFull(r, msg); err != nil {
 		return nil, err
 	}
 	return msg, nil
 }
 
+// framePool recycles TCP framing buffers so writing a response does not
+// allocate a fresh 2+len(msg) slice per message.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
 // WriteTCPMessage writes one length-prefixed DNS message in a single
 // Write call, so a message is never split across two writes at this layer
-// (the analogue of disabling Nagle-sensitive write patterns).
+// (the analogue of disabling Nagle-sensitive write patterns). The frame
+// is assembled in a pooled buffer, not a per-message allocation.
 func WriteTCPMessage(w io.Writer, msg []byte) error {
 	if len(msg) > 0xFFFF {
 		return fmt.Errorf("authserver: message too large for TCP framing: %d", len(msg))
 	}
-	buf := make([]byte, 2+len(msg))
-	binary.BigEndian.PutUint16(buf, uint16(len(msg)))
-	copy(buf[2:], msg)
+	bp := framePool.Get().(*[]byte)
+	buf := append((*bp)[:0], byte(len(msg)>>8), byte(len(msg)))
+	buf = append(buf, msg...)
 	_, err := w.Write(buf)
+	*bp = buf[:0]
+	framePool.Put(bp)
 	return err
 }

@@ -4,6 +4,7 @@ import (
 	"crypto/tls"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -264,5 +265,62 @@ func TestServerConcurrentClients(t *testing.T) {
 	}
 	if got := e.Stats().Queries; got != clients*perClient {
 		t.Errorf("served %d queries, want %d", got, clients*perClient)
+	}
+}
+
+// TestServerReusePortUDP serves through per-worker SO_REUSEPORT sockets
+// (Linux) and checks queries are answered; elsewhere it checks the
+// silent single-socket fallback.
+func TestServerReusePortUDP(t *testing.T) {
+	e := hierarchyEngine(t)
+	exView := e.ViewFor(exNSAddr)
+	if err := e.AddView(&View{Name: "default", Zones: exView.Zones}); err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{Engine: e, UDPWorkers: 4, ReusePort: true}
+	if err := s.Start("127.0.0.1:0", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if runtime.GOOS == "linux" {
+		if got := len(s.udpConns); got != 4 {
+			t.Errorf("udp sockets = %d, want 4 (one per worker)", got)
+		}
+		for i, c := range s.udpConns[1:] {
+			if c.LocalAddr().String() != s.udpConns[0].LocalAddr().String() {
+				t.Errorf("socket %d bound to %v, want %v", i+1, c.LocalAddr(), s.udpConns[0].LocalAddr())
+			}
+		}
+	} else if got := len(s.udpConns); got != 1 {
+		t.Errorf("udp sockets = %d, want 1 (fallback)", got)
+	}
+	// Many short-lived client sockets: the kernel hashes each 4-tuple to
+	// some member of the reuseport group, so this exercises every socket
+	// with high probability.
+	for i := 0; i < 32; i++ {
+		conn, err := net.DialUDP("udp", nil, s.UDPAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := dnswire.NewQuery(uint16(300+i), "www.example.com.", dnswire.TypeA)
+		wire, _ := q.Pack(nil)
+		if _, err := conn.Write(wire); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4096)
+		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, err := conn.Read(buf)
+		if err != nil {
+			conn.Close()
+			t.Fatalf("query %d: %v", i, err)
+		}
+		var resp dnswire.Message
+		if err := resp.Unpack(buf[:n]); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header.ID != uint16(300+i) || len(resp.Answer) != 1 {
+			t.Errorf("query %d: header=%+v answers=%d", i, resp.Header, len(resp.Answer))
+		}
+		conn.Close()
 	}
 }

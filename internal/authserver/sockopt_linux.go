@@ -1,0 +1,24 @@
+//go:build linux
+
+package authserver
+
+import "syscall"
+
+// soReusePort is SO_REUSEPORT (not exported by the syscall package on
+// all Go versions); 0xf on every Linux architecture.
+const soReusePort = 0xf
+
+const reusePortSupported = true
+
+// reusePortControl is a net.ListenConfig.Control hook that sets
+// SO_REUSEPORT before bind, letting several UDP sockets share one
+// address so the kernel hashes incoming packets across them.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}

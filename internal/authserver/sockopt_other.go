@@ -1,0 +1,16 @@
+//go:build !linux
+
+package authserver
+
+import (
+	"errors"
+	"syscall"
+)
+
+const reusePortSupported = false
+
+// reusePortControl is never reached when reusePortSupported is false;
+// Server.listenUDP falls back to a single shared socket instead.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	return errors.New("authserver: SO_REUSEPORT not supported on this platform")
+}

@@ -1,0 +1,45 @@
+package dnswire
+
+import "testing"
+
+// TestPackPresizedAllocs pins Pack at zero allocations when appending
+// into a buffer with sufficient capacity: compression state is pooled
+// and suffix keys are substrings of the names being packed, so the
+// encode path must not produce garbage.
+func TestPackPresizedAllocs(t *testing.T) {
+	m := benchResponse()
+	buf := make([]byte, 0, 512)
+	allocs := testing.AllocsPerRun(1000, func() {
+		var err error
+		buf, err = m.Pack(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("Pack into presized buffer allocs/op = %.2f, want 0", allocs)
+	}
+}
+
+// TestUnpackReuseAllocs pins steady-state Unpack into a pooled Message:
+// section slices are reused, so per-message allocations are limited to
+// the decoded names and rdata values themselves.
+func TestUnpackReuseAllocs(t *testing.T) {
+	wire, err := benchResponse().Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := GetMessage()
+	defer PutMessage(m)
+	base := testing.AllocsPerRun(1000, func() {
+		if err := m.Unpack(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 6 RRs + OPT + names: the exact number is an implementation detail,
+	// but reuse must keep it well under one-allocation-per-byte churn.
+	// The guard catches section-slice or header-level regressions.
+	if base > 25 {
+		t.Errorf("Unpack reuse allocs/op = %.2f, want ≤ 25", base)
+	}
+}

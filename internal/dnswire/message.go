@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Header is the fixed 12-octet DNS message header, with the flag word
@@ -127,12 +128,23 @@ var (
 	errSectionCount     = errors.New("dnswire: section count overflows message")
 )
 
+// compressorPool recycles compression state across Pack calls so the
+// hot encode path performs no bookkeeping allocations.
+var compressorPool = sync.Pool{
+	New: func() any { return &compressor{entries: make([]compEntry, 0, maxCompressorEntries)} },
+}
+
 // Pack appends the wire encoding of m to buf and returns the extended
 // slice. Name compression is applied to owner names and to the
-// compressible rdata names. Pass buf = nil to allocate.
+// compressible rdata names. Pass buf = nil to allocate; packing into a
+// presized buffer performs no intermediate allocations.
 func (m *Message) Pack(buf []byte) ([]byte, error) {
 	msgStart := len(buf)
-	cmp := make(compressionMap, 8)
+	cmp := compressorPool.Get().(*compressor)
+	defer func() {
+		cmp.reset()
+		compressorPool.Put(cmp)
+	}()
 
 	buf = binary.BigEndian.AppendUint16(buf, m.Header.ID)
 	buf = binary.BigEndian.AppendUint16(buf, m.Header.flags())
@@ -337,14 +349,21 @@ func NewQuery(id uint16, name string, t Type) *Message {
 // ResponseTo initializes m as a response skeleton mirroring query q: same
 // ID, question, opcode, and RD flag, with QR set.
 func ResponseTo(q *Message) *Message {
-	resp := &Message{
-		Header: Header{
-			ID:     q.Header.ID,
-			QR:     true,
-			Opcode: q.Header.Opcode,
-			RD:     q.Header.RD,
-		},
-	}
-	resp.Question = append(resp.Question, q.Question...)
+	resp := &Message{}
+	resp.SetResponseTo(q)
 	return resp
+}
+
+// SetResponseTo resets m and initializes it as a response skeleton
+// mirroring query q, reusing m's section capacity. It is the
+// allocation-free variant of ResponseTo for pooled messages.
+func (m *Message) SetResponseTo(q *Message) {
+	m.Reset()
+	m.Header = Header{
+		ID:     q.Header.ID,
+		QR:     true,
+		Opcode: q.Header.Opcode,
+		RD:     q.Header.RD,
+	}
+	m.Question = append(m.Question, q.Question...)
 }

@@ -92,16 +92,59 @@ func nameWireLen(name string) int {
 	return len(name) + 1
 }
 
-// compressionMap tracks names already emitted during Pack so later
-// occurrences can be replaced by pointers. Keys are canonical suffixes;
-// values are offsets into the message.
-type compressionMap map[string]int
+// compressor tracks names already emitted during Pack so later
+// occurrences can be replaced by pointers. Entries hold canonical
+// suffixes (substrings of the names being packed, so recording one is
+// allocation-free) and their offsets into the message. The entry count
+// is small in practice, so a linear scan beats a map: it needs no
+// per-message allocation and the slice is reusable across messages via
+// a sync.Pool (see Pack).
+type compressor struct {
+	entries []compEntry
+}
+
+type compEntry struct {
+	suffix string
+	off    uint16
+}
+
+// maxCompressorEntries bounds the scan; suffixes beyond it are simply
+// not recorded (correct, just marginally less compression on messages
+// with very many distinct names).
+const maxCompressorEntries = 128
+
+// compressionMap is the historical name for the compression state
+// threaded through rdata encoders; it is now a pooled struct.
+type compressionMap = *compressor
+
+func (c *compressor) lookup(suffix string) (int, bool) {
+	for i := range c.entries {
+		if c.entries[i].suffix == suffix {
+			return int(c.entries[i].off), true
+		}
+	}
+	return 0, false
+}
+
+func (c *compressor) add(suffix string, off int) {
+	if len(c.entries) < maxCompressorEntries {
+		c.entries = append(c.entries, compEntry{suffix: suffix, off: uint16(off)})
+	}
+}
+
+// reset clears the entries, dropping string references so pooled
+// compressors do not pin packed messages in memory.
+func (c *compressor) reset() {
+	clear(c.entries)
+	c.entries = c.entries[:0]
+}
 
 // appendName appends the wire encoding of name to buf. When cmp is non-nil
 // and msgStart gives the offset of the message start within buf, suffixes
 // already present in cmp are replaced by compression pointers and new
 // suffixes are recorded (only offsets that fit in 14 bits are recorded, per
-// RFC 1035).
+// RFC 1035). For a canonical name the encoding performs no allocations:
+// suffixes are substrings of name and labels are appended directly.
 func appendName(buf []byte, name string, cmp compressionMap, msgStart int) ([]byte, error) {
 	name = CanonicalName(name)
 	if nameWireLen(name) > maxNameWire {
@@ -110,26 +153,27 @@ func appendName(buf []byte, name string, cmp compressionMap, msgStart int) ([]by
 	if name == "." {
 		return append(buf, 0), nil
 	}
-	labels := SplitLabels(name)
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".") + "."
+	// rest is always the canonical dot-terminated suffix starting at the
+	// current label, e.g. "www.example.com." → "example.com." → "com.".
+	for rest := name; rest != ""; {
 		if cmp != nil {
-			if off, ok := cmp[suffix]; ok {
+			if off, ok := cmp.lookup(rest); ok {
 				return append(buf, byte(0xC0|off>>8), byte(off)), nil
 			}
 			if off := len(buf) - msgStart; off < 0x4000 {
-				cmp[suffix] = off
+				cmp.add(rest, off)
 			}
 		}
-		label := labels[i]
-		if label == "" {
+		i := strings.IndexByte(rest, '.')
+		if i == 0 {
 			return buf, ErrEmptyLabel
 		}
-		if len(label) > maxLabelWire {
+		if i > maxLabelWire {
 			return buf, ErrLabelTooLong
 		}
-		buf = append(buf, byte(len(label)))
-		buf = append(buf, label...)
+		buf = append(buf, byte(i))
+		buf = append(buf, rest[:i]...)
+		rest = rest[i+1:]
 	}
 	return append(buf, 0), nil
 }

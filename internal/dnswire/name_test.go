@@ -106,7 +106,7 @@ func TestNameEncodingErrors(t *testing.T) {
 }
 
 func TestNameCompression(t *testing.T) {
-	cmp := make(compressionMap)
+	cmp := &compressor{}
 	buf, err := appendName(nil, "www.example.com.", cmp, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -198,7 +198,7 @@ func TestCompareNames(t *testing.T) {
 }
 
 func TestAppendNameRootEncoding(t *testing.T) {
-	buf, err := appendName(nil, ".", make(compressionMap), 0)
+	buf, err := appendName(nil, ".", &compressor{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,24 @@
+package dnswire
+
+import "sync"
+
+// msgPool recycles Message scratch values. Reset retains section slice
+// capacity, so a pooled Message unpacks and repacks typical queries and
+// responses without growing allocations after warm-up.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// GetMessage returns a cleared Message from the pool. Callers must not
+// retain references into the message (names, sections, EDNS) after
+// returning it with PutMessage.
+func GetMessage() *Message {
+	return msgPool.Get().(*Message)
+}
+
+// PutMessage resets m and returns it to the pool. Passing nil is a no-op.
+func PutMessage(m *Message) {
+	if m == nil {
+		return
+	}
+	m.Reset()
+	msgPool.Put(m)
+}

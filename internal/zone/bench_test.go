@@ -88,3 +88,18 @@ func BenchmarkLookupWildcard(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkZoneAddLargeRRset loads one huge RRset (the pattern that made
+// duplicate detection O(n²) before the per-key dedup set): time per op
+// must stay flat as the set grows.
+func BenchmarkZoneAddLargeRRset(b *testing.B) {
+	z := New("example.com.")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rr := dnswire.RR{Name: "fat.example.com.", Class: dnswire.ClassINET, TTL: 60,
+			Data: dnswire.TXT{Strings: []string{fmt.Sprintf("record-%d", i)}}}
+		if err := z.Add(rr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

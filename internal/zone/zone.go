@@ -26,6 +26,11 @@ type Zone struct {
 	Origin string
 
 	rrsets map[rrKey][]dnswire.RR
+	// dedup keeps, per RRset, the presentation form of every rdata already
+	// inserted, so Add detects duplicates with one set probe instead of
+	// re-rendering the whole RRset (which made loading large reconstructed
+	// zones O(n²) in the RRset size).
+	dedup map[rrKey]map[string]struct{}
 	// names records every owner name that exists (has any RRset), for the
 	// NXDOMAIN vs NODATA distinction and empty-non-terminal detection.
 	names map[string]struct{}
@@ -41,6 +46,7 @@ func New(origin string) *Zone {
 	return &Zone{
 		Origin:    dnswire.CanonicalName(origin),
 		rrsets:    make(map[rrKey][]dnswire.RR),
+		dedup:     make(map[rrKey]map[string]struct{}),
 		names:     make(map[string]struct{}),
 		cuts:      make(map[string]struct{}),
 		wildcards: make(map[string]struct{}),
@@ -59,11 +65,16 @@ func (z *Zone) Add(rr dnswire.RR) error {
 	}
 	rr.Name = name
 	key := rrKey{name: name, typ: rr.Type()}
-	for _, existing := range z.rrsets[key] {
-		if existing.Data.String() == rr.Data.String() {
-			return nil // duplicate
-		}
+	rendered := rr.Data.String()
+	seen := z.dedup[key]
+	if seen == nil {
+		seen = make(map[string]struct{}, 1)
+		z.dedup[key] = seen
 	}
+	if _, dup := seen[rendered]; dup {
+		return nil // duplicate
+	}
+	seen[rendered] = struct{}{}
 	z.rrsets[key] = append(z.rrsets[key], rr)
 	z.names[name] = struct{}{}
 	// Register empty non-terminals so intermediate names answer NODATA
