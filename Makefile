@@ -1,13 +1,14 @@
 # Development targets for the LDplayer reproduction. `make check` is the
 # gate every change must pass: vet, build, the full test suite under the
-# race detector, and a short-form run of the engine hot-path benchmarks
-# (which also executes their allocation sanity assertions).
+# race detector, a short-form run of the engine hot-path benchmarks
+# (which also executes their allocation sanity assertions), and the
+# observability smoke test.
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench
+.PHONY: check vet build test race bench-smoke bench obs-smoke
 
-check: vet build race bench-smoke
+check: vet build race bench-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +27,12 @@ race:
 # noise dominating CI time.
 bench-smoke:
 	$(GO) test -run XXX -bench=EngineRespond -benchtime=100x ./internal/authserver/
+
+# End-to-end observability check: a live meta-DNS-server and a fast-mode
+# replay share one registry; /metrics must expose non-zero series from
+# both sides and /trace must carry query-lifecycle spans.
+obs-smoke:
+	$(GO) test -run TestObsSmoke -count=1 ./internal/obs/
 
 # Full benchmark sweep (regenerates the paper's tables and figures).
 bench:

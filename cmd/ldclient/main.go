@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"ldplayer/internal/obs"
 	"ldplayer/internal/replay"
 )
 
@@ -27,21 +28,36 @@ func main() {
 	queriers := flag.Int("queriers", 6, "querier pool size")
 	idle := flag.Duration("idle-timeout", 20*time.Second, "connection reuse timeout")
 	once := flag.Bool("once", false, "exit after one replay instead of serving forever")
+	obsListen := flag.String("obs-listen", "", "observability HTTP address serving /metrics, /metrics.json and /debug/pprof (empty = disabled)")
 	flag.Parse()
 
-	if err := run(*listen, *udp, *tcp, *queriers, *idle, *once); err != nil {
+	if err := run(*listen, *udp, *tcp, *queriers, *idle, *once, *obsListen); err != nil {
 		fmt.Fprintln(os.Stderr, "ldclient:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, udp, tcp string, queriers int, idle time.Duration, once bool) error {
+func run(listen, udp, tcp string, queriers int, idle time.Duration, once bool, obsListen string) error {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
 	fmt.Println("client instance listening on", ln.Addr())
+
+	// One registry outlives the per-replay engines: each fresh engine's
+	// Instrument re-points the scrape functions at itself, so /metrics
+	// always reflects the current (or most recent) replay.
+	var reg *obs.Registry
+	if obsListen != "" {
+		reg = obs.NewRegistry()
+		osrv, oerr := obs.Serve(obsListen, reg, nil)
+		if oerr != nil {
+			return oerr
+		}
+		defer osrv.Close()
+		fmt.Println("observability on http://" + osrv.Addr().String() + "/metrics")
+	}
 
 	for {
 		en, err := replay.New(replay.Config{
@@ -54,6 +70,7 @@ func run(listen, udp, tcp string, queriers int, idle time.Duration, once bool) e
 		if err != nil {
 			return err
 		}
+		en.Instrument(reg)
 		st, err := replay.ServeClient(ln, en)
 		if err != nil {
 			return err

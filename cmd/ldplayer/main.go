@@ -26,6 +26,7 @@ import (
 
 	"ldplayer/internal/experiments"
 	"ldplayer/internal/mutate"
+	"ldplayer/internal/obs"
 	"ldplayer/internal/pcap"
 	"ldplayer/internal/replay"
 	"ldplayer/internal/trace"
@@ -287,6 +288,7 @@ func cmdReplay(args []string) error {
 	queriers := fs.Int("queriers", 6, "queriers per distributor")
 	idle := fs.Duration("idle-timeout", 20*time.Second, "client connection reuse timeout")
 	clients := fs.String("clients", "", "comma-separated ldclient addresses: act as remote controller (Figure 5)")
+	obsListen := fs.String("obs-listen", "", "observability HTTP address serving /metrics, /metrics.json and /debug/pprof (empty = disabled)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("replay: -in is required")
@@ -319,6 +321,16 @@ func cmdReplay(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *obsListen != "" {
+		reg := obs.NewRegistry()
+		en.Instrument(reg)
+		osrv, oerr := obs.Serve(*obsListen, reg, nil)
+		if oerr != nil {
+			return oerr
+		}
+		defer osrv.Close()
+		fmt.Println("observability on http://" + osrv.Addr().String() + "/metrics")
 	}
 	st, err := en.Replay(context.Background(), r)
 	if err != nil {

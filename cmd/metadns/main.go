@@ -25,6 +25,7 @@ import (
 
 	"ldplayer/internal/authserver"
 	"ldplayer/internal/dnswire"
+	"ldplayer/internal/obs"
 	"ldplayer/internal/zone"
 )
 
@@ -43,15 +44,17 @@ func main() {
 	tlsAddr := flag.String("tls", "", "TLS listen address (empty = disabled)")
 	tlsHost := flag.String("tls-host", "127.0.0.1", "hostname or IP for the self-signed TLS certificate")
 	idle := flag.Duration("idle-timeout", authserver.DefaultIdleTimeout, "TCP/TLS idle connection timeout")
+	obsListen := flag.String("obs-listen", "", "observability HTTP address serving /metrics, /metrics.json, /trace and /debug/pprof (empty = disabled)")
+	obsSample := flag.Int("obs-sample", authserver.DefaultObsSampleEvery, "trace and time 1 in N queries when -obs-listen is set")
 	flag.Parse()
 
-	if err := run(zoneFlags, viewFlags, *udp, *tcp, *tlsAddr, *tlsHost, *idle); err != nil {
+	if err := run(zoneFlags, viewFlags, *udp, *tcp, *tlsAddr, *tlsHost, *idle, *obsListen, *obsSample); err != nil {
 		fmt.Fprintln(os.Stderr, "metadns:", err)
 		os.Exit(1)
 	}
 }
 
-func run(zoneFlags, viewFlags []string, udp, tcp, tlsAddr, tlsHost string, idle time.Duration) error {
+func run(zoneFlags, viewFlags []string, udp, tcp, tlsAddr, tlsHost string, idle time.Duration, obsListen string, obsSample int) error {
 	if len(zoneFlags) == 0 {
 		return fmt.Errorf("at least one -zone is required")
 	}
@@ -114,6 +117,23 @@ func run(zoneFlags, viewFlags []string, udp, tcp, tlsAddr, tlsHost string, idle 
 				return err
 			}
 		}
+	}
+
+	if obsListen != "" {
+		reg := obs.NewRegistry()
+		// The engine gates which queries trace (1 in -obs-sample), so the
+		// tracer itself keeps every span it is handed.
+		tracer := obs.NewTracer(1024, 1)
+		engine.Instrument(reg, tracer, obsSample)
+		osrv, err := obs.Serve(obsListen, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer osrv.Close()
+		sampler := obs.NewSampler(reg, time.Second)
+		sampler.Start()
+		defer sampler.Stop()
+		fmt.Println("observability on http://" + osrv.Addr().String() + "/metrics")
 	}
 
 	srv := &authserver.Server{Engine: engine, IdleTimeout: idle}

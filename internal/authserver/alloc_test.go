@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ldplayer/internal/dnswire"
+	"ldplayer/internal/obs"
 )
 
 // TestRespondCachedAllocs pins the cache-hit fast path at ≤1 allocation
@@ -29,6 +30,44 @@ func TestRespondCachedAllocs(t *testing.T) {
 	}
 	if cs := e.CacheStats(); cs.Hits == 0 {
 		t.Fatal("fast path never hit the cache")
+	}
+}
+
+// TestRespondCachedAllocsInstrumented pins the same guarantee with full
+// observability enabled at the worst case — every query sampled, timed,
+// and traced (sampleEvery=1). Spans are pooled and the ring stores span
+// values, so the steady state stays at the one caller-owned response copy.
+func TestRespondCachedAllocsInstrumented(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomizes sync.Pool reuse; alloc counts are meaningless")
+	}
+	e := hierarchyEngine(t)
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(256, 1)
+	e.Instrument(reg, tracer, 1)
+	wire, err := dnswire.NewQuery(3, "www.example.com.", dnswire.TypeA).Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache and the span pool.
+	for i := 0; i < 16; i++ {
+		if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("instrumented cached Respond allocs/op = %.2f, want ≤ 1", allocs)
+	}
+	if tracer.Total() == 0 {
+		t.Fatal("tracer captured no spans")
+	}
+	if s, ok := reg.Find("metadns_respond_latency_ns", ""); !ok || s.Hist == nil || s.Hist.Count == 0 {
+		t.Fatal("latency histogram recorded nothing")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ldplayer/internal/dnswire"
+	"ldplayer/internal/obs"
 	"ldplayer/internal/zone"
 )
 
@@ -39,6 +40,45 @@ func benchEngine(b *testing.B) *Engine {
 // throughput ceiling.
 func BenchmarkEngineRespondAnswer(b *testing.B) {
 	e := benchEngine(b)
+	wire, err := dnswire.NewQuery(1, "www.example.com.", dnswire.TypeA).Pack(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRespondAnswerInstrumented is BenchmarkEngineRespondAnswer
+// with the full observability layer enabled at the default 1-in-64
+// sampling: dimensioned counters on every query, latency timing and a
+// lifecycle span on sampled ones. The delta against the uninstrumented
+// benchmark is the total observability overhead (budget: <10%).
+func BenchmarkEngineRespondAnswerInstrumented(b *testing.B) {
+	e := benchEngine(b)
+	e.Instrument(obs.NewRegistry(), obs.NewTracer(1024, 1), DefaultObsSampleEvery)
+	wire, err := dnswire.NewQuery(1, "www.example.com.", dnswire.TypeA).Pack(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRespondAnswerSampledAlways is the worst case: every query
+// pays two time.Now calls and a pooled span.
+func BenchmarkEngineRespondAnswerSampledAlways(b *testing.B) {
+	e := benchEngine(b)
+	e.Instrument(obs.NewRegistry(), obs.NewTracer(1024, 1), 1)
 	wire, err := dnswire.NewQuery(1, "www.example.com.", dnswire.TypeA).Pack(nil)
 	if err != nil {
 		b.Fatal(err)

@@ -3,6 +3,7 @@ package authserver
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 
 	"ldplayer/internal/dnswire"
 )
@@ -122,12 +123,13 @@ func buildCacheKey(sc *scratch, query []byte, transport Transport) (int, bool) {
 }
 
 // cacheEntry is one packed response. wire holds the full encoding with a
-// zeroed ID and the canonical (lowercase) question; truncated/refused
-// replay the stat accounting the original slow-path build performed.
+// zeroed ID and the canonical (lowercase) question; truncated/refused/
+// rcode replay the stat accounting the original slow-path build performed.
 type cacheEntry struct {
 	wire      []byte
 	truncated bool
 	refused   bool
+	rcode     dnswire.Rcode
 }
 
 // respCache is a bounded map from cache key to packed response. Reads
@@ -136,6 +138,9 @@ type cacheEntry struct {
 type respCache struct {
 	mu sync.RWMutex
 	m  map[string]*cacheEntry
+
+	// evictions counts entries displaced at capacity (observability).
+	evictions atomic.Int64
 }
 
 func newRespCache() *respCache {
@@ -143,14 +148,15 @@ func newRespCache() *respCache {
 }
 
 // get returns a caller-owned response for key, patched with query's ID,
-// RD bit, and question bytes, or nil on miss. It charges the engine's
-// response counters exactly as the slow path would have.
-func (c *respCache) get(key, query []byte, qnameLen int, e *Engine) []byte {
+// RD bit, and question bytes, or nil on miss (with rcode for the span).
+// It charges the engine's response counters exactly as the slow path
+// would have.
+func (c *respCache) get(key, query []byte, qnameLen int, e *Engine) ([]byte, dnswire.Rcode) {
 	c.mu.RLock()
 	ent := c.m[string(key)]
 	c.mu.RUnlock()
 	if ent == nil {
-		return nil
+		return nil, 0
 	}
 	out := make([]byte, len(ent.wire))
 	copy(out, ent.wire)
@@ -160,6 +166,7 @@ func (c *respCache) get(key, query []byte, qnameLen int, e *Engine) []byte {
 	out[2] = out[2]&^0x01 | query[2]&0x01
 	copy(out[12:12+qnameLen+4], query[12:12+qnameLen+4])
 	e.responses.Add(1)
+	e.respByRcode[int(ent.rcode)&0xF].Add(1)
 	e.respBytes.Add(int64(len(out)))
 	if ent.truncated {
 		e.truncated.Add(1)
@@ -167,7 +174,7 @@ func (c *respCache) get(key, query []byte, qnameLen int, e *Engine) []byte {
 	if ent.refused {
 		e.refused.Add(1)
 	}
-	return out
+	return out, ent.rcode
 }
 
 // put stores a copy of out under key, evicting an arbitrary entry when
@@ -181,7 +188,7 @@ func (c *respCache) put(key, out []byte, qnameLen int, meta respMeta, capacity i
 	wire := make([]byte, len(out))
 	copy(wire, out)
 	wire[0], wire[1] = 0, 0
-	ent := &cacheEntry{wire: wire, truncated: meta.truncated, refused: meta.refused}
+	ent := &cacheEntry{wire: wire, truncated: meta.truncated, refused: meta.refused, rcode: meta.rcode}
 	c.mu.Lock()
 	if _, exists := c.m[string(key)]; !exists {
 		for len(c.m) >= capacity {
@@ -189,6 +196,7 @@ func (c *respCache) put(key, out []byte, qnameLen int, meta respMeta, capacity i
 				delete(c.m, k)
 				break
 			}
+			c.evictions.Add(1)
 		}
 	}
 	c.m[string(key)] = ent

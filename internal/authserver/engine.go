@@ -25,8 +25,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ldplayer/internal/dnswire"
+	"ldplayer/internal/obs"
 	"ldplayer/internal/zone"
 )
 
@@ -71,6 +73,9 @@ type viewRoute struct {
 	// zones maps canonical zone origin → zone.
 	zones map[string]*zone.Zone
 	cache *respCache
+	// queries counts queries routed to this view (exposed as
+	// metadns_view_queries_total{view=...} when instrumented).
+	queries atomic.Int64
 }
 
 // newViewRoute precomputes the routing state for v.
@@ -148,7 +153,36 @@ type Engine struct {
 	queryBytes  atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// Dimensioned stats: queries by arrival transport and responses by
+	// rcode. Plain atomic adds indexed by small constants — the hot path
+	// never formats a label.
+	qByTransport [3]atomic.Int64
+	respByRcode  [16]atomic.Int64
+	routingSwaps atomic.Int64
+
+	// obsState enables sampled latency/tracing when non-nil; obsReg
+	// (guarded by addMu) lets AddView register per-view counters for
+	// views added after Instrument.
+	obsState atomic.Pointer[engineObs]
+	obsReg   *obs.Registry
 }
+
+// engineObs is the sampled-observability state installed by Instrument.
+type engineObs struct {
+	tracer  *obs.Tracer    // may be nil: metrics without spans
+	latency *obs.Histogram // sampled Respond latency, nanoseconds
+	// mask gates sampling as queries&mask == 0 — the period is rounded up
+	// to a power of two so the hot path avoids an integer division, and
+	// the query counter the engine already increments doubles as the
+	// sampling counter, so the gate costs no extra atomic.
+	mask uint64
+}
+
+// DefaultObsSampleEvery is the default 1-in-N sampling period for Respond
+// latency timing and lifecycle spans. At replay rates the sampled path
+// (two time.Now calls plus a pooled span) is amortized to noise.
+const DefaultObsSampleEvery = 64
 
 // NewEngine creates an empty engine.
 func NewEngine() *Engine {
@@ -209,7 +243,82 @@ func (e *Engine) AddView(v *View) error {
 		}
 	}
 	e.routing.Store(next)
+	e.routingSwaps.Add(1)
+	if e.obsReg != nil {
+		registerViewCounter(e.obsReg, vr)
+	}
 	return nil
+}
+
+// Instrument registers the engine's counters and gauges with reg — all of
+// them read the existing atomics at scrape time, so the query path gains
+// nothing — and enables sampled latency timing plus (when tracer is
+// non-nil) query-lifecycle spans: one query in sampleEvery is timed into
+// the metadns_respond_latency_ns histogram and traced recv → view-select →
+// cache-hit/lookup → pack. sampleEvery <= 0 means DefaultObsSampleEvery;
+// it is rounded up to a power of two. The tracer's own sampling should be
+// 1 (NewTracer(n, 1)) — the engine already gates which queries trace.
+func (e *Engine) Instrument(reg *obs.Registry, tracer *obs.Tracer, sampleEvery int) {
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultObsSampleEvery
+	}
+	period := uint64(1)
+	for period < uint64(sampleEvery) {
+		period <<= 1
+	}
+	e.addMu.Lock()
+	defer e.addMu.Unlock()
+	e.obsReg = reg
+
+	for t := UDP; t <= TLS; t++ {
+		idx := int(t)
+		reg.CounterFunc("metadns_queries_total", obs.LabelValue("transport", t.String()),
+			"queries received by arrival transport",
+			func() int64 { return e.qByTransport[idx].Load() })
+	}
+	for _, rc := range []dnswire.Rcode{dnswire.RcodeNoError, dnswire.RcodeFormErr,
+		dnswire.RcodeServFail, dnswire.RcodeNXDomain, dnswire.RcodeNotImp, dnswire.RcodeRefused} {
+		idx := int(rc) & 0xF
+		reg.CounterFunc("metadns_responses_total", obs.LabelValue("rcode", rc.String()),
+			"responses sent by rcode",
+			func() int64 { return e.respByRcode[idx].Load() })
+	}
+	reg.CounterFunc("metadns_query_bytes_total", "", "query bytes received", e.queryBytes.Load)
+	reg.CounterFunc("metadns_response_bytes_total", "", "response bytes sent", e.respBytes.Load)
+	reg.CounterFunc("metadns_truncated_total", "", "UDP responses truncated", e.truncated.Load)
+	reg.CounterFunc("metadns_cache_hits_total", "", "packed-response cache hits", e.cacheHits.Load)
+	reg.CounterFunc("metadns_cache_misses_total", "", "packed-response cache misses", e.cacheMisses.Load)
+	reg.CounterFunc("metadns_cache_evictions_total", "", "packed-response cache evictions",
+		func() int64 { return e.CacheStats().Evictions })
+	reg.GaugeFunc("metadns_cache_entries", "", "packed responses currently cached",
+		func() int64 { return e.CacheStats().Entries })
+	reg.CounterFunc("metadns_routing_swaps_total", "", "routing snapshot swaps (view additions)",
+		e.routingSwaps.Load)
+
+	rt := e.routing.Load()
+	seen := make(map[*viewRoute]struct{})
+	for _, vr := range rt.bySource {
+		seen[vr] = struct{}{}
+	}
+	if rt.defaultView != nil {
+		seen[rt.defaultView] = struct{}{}
+	}
+	for vr := range seen {
+		registerViewCounter(reg, vr)
+	}
+
+	st := &engineObs{
+		tracer:  tracer,
+		latency: reg.Histogram("metadns_respond_latency_ns", "", "sampled Respond latency (ns)"),
+		mask:    period - 1,
+	}
+	e.obsState.Store(st)
+}
+
+// registerViewCounter exposes one view's query counter.
+func registerViewCounter(reg *obs.Registry, vr *viewRoute) {
+	reg.CounterFunc("metadns_view_queries_total", obs.LabelValue("view", vr.view.Name),
+		"queries routed to each split-horizon view", vr.queries.Load)
 }
 
 // ViewFor returns the view matching src (or the default view, or nil).
@@ -248,13 +357,14 @@ func (e *Engine) Stats() Stats {
 
 // CacheStats is a snapshot of the packed-response cache counters.
 type CacheStats struct {
-	Hits    int64
-	Misses  int64
-	Entries int64
+	Hits      int64
+	Misses    int64
+	Entries   int64
+	Evictions int64
 }
 
-// CacheStats returns hit/miss counters and the current entry count
-// across every view's response cache.
+// CacheStats returns hit/miss counters and the current entry and eviction
+// counts across every view's response cache.
 func (e *Engine) CacheStats() CacheStats {
 	st := CacheStats{Hits: e.cacheHits.Load(), Misses: e.cacheMisses.Load()}
 	rt := e.routing.Load()
@@ -267,6 +377,7 @@ func (e *Engine) CacheStats() CacheStats {
 	}
 	for c := range seen {
 		st.Entries += int64(c.len())
+		st.Evictions += c.evictions.Load()
 	}
 	return st
 }
@@ -298,6 +409,7 @@ type respMeta struct {
 	cacheable bool
 	truncated bool
 	refused   bool
+	rcode     dnswire.Rcode
 }
 
 // Respond answers the wire-format query arriving from src over transport.
@@ -306,10 +418,33 @@ type respMeta struct {
 // response (drop) otherwise. The returned slice is freshly allocated and
 // owned by the caller.
 func (e *Engine) Respond(query []byte, src netip.Addr, transport Transport) ([]byte, error) {
-	e.queries.Add(1)
+	qn := uint64(e.queries.Add(1))
 	e.queryBytes.Add(int64(len(query)))
+	if t := int(transport); t >= 0 && t < len(e.qByTransport) {
+		e.qByTransport[t].Add(1)
+	}
+
+	// Sampled observability: the query counter gates; unsampled queries
+	// pay nothing further (span methods are nil-safe no-ops).
+	st := e.obsState.Load()
+	var sp *obs.Span
+	var t0 time.Time
+	if st != nil && qn&st.mask == 0 {
+		t0 = time.Now()
+		sp = st.tracer.Begin("query")
+		if sp != nil {
+			sp.Transport = transport.String()
+		}
+	}
 
 	vr := e.routing.Load().route(src)
+	if vr != nil {
+		vr.queries.Add(1)
+		if sp != nil {
+			sp.View = vr.view.Name
+		}
+	}
+	sp.Mark("view")
 
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)
@@ -319,43 +454,92 @@ func (e *Engine) Respond(query []byte, src netip.Addr, transport Transport) ([]b
 		if qnameLen, ok := buildCacheKey(sc, query, transport); ok {
 			cacheable = true
 			sc.qnameLen = qnameLen
-			if out := vr.cache.get(sc.key, query, qnameLen, e); out != nil {
+			setSpanQName(sp, query[12:12+qnameLen])
+			if out, rcode := vr.cache.get(sc.key, query, qnameLen, e); out != nil {
 				e.cacheHits.Add(1)
+				if sp != nil {
+					sp.Detail = "cache_hit"
+					sp.Rcode = int(rcode)
+				}
+				sp.Mark("cache_hit")
+				e.finishSample(st, sp, t0)
 				return out, nil
 			}
 			e.cacheMisses.Add(1)
 		}
 	}
 
-	out, meta, err := e.respondSlow(sc, query, vr, transport)
+	out, meta, err := e.respondSlow(sc, query, vr, transport, sp)
 	if err == nil && cacheable && meta.cacheable {
 		vr.cache.put(sc.key, out, sc.qnameLen, meta, int(e.cacheCap.Load()))
 	}
+	if sp != nil {
+		sp.Rcode = int(meta.rcode)
+	}
+	e.finishSample(st, sp, t0)
 	return out, err
 }
 
-// respondSlow is the full parse → route → lookup → pack path.
-func (e *Engine) respondSlow(sc *scratch, query []byte, vr *viewRoute, transport Transport) ([]byte, respMeta, error) {
+// finishSample records the sampled latency and publishes the span.
+func (e *Engine) finishSample(st *engineObs, sp *obs.Span, t0 time.Time) {
+	if st == nil || t0.IsZero() {
+		return
+	}
+	st.latency.Record(time.Since(t0).Nanoseconds())
+	st.tracer.Finish(sp)
+}
+
+// setSpanQName converts a wire-form qname (length-prefixed labels) to
+// presentation form into the span's fixed buffer. Sampled path only; the
+// stack buffer never escapes.
+func setSpanQName(sp *obs.Span, wire []byte) {
+	if sp == nil {
+		return
+	}
+	var buf [128]byte
+	n := 0
+	for off := 0; off < len(wire); {
+		l := int(wire[off])
+		off++
+		if l == 0 || off+l > len(wire) || n+l+1 > len(buf) {
+			break
+		}
+		n += copy(buf[n:], wire[off:off+l])
+		buf[n] = '.'
+		n++
+		off += l
+	}
+	if n == 0 {
+		buf[0] = '.'
+		n = 1
+	}
+	sp.SetNameBytes(buf[:n])
+}
+
+// respondSlow is the full parse → route → lookup → pack path. sp may be
+// nil (unsampled).
+func (e *Engine) respondSlow(sc *scratch, query []byte, vr *viewRoute, transport Transport, sp *obs.Span) ([]byte, respMeta, error) {
 	q := &sc.q
 	if err := q.Unpack(query); err != nil {
 		if len(query) >= 12 {
 			e.formErrs.Add(1)
 			out, err := e.errorResponse(sc, query, dnswire.RcodeFormErr)
-			return out, respMeta{}, err
+			return out, respMeta{rcode: dnswire.RcodeFormErr}, err
 		}
 		return nil, respMeta{}, fmt.Errorf("authserver: undecodable query: %w", err)
 	}
+	sp.Mark("parse")
 	if q.Header.Opcode != dnswire.OpcodeQuery {
 		// NOTIFY/UPDATE/IQUERY are out of scope for an authoritative
 		// replay target; answer NOTIMP like NSD does.
 		e.notImpl.Add(1)
 		out, err := e.errorResponse(sc, query, dnswire.RcodeNotImp)
-		return out, respMeta{}, err
+		return out, respMeta{rcode: dnswire.RcodeNotImp}, err
 	}
 	if q.Header.QR || len(q.Question) != 1 {
 		e.formErrs.Add(1)
 		out, err := e.errorResponse(sc, query, dnswire.RcodeFormErr)
-		return out, respMeta{}, err
+		return out, respMeta{rcode: dnswire.RcodeFormErr}, err
 	}
 
 	resp := &sc.resp
@@ -383,11 +567,15 @@ func (e *Engine) respondSlow(sc *scratch, query []byte, vr *viewRoute, transport
 		e.refused.Add(1)
 		meta.refused = true
 		resp.Header.Rcode = dnswire.RcodeRefused
-		out, err := e.pack(sc, resp, transport, udpLimit, &meta)
+		out, err := e.pack(sc, resp, transport, udpLimit, &meta, sp)
 		return out, meta, err
 	}
 
+	if sp != nil {
+		sp.Detail = "lookup"
+	}
 	res := z.Lookup(question.Name, question.Type, zone.LookupOptions{DNSSEC: dnssecOK})
+	sp.Mark("lookup")
 	switch res.Kind {
 	case zone.Answer:
 		resp.Header.AA = true
@@ -410,13 +598,13 @@ func (e *Engine) respondSlow(sc *scratch, query []byte, vr *viewRoute, transport
 		meta.refused = true
 		resp.Header.Rcode = dnswire.RcodeRefused
 	}
-	out, err := e.pack(sc, resp, transport, udpLimit, &meta)
+	out, err := e.pack(sc, resp, transport, udpLimit, &meta, sp)
 	return out, meta, err
 }
 
 // pack encodes resp into the scratch buffer, applying UDP truncation when
 // necessary, and returns a caller-owned copy.
-func (e *Engine) pack(sc *scratch, resp *dnswire.Message, transport Transport, udpLimit int, meta *respMeta) ([]byte, error) {
+func (e *Engine) pack(sc *scratch, resp *dnswire.Message, transport Transport, udpLimit int, meta *respMeta, sp *obs.Span) ([]byte, error) {
 	wire, err := resp.Pack(sc.buf[:0])
 	if err != nil {
 		return nil, err
@@ -436,8 +624,11 @@ func (e *Engine) pack(sc *scratch, resp *dnswire.Message, transport Transport, u
 		}
 		sc.buf = wire[:0]
 	}
+	meta.rcode = resp.Header.Rcode
 	e.responses.Add(1)
+	e.respByRcode[int(resp.Header.Rcode)&0xF].Add(1)
 	e.respBytes.Add(int64(len(wire)))
+	sp.Mark("pack")
 	out := make([]byte, len(wire))
 	copy(out, wire)
 	return out, nil
@@ -457,6 +648,7 @@ func (e *Engine) errorResponse(sc *scratch, query []byte, rcode dnswire.Rcode) (
 	}
 	sc.buf = wire[:0]
 	e.responses.Add(1)
+	e.respByRcode[int(rcode)&0xF].Add(1)
 	e.respBytes.Add(int64(len(wire)))
 	out := make([]byte, len(wire))
 	copy(out, wire)

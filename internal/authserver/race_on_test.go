@@ -1,0 +1,7 @@
+//go:build race
+
+package authserver
+
+// raceEnabled reports whether the race detector is active; allocation
+// guards skip under it (the detector changes sync.Pool behaviour).
+const raceEnabled = true

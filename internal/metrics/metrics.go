@@ -29,14 +29,21 @@ func Summarize(values []float64) Summary {
 	}
 	sorted := append([]float64(nil), values...)
 	sort.Float64s(sorted)
-	var sum, sumSq float64
-	for _, v := range sorted {
-		sum += v
-		sumSq += v * v
+	// Welford's online algorithm: the textbook E[X²]−E[X]² form
+	// catastrophically cancels when the mean dwarfs the spread (e.g.
+	// nanosecond timestamps around 1e12). Welford's running-delta update
+	// avoids that, and shifting the origin to the minimum first keeps the
+	// running mean at the spread's magnitude, where its ulp is harmless
+	// (v−off is correctly rounded, so the shift loses nothing).
+	off := sorted[0]
+	var mean, m2 float64
+	for i, v := range sorted {
+		delta := (v - off) - mean
+		mean += delta / float64(i+1)
+		m2 += delta * ((v - off) - mean)
 	}
-	n := float64(len(sorted))
-	mean := sum / n
-	variance := sumSq/n - mean*mean
+	mean += off
+	variance := m2 / float64(len(sorted))
 	if variance < 0 {
 		variance = 0
 	}

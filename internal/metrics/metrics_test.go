@@ -29,6 +29,47 @@ func TestSummarizeKnownValues(t *testing.T) {
 	}
 }
 
+// TestSummarizeLargeOffset is the catastrophic-cancellation regression:
+// with values offset by 1e12 (timestamps), the naive E[X²]−E[X]² variance
+// loses every significant digit of the spread and returns 0 (or garbage),
+// while Welford's update keeps the exact answer. {d, d+1, d+2} has
+// population variance 2/3 regardless of d.
+func TestSummarizeLargeOffset(t *testing.T) {
+	const d = 1e12
+	wantStd := math.Sqrt(2.0 / 3.0)
+	s := Summarize([]float64{d + 1, d + 2, d + 3})
+	if math.Abs(s.Std-wantStd) > 1e-9 {
+		t.Errorf("std = %v, want %v (offset cancellation)", s.Std, wantStd)
+	}
+	if s.Mean != d+2 {
+		t.Errorf("mean = %v, want %v", s.Mean, d+2)
+	}
+
+	// On a random offset dataset, the result must match a ground truth
+	// computed on the identical samples rebased to remove the offset
+	// (rebasing is exact: the values are within a factor of two of d).
+	rng := rand.New(rand.NewSource(7))
+	shifted := make([]float64, 1000)
+	rebased := make([]float64, 1000)
+	for i := range shifted {
+		shifted[i] = rng.NormFloat64() + d
+		rebased[i] = shifted[i] - d
+	}
+	var sum float64
+	for _, v := range rebased {
+		sum += v
+	}
+	mean := sum / float64(len(rebased))
+	var m2 float64
+	for _, v := range rebased {
+		m2 += (v - mean) * (v - mean)
+	}
+	want := math.Sqrt(m2 / float64(len(rebased)))
+	if got := Summarize(shifted).Std; math.Abs(got-want) > 1e-6*want {
+		t.Errorf("offset std = %v, want %v", got, want)
+	}
+}
+
 func TestSummarizeEmpty(t *testing.T) {
 	if s := Summarize(nil); s.N != 0 {
 		t.Errorf("empty summary = %+v", s)

@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ldplayer/internal/obs"
 )
 
 // Datagram is a raw UDP-like packet as a proxy would read it from a TUN
@@ -59,10 +61,29 @@ type Network struct {
 
 	dropped   atomic.Int64
 	delivered atomic.Int64
+	// inFlight counts datagrams scheduled (in a latency timer or a deliver
+	// goroutine) but not yet handed to a handler — the virtual link queue.
+	inFlight atomic.Int64
 
 	wg     sync.WaitGroup
 	closed atomic.Bool
 }
+
+// Instrument registers the network's delivery counters and the virtual
+// link-queue depth gauge with reg. Reads happen at scrape time; the
+// packet path pays only the atomic adds it already performs.
+func (n *Network) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("netsim_delivered_total", "", "datagrams delivered to a handler", n.delivered.Load)
+	reg.CounterFunc("netsim_dropped_total", "", "datagrams dropped (no route or no handler)", n.dropped.Load)
+	reg.GaugeFunc("netsim_queue_depth", "", "datagrams in flight on virtual links", n.inFlight.Load)
+}
+
+// InFlight returns the number of datagrams currently traversing virtual
+// links (scheduled but not yet delivered or dropped).
+func (n *Network) InFlight() int64 { return n.inFlight.Load() }
 
 // New creates an empty network with the given default round-trip time
 // between any two nodes (0 = immediate delivery).
@@ -215,8 +236,10 @@ func (n *Network) Inject(d Datagram) {
 	}
 	rtt := n.rttBetween(d.Src.Addr(), d.Dst.Addr())
 	n.wg.Add(1)
+	n.inFlight.Add(1)
 	deliver := func() {
 		defer n.wg.Done()
+		defer n.inFlight.Add(-1)
 		dst.mu.RLock()
 		h := dst.handler
 		dst.mu.RUnlock()

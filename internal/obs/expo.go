@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4). Histograms emit cumulative _bucket
+// series for their non-empty buckets plus _sum and _count.
+func WritePrometheus(w io.Writer, reg *Registry) error {
+	typed := make(map[string]bool)
+	for _, s := range reg.Snapshot() {
+		if !typed[s.Name] {
+			typed[s.Name] = true
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+		}
+		if s.Hist == nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(s.Name, s.Labels, ""), s.Value); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, b := range s.Hist.Buckets() {
+			le := LabelValue("le", strconv.FormatInt(b.UpperBound, 10))
+			if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(s.Name+"_bucket", s.Labels, le), b.CumulativeCount); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(s.Name+"_bucket", s.Labels, `le="+Inf"`), s.Hist.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(s.Name+"_sum", s.Labels, ""), s.Hist.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(s.Name+"_count", s.Labels, ""), s.Hist.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promSeries renders name{labels,extra} with empty parts omitted.
+func promSeries(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	}
+	return name + "{" + labels + "," + extra + "}"
+}
+
+// jsonMetric is one metric in the /metrics.json document.
+type jsonMetric struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Kind   string  `json:"kind"`
+	Value  int64   `json:"value,omitempty"`
+	Count  int64   `json:"count,omitempty"`
+	Sum    int64   `json:"sum,omitempty"`
+	Mean   float64 `json:"mean,omitempty"`
+	P50    float64 `json:"p50,omitempty"`
+	P90    float64 `json:"p90,omitempty"`
+	P99    float64 `json:"p99,omitempty"`
+}
+
+// WriteJSON renders a registry snapshot as a JSON document; histograms
+// carry count/sum/mean and interpolated p50/p90/p99.
+func WriteJSON(w io.Writer, reg *Registry) error {
+	snap := reg.Snapshot()
+	out := make([]jsonMetric, 0, len(snap))
+	for _, s := range snap {
+		m := jsonMetric{Name: s.Name, Labels: s.Labels, Kind: s.Kind.String(), Value: s.Value}
+		if s.Hist != nil {
+			m.Count = s.Hist.Count
+			m.Sum = s.Hist.Sum
+			if s.Hist.Count > 0 {
+				m.Mean = float64(s.Hist.Sum) / float64(s.Hist.Count)
+				m.P50 = s.Hist.Quantile(0.50)
+				m.P90 = s.Hist.Quantile(0.90)
+				m.P99 = s.Hist.Quantile(0.99)
+			}
+		}
+		out = append(out, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []jsonMetric `json:"metrics"`
+	}{out})
+}
+
+// jsonSpan is one span in the /trace document.
+type jsonSpan struct {
+	Seq       uint64     `json:"seq"`
+	Kind      string     `json:"kind"`
+	Start     time.Time  `json:"start"`
+	DurNs     int64      `json:"dur_ns"`
+	Name      string     `json:"name,omitempty"`
+	Transport string     `json:"transport,omitempty"`
+	View      string     `json:"view,omitempty"`
+	Detail    string     `json:"detail,omitempty"`
+	Rcode     int        `json:"rcode"`
+	Marks     []jsonMark `json:"marks,omitempty"`
+}
+
+// jsonMark is one stage boundary in a span.
+type jsonMark struct {
+	Label string `json:"label"`
+	AtNs  int64  `json:"at_ns"`
+}
+
+// WriteTraceJSON renders up to n recent spans, newest first.
+func WriteTraceJSON(w io.Writer, tr *Tracer, n int) error {
+	spans := tr.Recent(n)
+	out := make([]jsonSpan, 0, len(spans))
+	for i := range spans {
+		s := &spans[i]
+		js := jsonSpan{
+			Seq: s.Seq, Kind: s.Kind, Start: s.Start, DurNs: s.Dur.Nanoseconds(),
+			Name: s.Name(), Transport: s.Transport, View: s.View,
+			Detail: s.Detail, Rcode: s.Rcode,
+		}
+		for _, m := range s.Marks() {
+			js.Marks = append(js.Marks, jsonMark{Label: m.Label, AtNs: m.At.Nanoseconds()})
+		}
+		out = append(out, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Spans []jsonSpan `json:"spans"`
+	}{out})
+}
+
+// Handler builds the observability mux: /metrics (Prometheus text),
+// /metrics.json, /trace?n=100 (recent spans, newest first), and the
+// net/http/pprof endpoints under /debug/pprof/. tr may be nil, in which
+// case /trace serves an empty span list.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, reg)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if v := r.URL.Query().Get("n"); v != "" {
+			if p, err := strconv.Atoi(v); err == nil && p > 0 {
+				n = p
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteTraceJSON(w, tr, n)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// HTTPServer is a running observability endpoint.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":0" forms accepted) and serves the observability
+// handler until Close. It returns once the listener is bound.
+func Serve(addr string, reg *Registry, tr *Tracer) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &HTTPServer{ln: ln, srv: &http.Server{Handler: Handler(reg, tr)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *HTTPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close shuts the endpoint down.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

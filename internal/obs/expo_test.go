@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testRegistry() (*Registry, *Tracer) {
+	reg := NewRegistry()
+	reg.Counter("q_total", `transport="udp"`, "queries by transport").Add(12)
+	reg.Counter("q_total", `transport="tcp"`, "").Add(3)
+	reg.Gauge("inflight", "", "outstanding queries").Set(5)
+	h := reg.Histogram("lat_ns", "", "latency")
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 1000)
+	}
+	tr := NewTracer(8, 1)
+	sp := tr.Begin("query")
+	sp.Transport = "udp"
+	sp.SetNameBytes([]byte("example.com."))
+	sp.Mark("lookup")
+	tr.Finish(sp)
+	return reg, tr
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg, _ := testRegistry()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE q_total counter",
+		`q_total{transport="udp"} 12`,
+		`q_total{transport="tcp"} 3`,
+		"# TYPE inflight gauge",
+		"inflight 5",
+		"# TYPE lat_ns histogram",
+		`lat_ns_bucket{le="+Inf"} 100`,
+		"lat_ns_count 100",
+		"lat_ns_sum 5050000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+	// TYPE header must appear once per name, before its series.
+	if strings.Count(out, "# TYPE q_total counter") != 1 {
+		t.Error("duplicate TYPE header")
+	}
+	// Cumulative bucket counts must be non-decreasing in le order.
+	var prevCum int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lat_ns_bucket") || strings.Contains(line, "+Inf") {
+			continue
+		}
+		var cum int64
+		if _, err := fmtSscan(line, &cum); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if cum < prevCum {
+			t.Fatalf("bucket counts not cumulative: %q after %d", line, prevCum)
+		}
+		prevCum = cum
+	}
+}
+
+// fmtSscan pulls the trailing integer off a prometheus sample line.
+func fmtSscan(line string, v *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	var err error
+	*v, err = parseInt(line[i+1:])
+	return 1, err
+}
+
+func parseInt(s string) (int64, error) {
+	var n int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, io.ErrUnexpectedEOF
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, nil
+}
+
+func TestWriteJSON(t *testing.T) {
+	reg, _ := testRegistry()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name  string  `json:"name"`
+			Kind  string  `json:"kind"`
+			Value int64   `json:"value"`
+			Count int64   `json:"count"`
+			P50   float64 `json:"p50"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	byName := map[string]int{}
+	for i, m := range doc.Metrics {
+		byName[m.Name+"|"+m.Kind] = i
+	}
+	if i, ok := byName["lat_ns|histogram"]; !ok {
+		t.Fatal("histogram missing from JSON")
+	} else if doc.Metrics[i].Count != 100 || doc.Metrics[i].P50 <= 0 {
+		t.Fatalf("histogram JSON = %+v", doc.Metrics[i])
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	reg, tr := testRegistry()
+	srv, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr().String()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		client := &http.Client{Timeout: 5 * time.Second}
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.Contains(body, `q_total{transport="udp"} 12`) {
+		t.Errorf("/metrics missing series:\n%s", body)
+	}
+	if !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+
+	body, _ = get("/metrics.json")
+	if !strings.Contains(body, `"lat_ns"`) {
+		t.Errorf("/metrics.json missing histogram:\n%s", body)
+	}
+
+	body, _ = get("/trace?n=10")
+	var traceDoc struct {
+		Spans []struct {
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &traceDoc); err != nil {
+		t.Fatalf("/trace JSON: %v", err)
+	}
+	if len(traceDoc.Spans) != 1 || traceDoc.Spans[0].Name != "example.com." {
+		t.Errorf("/trace spans = %+v", traceDoc.Spans)
+	}
+
+	if body, _ = get("/debug/pprof/cmdline"); body == "" {
+		t.Error("pprof cmdline empty")
+	}
+}
+
+func TestSampler(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x_total", "", "")
+	h := reg.Histogram("h_ns", "", "")
+	s := NewSampler(reg, time.Hour) // manual ticks only
+	defer s.Stop()
+
+	t0 := time.Unix(100, 0)
+	c.Add(5)
+	h.Record(1)
+	s.SampleOnce(t0)
+	c.Add(5)
+	h.Record(2)
+	s.SampleOnce(t0.Add(time.Second))
+
+	ts := s.Series("x_total")
+	if ts == nil {
+		t.Fatal("no series for x_total")
+	}
+	if vals := ts.Values(); len(vals) != 2 || vals[0] != 5 || vals[1] != 10 {
+		t.Fatalf("x_total samples = %v", vals)
+	}
+	hs := s.Series("h_ns")
+	if hs == nil {
+		t.Fatal("no series for h_ns")
+	}
+	if vals := hs.Values(); len(vals) != 2 || vals[1] != 2 {
+		t.Fatalf("h_ns samples = %v", vals)
+	}
+	if got := len(s.AllSeries()); got != 2 {
+		t.Fatalf("AllSeries = %d series", got)
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "", "")
+	s := NewSampler(reg, 5*time.Millisecond)
+	s.Start()
+	time.Sleep(30 * time.Millisecond)
+	s.Stop()
+	ts := s.Series("x_total")
+	if ts == nil || len(ts.Values()) == 0 {
+		t.Fatal("sampler loop collected nothing")
+	}
+}

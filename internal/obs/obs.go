@@ -1,0 +1,415 @@
+// Package obs is the live observability layer: lock-free runtime metrics
+// (atomic counters, gauges, and fixed-bucket log-scale latency histograms
+// with O(1) zero-allocation record paths), a registry that names them and
+// snapshots them on demand, a sampled query-lifecycle tracer, and HTTP
+// exposition in Prometheus text and JSON formats.
+//
+// The paper's evaluation (§4, Figures 8–14) measures latency, rate, and
+// resource use while an experiment runs; this package is how a replay, the
+// meta-DNS-server, and the proxies are watched in flight without giving
+// back the hot-path allocation guarantees. Everything on a record path is
+// a handful of atomic adds: no locks, no maps, no allocation. Locks exist
+// only on cold paths (registration, scraping, trace-ring publication).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; Inc/Add are lock-free and allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value. The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram bucket geometry: the first 2^(histSubBits+1) buckets hold one
+// integer value each; above that, each power-of-two range is split into
+// 2^histSubBits log-spaced sub-buckets, bounding the relative bucket width
+// at 1/2^histSubBits (12.5%) of the value. Bucket selection is two shifts
+// and a bits.Len64 — O(1), branch-light, no floating point.
+const (
+	histSubBits    = 3
+	histSub        = 1 << histSubBits // sub-buckets per power of two
+	histNumBuckets = 2*histSub + (63-histSubBits)*histSub
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < 2*histSub {
+		return int(u)
+	}
+	k := bits.Len64(u) // u in [2^(k-1), 2^k), k >= histSubBits+2
+	g := k - histSubBits - 2
+	return 2*histSub + g*histSub + int(u>>(uint(k-histSubBits-1))) - histSub
+}
+
+// BucketBoundsFor returns the [lo, hi) value range of the bucket a record
+// of v lands in. hi-lo is the bucket width the quantile estimates are
+// accurate to.
+func BucketBoundsFor(v int64) (lo, hi int64) {
+	return bucketBounds(bucketIndex(v))
+}
+
+// bucketBounds returns bucket i's [lo, hi) range.
+func bucketBounds(i int) (lo, hi int64) {
+	if i < 2*histSub {
+		return int64(i), int64(i) + 1
+	}
+	g := (i - 2*histSub) / histSub
+	r := (i - 2*histSub) % histSub
+	lo = int64(histSub+r) << uint(g+1)
+	hi = int64(histSub+r+1) << uint(g+1)
+	return lo, hi
+}
+
+// Histogram is a fixed-bucket log-scale histogram of non-negative int64
+// samples (latencies in nanoseconds, sizes in bytes, depths in hops).
+// Record is O(1), lock-free, and allocation-free; quantile estimates are
+// within one bucket width (≤12.5% of the value) of the exact sample
+// quantile. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histNumBuckets]atomic.Int64
+}
+
+// Record adds one sample. Negative samples clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the exact mean of recorded samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (0..1) of the recorded samples: it
+// locates the bucket holding the rank q*(n-1) and interpolates linearly
+// within it. NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	buckets [histNumBuckets]int64
+}
+
+// Snapshot copies the histogram counters. The per-bucket reads are not
+// mutually atomic, so a snapshot taken mid-record may be off by the
+// records in flight — fine for monitoring, which is its only use.
+func (h *Histogram) Snapshot() *HistogramSnapshot {
+	s := &HistogramSnapshot{}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	var total int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.buckets[i] = c
+		total += c
+	}
+	// Keep Count consistent with the bucket sum so quantile ranks line up.
+	s.Count = total
+	return s
+}
+
+// Quantile estimates the q-quantile of the snapshot (see Histogram.Quantile).
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count-1) // same convention as metrics.Quantile
+	var seen int64
+	for i := range s.buckets {
+		c := s.buckets[i]
+		if c == 0 {
+			continue
+		}
+		// Bucket i holds sample indices [seen, seen+c).
+		if rank < float64(seen+c) || seen+c == s.Count {
+			lo, hi := bucketBounds(i)
+			frac := (rank - float64(seen)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		seen += c
+	}
+	return math.NaN()
+}
+
+// Buckets returns the non-empty buckets as (upper-bound, cumulative-count)
+// pairs, ready for Prometheus histogram exposition.
+func (s *HistogramSnapshot) Buckets() []BucketCount {
+	var out []BucketCount
+	var cum int64
+	for i := range s.buckets {
+		if s.buckets[i] == 0 {
+			continue
+		}
+		cum += s.buckets[i]
+		_, hi := bucketBounds(i)
+		out = append(out, BucketCount{UpperBound: hi, CumulativeCount: cum})
+	}
+	return out
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	UpperBound      int64
+	CumulativeCount int64
+}
+
+// Kind discriminates metric types in snapshots and exposition.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus type name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// metricEntry is one registered metric: exactly one of counter, gauge,
+// hist, or fn is set (fn covers CounterFunc/GaugeFunc).
+type metricEntry struct {
+	name   string
+	labels string // preformatted, e.g. `transport="udp"`, no braces
+	help   string
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      atomic.Pointer[func() int64]
+}
+
+// Registry names metrics and snapshots them. Registration is idempotent:
+// asking for an existing (name, labels) pair returns the same Counter /
+// Gauge / Histogram, and re-registering a Func metric swaps in the new
+// function (so a restarted component re-points the metric at its fresh
+// state). Registration takes a lock; record paths never touch the
+// registry.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*metricEntry
+	index   map[string]*metricEntry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*metricEntry)}
+}
+
+// lookupOrAdd returns the existing entry for (name, labels) or registers a
+// new one built by mk.
+func (r *Registry) lookupOrAdd(name, labels, help string, kind Kind, mk func(*metricEntry)) *metricEntry {
+	key := name + "\x00" + labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.index[key]; ok {
+		return e
+	}
+	e := &metricEntry{name: name, labels: labels, help: help, kind: kind}
+	mk(e)
+	r.entries = append(r.entries, e)
+	r.index[key] = e
+	return e
+}
+
+// Counter returns the counter registered under (name, labels), creating
+// it if needed. labels is a preformatted Prometheus label list without
+// braces (e.g. `transport="udp"`) or "".
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	e := r.lookupOrAdd(name, labels, help, KindCounter, func(e *metricEntry) {
+		e.counter = &Counter{}
+	})
+	return e.counter
+}
+
+// Gauge returns the gauge registered under (name, labels).
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	e := r.lookupOrAdd(name, labels, help, KindGauge, func(e *metricEntry) {
+		e.gauge = &Gauge{}
+	})
+	return e.gauge
+}
+
+// Histogram returns the histogram registered under (name, labels).
+func (r *Registry) Histogram(name, labels, help string) *Histogram {
+	e := r.lookupOrAdd(name, labels, help, KindHistogram, func(e *metricEntry) {
+		e.hist = &Histogram{}
+	})
+	return e.hist
+}
+
+// CounterFunc registers (or re-points) a counter whose value is read from
+// fn at snapshot time — the bridge to components that already keep their
+// own atomic counters, costing the hot path nothing.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() int64) {
+	e := r.lookupOrAdd(name, labels, help, KindCounter, func(*metricEntry) {})
+	e.fn.Store(&fn)
+}
+
+// GaugeFunc registers (or re-points) a gauge read from fn at snapshot time.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() int64) {
+	e := r.lookupOrAdd(name, labels, help, KindGauge, func(*metricEntry) {})
+	e.fn.Store(&fn)
+}
+
+// Sample is one metric's state in a snapshot.
+type Sample struct {
+	Name   string
+	Labels string
+	Help   string
+	Kind   Kind
+	// Value holds counter/gauge values; Hist is set for histograms.
+	Value int64
+	Hist  *HistogramSnapshot
+}
+
+// Snapshot reads every registered metric. Samples appear in registration
+// order (stable across scrapes).
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	entries := make([]*metricEntry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+
+	out := make([]Sample, 0, len(entries))
+	for _, e := range entries {
+		s := Sample{Name: e.name, Labels: e.labels, Help: e.help, Kind: e.kind}
+		switch {
+		case e.counter != nil:
+			s.Value = e.counter.Value()
+		case e.gauge != nil:
+			s.Value = e.gauge.Value()
+		case e.hist != nil:
+			s.Hist = e.hist.Snapshot()
+		default:
+			if fp := e.fn.Load(); fp != nil {
+				s.Value = (*fp)()
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Find returns the snapshot sample for (name, labels), or false. Test and
+// assertion helper.
+func (r *Registry) Find(name, labels string) (Sample, bool) {
+	for _, s := range r.Snapshot() {
+		if s.Name == name && s.Labels == labels {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+// SeriesKey renders the canonical series identity, name{labels}.
+func (s Sample) SeriesKey() string {
+	if s.Labels == "" {
+		return s.Name
+	}
+	return s.Name + "{" + s.Labels + "}"
+}
+
+// SortedSeriesKeys lists every registered series key, sorted — a cheap way
+// for smoke tests to assert required series are present.
+func (r *Registry) SortedSeriesKeys() []string {
+	snap := r.Snapshot()
+	keys := make([]string, len(snap))
+	for i, s := range snap {
+		keys[i] = s.SeriesKey()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// LabelValue formats one key="value" label pair, escaping the value.
+func LabelValue(key, value string) string {
+	return fmt.Sprintf("%s=%q", key, value)
+}

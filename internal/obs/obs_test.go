@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 15, 16, 17, 31, 32, 63, 64, 100, 1000,
+		1 << 20, 1<<20 + 1, 1 << 40, 1<<62 + 12345, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, idx, prev)
+		}
+		if idx >= histNumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		lo, hi := bucketBounds(idx)
+		if v < lo || (hi > lo && v >= hi) {
+			t.Fatalf("value %d outside its bucket [%d, %d)", v, lo, hi)
+		}
+		prev = idx
+	}
+}
+
+func TestBucketRelativeWidth(t *testing.T) {
+	// Above the exact range, bucket width must stay ≤ 12.5% of the lower
+	// bound — the accuracy contract the quantile estimates rely on.
+	for _, v := range []int64{16, 100, 1024, 999_999, 1 << 30, 1 << 50} {
+		lo, hi := BucketBoundsFor(v)
+		if w := hi - lo; float64(w) > float64(lo)/float64(histSub)+1 {
+			t.Fatalf("bucket [%d,%d) width %d exceeds %d%% of lower bound", lo, hi, w, 100/histSub)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if m := h.Mean(); m != 50.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	p50 := h.Quantile(0.5)
+	lo, hi := BucketBoundsFor(50)
+	if p50 < float64(lo)-float64(hi-lo) || p50 > float64(hi)+float64(hi-lo) {
+		t.Fatalf("p50 = %v, want near 50 (bucket [%d,%d))", p50, lo, hi)
+	}
+	if !math.IsNaN((&Histogram{}).Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Fatalf("count=%d sum=%d after negative record", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 10000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := int64(0); i < per; i++ {
+				h.Record(seed*1000 + i%997)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	snap := h.Snapshot()
+	if snap.Count != goroutines*per {
+		t.Fatalf("snapshot count = %d", snap.Count)
+	}
+	bs := snap.Buckets()
+	if len(bs) == 0 || bs[len(bs)-1].CumulativeCount != goroutines*per {
+		t.Fatalf("cumulative bucket count mismatch: %+v", bs)
+	}
+}
+
+func TestRegistryIdempotentAndSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("x_total", `k="a"`, "help a")
+	c2 := reg.Counter("x_total", `k="a"`, "ignored on re-register")
+	if c1 != c2 {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	cB := reg.Counter("x_total", `k="b"`, "")
+	if cB == c1 {
+		t.Fatal("different labels must return a different counter")
+	}
+	c1.Add(5)
+	cB.Add(7)
+	reg.Gauge("g", "", "a gauge").Set(-3)
+	reg.Histogram("h_ns", "", "a histogram").Record(100)
+	val := int64(11)
+	reg.GaugeFunc("fn_gauge", "", "func-backed", func() int64 { return val })
+
+	s, ok := reg.Find("x_total", `k="a"`)
+	if !ok || s.Value != 5 || s.Kind != KindCounter {
+		t.Fatalf("x_total{k=a} = %+v ok=%v", s, ok)
+	}
+	s, _ = reg.Find("fn_gauge", "")
+	if s.Value != 11 {
+		t.Fatalf("fn_gauge = %d", s.Value)
+	}
+	// Re-pointing a func metric (component restart) swaps the source.
+	val2 := int64(99)
+	reg.GaugeFunc("fn_gauge", "", "func-backed", func() int64 { return val2 })
+	s, _ = reg.Find("fn_gauge", "")
+	if s.Value != 99 {
+		t.Fatalf("fn_gauge after re-register = %d", s.Value)
+	}
+	s, _ = reg.Find("h_ns", "")
+	if s.Hist == nil || s.Hist.Count != 1 {
+		t.Fatalf("h_ns snapshot = %+v", s.Hist)
+	}
+
+	keys := reg.SortedSeriesKeys()
+	want := `x_total{k="a"}`
+	found := false
+	for _, k := range keys {
+		if k == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("series keys %v missing %s", keys, want)
+	}
+}
+
+// TestRecordPathAllocs pins the metric record paths at zero allocations —
+// the contract that lets the authserver hot path stay instrumented.
+func TestRecordPathAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "", "")
+	g := reg.Gauge("g", "", "")
+	h := reg.Histogram("h_ns", "", "")
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Add(-1)
+		h.Record(12345)
+	}); allocs != 0 {
+		t.Errorf("record path allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestTracerUnsampledAllocs pins the unsampled Begin path (the common
+// case at full replay rate) at zero allocations.
+func TestTracerUnsampledAllocs(t *testing.T) {
+	tr := NewTracer(64, 1<<30) // effectively never samples
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin("query")
+		sp.Mark("lookup") // nil-safe no-op
+		tr.Finish(sp)
+	}); allocs != 0 {
+		t.Errorf("unsampled trace path allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestTracerSampledSteadyStateAllocs verifies the sampled path reuses
+// pooled spans rather than allocating per span.
+func TestTracerSampledSteadyStateAllocs(t *testing.T) {
+	tr := NewTracer(64, 1)
+	name := []byte("www.example.com.")
+	// Warm the pool.
+	for i := 0; i < 100; i++ {
+		sp := tr.Begin("query")
+		sp.SetNameBytes(name)
+		sp.Mark("lookup")
+		tr.Finish(sp)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin("query")
+		sp.SetNameBytes(name)
+		sp.Mark("lookup")
+		sp.Mark("pack")
+		tr.Finish(sp)
+	})
+	// sync.Pool may rarely miss under GC pressure; the steady state must
+	// still be far below one allocation per span.
+	if allocs > 0.1 {
+		t.Errorf("sampled trace path allocs/op = %v, want ~0", allocs)
+	}
+}

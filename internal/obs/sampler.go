@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ldplayer/internal/metrics"
+)
+
+// Sampler periodically converts registry snapshots into internal/metrics
+// time series — the bridge from the live endpoint to the paper's offline
+// analysis (Figures 13 and 14 plot exactly such resource-over-time
+// series). Counters and gauges become one series each, keyed by
+// name{labels}, carrying the raw sampled value; histograms contribute
+// their cumulative count (rates and deltas are computed by the analysis
+// side, e.g. metrics.RelativeDifferences or TimeSeries.SteadyState).
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu     sync.Mutex
+	series map[string]*metrics.TimeSeries
+
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	started bool
+}
+
+// NewSampler creates a sampler over reg with the given interval (default
+// 1s). Start begins sampling; SampleOnce is available for manual ticks.
+func NewSampler(reg *Registry, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		series:   make(map[string]*metrics.TimeSeries),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the sampling loop.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case now := <-t.C:
+				s.SampleOnce(now)
+			}
+		}
+	}()
+}
+
+// Stop halts the loop (idempotent) and waits for it to exit. Safe to call
+// even if Start never ran.
+func (s *Sampler) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		<-s.done
+	}
+}
+
+// SampleOnce appends one sample per metric at time now.
+func (s *Sampler) SampleOnce(now time.Time) {
+	snap := s.reg.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sm := range snap {
+		key := sm.SeriesKey()
+		ts := s.series[key]
+		if ts == nil {
+			ts = metrics.NewTimeSeries(key)
+			s.series[key] = ts
+		}
+		v := float64(sm.Value)
+		if sm.Hist != nil {
+			v = float64(sm.Hist.Count)
+		}
+		ts.Add(now, v)
+	}
+}
+
+// Series returns the time series for a series key (name{labels}), or nil.
+func (s *Sampler) Series(key string) *metrics.TimeSeries {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.series[key]
+}
+
+// AllSeries returns every collected series, sorted by key.
+func (s *Sampler) AllSeries() []*metrics.TimeSeries {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.series))
+	for k := range s.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*metrics.TimeSeries, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.series[k])
+	}
+	s.mu.Unlock()
+	return out
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one traced query lifecycle: a start time, a bounded sequence of
+// named stage marks (recv → view-select → lookup/cache-hit → pack → send),
+// and a few fixed attribute slots. Spans hold no pointers to per-query
+// data: the query name is copied into a fixed buffer and mark labels must
+// be static strings, so a live span allocates nothing.
+type Span struct {
+	Seq   uint64
+	Kind  string
+	Start time.Time
+	// Dur is the total span duration, set by Tracer.Finish.
+	Dur time.Duration
+
+	// Fixed attribute slots filled by the instrumented component.
+	Transport string // static: "udp", "tcp", "tls"
+	View      string
+	Detail    string // static: e.g. "cache_hit", "lookup"
+	Rcode     int
+
+	nameBuf [maxSpanName]byte
+	nameLen uint8
+
+	marks  [maxSpanMarks]Mark
+	nmarks uint8
+}
+
+// Mark is one stage timestamp, as elapsed time since the span start.
+type Mark struct {
+	Label string
+	At    time.Duration
+}
+
+const (
+	maxSpanName  = 96
+	maxSpanMarks = 8
+)
+
+// SetNameBytes copies a wire-form or presentation-form name into the
+// span's fixed buffer (truncating if oversized) without allocating.
+// Nil-safe: unsampled callers pass the nil span straight through.
+func (s *Span) SetNameBytes(b []byte) {
+	if s == nil {
+		return
+	}
+	n := copy(s.nameBuf[:], b)
+	s.nameLen = uint8(n)
+}
+
+// Name returns the captured name.
+func (s *Span) Name() string { return string(s.nameBuf[:s.nameLen]) }
+
+// Mark records a stage boundary. label must be a static string. Nil-safe.
+func (s *Span) Mark(label string) {
+	if s == nil || s.nmarks >= maxSpanMarks {
+		return
+	}
+	s.marks[s.nmarks] = Mark{Label: label, At: time.Since(s.Start)}
+	s.nmarks++
+}
+
+// Marks returns the recorded stage marks.
+func (s *Span) Marks() []Mark { return s.marks[:s.nmarks] }
+
+// reset clears a pooled span for reuse.
+func (s *Span) reset() {
+	*s = Span{}
+}
+
+// spanPool recycles spans so steady-state tracing does not allocate.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// Tracer samples query lifecycles into a bounded ring buffer. Begin
+// returns nil for unsampled queries (one atomic add, no other work), so
+// tracing can stay enabled at full replay rate; Span methods are nil-safe
+// so instrumented code calls them unconditionally. Finished spans are
+// copied into the ring under a mutex — a cold path taken once per sampled
+// query — and the span struct returns to a pool, so the steady state
+// allocates nothing.
+type Tracer struct {
+	every uint64
+	seq   atomic.Uint64
+
+	mu   sync.Mutex
+	ring []Span
+	pos  uint64 // total finished spans; ring[pos%len] is next slot
+}
+
+// NewTracer creates a tracer keeping the last size spans and sampling one
+// query in every sampleEvery (1 = trace everything). size defaults to
+// 1024, sampleEvery to 1.
+func NewTracer(size, sampleEvery int) *Tracer {
+	if size <= 0 {
+		size = 1024
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &Tracer{every: uint64(sampleEvery), ring: make([]Span, size)}
+}
+
+// SampleEvery returns the sampling period.
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.every)
+}
+
+// Begin starts a span of the given kind, or returns nil when this query is
+// not sampled (or the tracer itself is nil). kind must be a static string.
+func (t *Tracer) Begin(kind string) *Span {
+	if t == nil {
+		return nil
+	}
+	n := t.seq.Add(1)
+	if t.every > 1 && n%t.every != 0 {
+		return nil
+	}
+	s := spanPool.Get().(*Span)
+	s.reset()
+	s.Seq = n
+	s.Kind = kind
+	s.Start = time.Now()
+	return s
+}
+
+// Finish stamps the span's duration, publishes a copy into the ring, and
+// recycles the span. Nil-safe in both receiver and argument.
+func (t *Tracer) Finish(s *Span) {
+	if t == nil || s == nil {
+		return
+	}
+	s.Dur = time.Since(s.Start)
+	t.mu.Lock()
+	t.ring[t.pos%uint64(len(t.ring))] = *s
+	t.pos++
+	t.mu.Unlock()
+	spanPool.Put(s)
+}
+
+// Recent returns up to n finished spans, newest first.
+func (t *Tracer) Recent(n int) []Span {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	have := t.pos
+	if have > uint64(len(t.ring)) {
+		have = uint64(len(t.ring))
+	}
+	if uint64(n) > have {
+		n = int(have)
+	}
+	out := make([]Span, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (t.pos - 1 - uint64(i)) % uint64(len(t.ring))
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// Total returns the number of spans finished so far (not the ring size).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pos
+}

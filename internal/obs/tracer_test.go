@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(16, 4)
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if sp := tr.Begin("q"); sp != nil {
+			sampled++
+			tr.Finish(sp)
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("sampled %d of 100 with 1-in-4 sampling", sampled)
+	}
+	if tr.Total() != 25 {
+		t.Fatalf("total finished = %d", tr.Total())
+	}
+}
+
+func TestTracerRingAndRecent(t *testing.T) {
+	tr := NewTracer(4, 1)
+	for i := 0; i < 10; i++ {
+		sp := tr.Begin("q")
+		sp.Rcode = i
+		tr.Finish(sp)
+	}
+	recent := tr.Recent(10)
+	if len(recent) != 4 {
+		t.Fatalf("ring of 4 returned %d spans", len(recent))
+	}
+	// Newest first: rcodes 9, 8, 7, 6.
+	for i, sp := range recent {
+		if sp.Rcode != 9-i {
+			t.Fatalf("recent[%d].Rcode = %d, want %d", i, sp.Rcode, 9-i)
+		}
+	}
+	if got := len(tr.Recent(2)); got != 2 {
+		t.Fatalf("Recent(2) returned %d", got)
+	}
+}
+
+func TestSpanFields(t *testing.T) {
+	tr := NewTracer(8, 1)
+	sp := tr.Begin("query")
+	sp.Transport = "udp"
+	sp.View = "root"
+	sp.Detail = "cache_hit"
+	sp.SetNameBytes([]byte("example.com."))
+	sp.Mark("view")
+	sp.Mark("pack")
+	tr.Finish(sp)
+
+	got := tr.Recent(1)[0]
+	if got.Name() != "example.com." || got.Transport != "udp" || got.View != "root" {
+		t.Fatalf("span = %+v", got)
+	}
+	marks := got.Marks()
+	if len(marks) != 2 || marks[0].Label != "view" || marks[1].Label != "pack" {
+		t.Fatalf("marks = %+v", marks)
+	}
+	if marks[1].At < marks[0].At {
+		t.Fatal("marks not monotone")
+	}
+	if got.Dur < marks[1].At {
+		t.Fatal("span duration shorter than last mark")
+	}
+}
+
+func TestSpanNameTruncates(t *testing.T) {
+	tr := NewTracer(1, 1)
+	sp := tr.Begin("q")
+	long := make([]byte, 3*maxSpanName)
+	for i := range long {
+		long[i] = 'a'
+	}
+	sp.SetNameBytes(long)
+	tr.Finish(sp)
+	if n := tr.Recent(1)[0].Name(); len(n) != maxSpanName {
+		t.Fatalf("name length = %d, want %d", len(n), maxSpanName)
+	}
+}
+
+func TestNilTracerAndSpanSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("q")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	sp.Mark("x")
+	sp.SetNameBytes([]byte("y"))
+	tr.Finish(sp)
+	if tr.Recent(5) != nil || tr.Total() != 0 || tr.SampleEvery() != 0 {
+		t.Fatal("nil tracer accessors must be inert")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(128, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				sp := tr.Begin("q")
+				sp.Mark("a")
+				tr.Finish(sp)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Recent(64)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if tr.Total() != 4000 {
+		t.Fatalf("total = %d, want 4000", tr.Total())
+	}
+}

@@ -20,11 +20,14 @@
 package proxy
 
 import (
+	"errors"
+	"fmt"
 	"net/netip"
 	"sync"
 	"sync/atomic"
 
 	"ldplayer/internal/netsim"
+	"ldplayer/internal/obs"
 )
 
 // Rewrite applies the OQDA transformation toward peer.
@@ -49,11 +52,23 @@ const (
 	CaptureResponses
 )
 
-// Stats counts proxy activity.
+// Stats counts proxy activity. Captured = Forwarded + Dropped + in-queue,
+// so a healthy idle proxy shows all three at their final values; Dropped
+// growing while Forwarded stalls means the worker pool or the peer is the
+// bottleneck, not the capture rule.
 type Stats struct {
 	Captured  int64
 	Forwarded int64
+	Dropped   int64
 }
+
+// ErrQueueFull reports a packet discarded because the reader-to-worker
+// queue was at capacity (the saturated-TUN condition).
+var ErrQueueFull = errors.New("proxy: worker queue full, packet dropped")
+
+// ErrNoPeer reports packets discarded because the proxy was attached with
+// an invalid peer address, so rewrites have nowhere to go.
+var ErrNoPeer = errors.New("proxy: invalid peer address, rewrite dropped")
 
 // Proxy captures matching egress packets on a node, rewrites them, and
 // re-injects them toward the peer. Close drains the worker pool.
@@ -67,9 +82,14 @@ type Proxy struct {
 
 	captured  atomic.Int64
 	forwarded atomic.Int64
+	dropped   atomic.Int64
+	lastErr   atomic.Pointer[dropError]
 
 	closeOnce sync.Once
 }
+
+// dropError records why the most recent packet was discarded.
+type dropError struct{ err error }
 
 // Options configures a Proxy.
 type Options struct {
@@ -122,6 +142,7 @@ func (p *Proxy) capture(d netsim.Datagram) bool {
 	select {
 	case p.queue <- d:
 	default:
+		p.drop(ErrQueueFull)
 	}
 	return true
 }
@@ -129,14 +150,57 @@ func (p *Proxy) capture(d netsim.Datagram) bool {
 func (p *Proxy) worker() {
 	defer p.wg.Done()
 	for d := range p.queue {
+		if !p.peer.IsValid() {
+			p.drop(ErrNoPeer)
+			continue
+		}
 		p.network.Inject(Rewrite(d, p.peer))
 		p.forwarded.Add(1)
 	}
 }
 
-// Stats returns capture and forward counters.
+// drop records a discarded packet and the reason, so operators can tell
+// "no traffic" from "all traffic dropped" (and why).
+func (p *Proxy) drop(err error) {
+	p.dropped.Add(1)
+	p.lastErr.Store(&dropError{err: err})
+}
+
+// Stats returns capture, forward, and drop counters.
 func (p *Proxy) Stats() Stats {
-	return Stats{Captured: p.captured.Load(), Forwarded: p.forwarded.Load()}
+	return Stats{
+		Captured:  p.captured.Load(),
+		Forwarded: p.forwarded.Load(),
+		Dropped:   p.dropped.Load(),
+	}
+}
+
+// LastError returns the reason the most recent packet was dropped, or nil
+// if the proxy has never dropped one.
+func (p *Proxy) LastError() error {
+	if de := p.lastErr.Load(); de != nil {
+		return de.err
+	}
+	return nil
+}
+
+// Instrument registers the proxy's counters and queue-depth gauge with
+// reg, labelled by capture direction. Reads happen at scrape time.
+func (p *Proxy) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	dir := "queries"
+	if p.dir == CaptureResponses {
+		dir = "responses"
+	}
+	labels := fmt.Sprintf("direction=%q", dir)
+	reg.CounterFunc("proxy_captured_total", labels, "packets diverted by the capture rule", p.captured.Load)
+	reg.CounterFunc("proxy_forwarded_total", labels, "packets rewritten and re-injected", p.forwarded.Load)
+	reg.CounterFunc("proxy_dropped_total", labels, "packets discarded (full queue or invalid peer)", p.dropped.Load)
+	reg.GaugeFunc("proxy_queue_depth", labels, "packets waiting for a rewrite worker", func() int64 {
+		return int64(len(p.queue))
+	})
 }
 
 // Close stops the workers after draining queued packets.

@@ -5,6 +5,7 @@ import (
 	"crypto/tls"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ldplayer/internal/authserver"
@@ -125,6 +126,9 @@ func (q *querier) send(e trace.Entry) {
 // udpSocket is one emulated UDP source.
 type udpSocket struct {
 	conn *net.UDPConn
+	// lastSend is the UnixNano of the most recent write, consumed (once)
+	// by the reader to produce a round-trip latency sample.
+	lastSend atomic.Int64
 }
 
 func (q *querier) sendUDP(e trace.Entry) error {
@@ -160,6 +164,9 @@ func (q *querier) sendUDP(e trace.Entry) error {
 		}
 	}
 	_, err := sock.conn.Write(e.Message)
+	if err == nil {
+		sock.lastSend.Store(time.Now().UnixNano())
+	}
 	return err
 }
 
@@ -172,6 +179,7 @@ func (q *querier) readUDP(sock *udpSocket) {
 			return
 		}
 		q.en.responses.Add(1)
+		q.recordRTT(&sock.lastSend)
 		if q.en.cfg.OnResponse != nil {
 			msg := make([]byte, n)
 			copy(msg, buf[:n])
@@ -187,6 +195,20 @@ type streamConn struct {
 	lastUsed time.Time
 	closed   bool
 	done     chan struct{}
+	lastSend atomic.Int64
+}
+
+// recordRTT converts a pending send timestamp into a latency sample when
+// the engine is instrumented. Swap(0) consumes the timestamp so each send
+// yields at most one sample.
+func (q *querier) recordRTT(lastSend *atomic.Int64) {
+	h := q.en.latency.Load()
+	if h == nil {
+		return
+	}
+	if t := lastSend.Swap(0); t != 0 {
+		h.Record(time.Now().UnixNano() - t)
+	}
 }
 
 func (q *querier) sendStream(e trace.Entry) error {
@@ -208,13 +230,18 @@ func (q *querier) sendStream(e trace.Entry) error {
 		if sc.closed {
 			sc.mu.Unlock()
 			q.dropStream(key, sc)
+			q.en.retries.Add(1)
 			continue // reconnect once
 		}
 		err = authserver.WriteTCPMessage(sc.conn, e.Message)
 		sc.lastUsed = time.Now()
+		if err == nil {
+			sc.lastSend.Store(sc.lastUsed.UnixNano())
+		}
 		sc.mu.Unlock()
 		if err != nil {
 			q.dropStream(key, sc)
+			q.en.retries.Add(1)
 			continue
 		}
 		return nil
@@ -283,6 +310,7 @@ func (q *querier) readStream(key sourceKey, sc *streamConn) {
 		sc.lastUsed = time.Now()
 		sc.mu.Unlock()
 		q.en.responses.Add(1)
+		q.recordRTT(&sc.lastSend)
 		if q.en.cfg.OnResponse != nil {
 			q.en.cfg.OnResponse(msg, time.Now())
 		}
@@ -304,6 +332,7 @@ func (q *querier) idleCloser(key sourceKey, sc *streamConn) {
 			idle := time.Since(sc.lastUsed)
 			sc.mu.Unlock()
 			if idle >= timeout {
+				q.en.idleClosed.Add(1)
 				q.dropStream(key, sc)
 				return
 			}

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ldplayer/internal/obs"
 	"ldplayer/internal/trace"
 )
 
@@ -87,6 +88,9 @@ type Stats struct {
 	Responses   int64
 	Errors      int64
 	ConnsOpened int64
+	Retries     int64
+	IdleClosed  int64
+	Unanswered  int64
 	Sources     int
 	Duration    time.Duration
 }
@@ -99,8 +103,43 @@ type Engine struct {
 	responses   atomic.Int64
 	errorsCount atomic.Int64
 	connsOpened atomic.Int64
+	retries     atomic.Int64
+	idleClosed  atomic.Int64
+	unanswered  atomic.Int64
+
+	// latency, when instrumented, records send→response round trips in
+	// nanoseconds. The measurement is per-socket (last send timestamp), so
+	// pipelined same-source queries fold into one sample — fine for the
+	// live-rate view this feeds.
+	latency atomic.Pointer[obs.Histogram]
 
 	seed maphash.Seed
+}
+
+// Instrument registers the engine's counters with reg and enables the
+// round-trip latency histogram. Metric reads happen at scrape time via
+// function metrics, so the send/receive hot paths pay nothing beyond the
+// atomic adds they already perform. Safe to call for each fresh Engine
+// sharing one registry: re-registration re-points the scrape functions
+// at the newest engine.
+func (en *Engine) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("ldplayer_sent_total", "", "queries transmitted", en.sent.Load)
+	reg.CounterFunc("ldplayer_responses_total", "", "responses received", en.responses.Load)
+	reg.CounterFunc("ldplayer_errors_total", "", "per-query send errors", en.errorsCount.Load)
+	reg.CounterFunc("ldplayer_conns_opened_total", "", "sockets and stream connections opened", en.connsOpened.Load)
+	reg.CounterFunc("ldplayer_retries_total", "", "stream sends retried on a fresh connection", en.retries.Load)
+	reg.CounterFunc("ldplayer_idle_closed_total", "", "stream connections closed by the idle timeout", en.idleClosed.Load)
+	reg.CounterFunc("ldplayer_unanswered_total", "", "queries still unanswered at the drain deadline", en.unanswered.Load)
+	reg.GaugeFunc("ldplayer_in_flight", "", "queries sent and not yet answered", func() int64 {
+		if d := en.sent.Load() - en.responses.Load(); d > 0 {
+			return d
+		}
+		return 0
+	})
+	en.latency.Store(reg.Histogram("ldplayer_rtt_ns", "", "send to response round trip (ns)"))
 }
 
 // New validates cfg and creates an Engine.
@@ -143,6 +182,9 @@ func (en *Engine) Replay(ctx context.Context, r trace.Reader) (*Stats, error) {
 	en.responses.Store(0)
 	en.errorsCount.Store(0)
 	en.connsOpened.Store(0)
+	en.retries.Store(0)
+	en.idleClosed.Store(0)
+	en.unanswered.Store(0)
 
 	start := time.Now()
 
@@ -247,12 +289,18 @@ loop:
 	for _, d := range dists {
 		d.closeQueriers()
 	}
+	if missing := en.sent.Load() - en.responses.Load(); missing > 0 {
+		en.unanswered.Store(missing)
+	}
 
 	st := &Stats{
 		Sent:        en.sent.Load(),
 		Responses:   en.responses.Load(),
 		Errors:      en.errorsCount.Load(),
 		ConnsOpened: en.connsOpened.Load(),
+		Retries:     en.retries.Load(),
+		IdleClosed:  en.idleClosed.Load(),
+		Unanswered:  en.unanswered.Load(),
 		Sources:     sources.count(),
 		Duration:    time.Since(start),
 	}

@@ -14,9 +14,11 @@ import (
 	"math/rand"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ldplayer/internal/dnswire"
+	"ldplayer/internal/obs"
 )
 
 // Exchanger performs one query/response exchange with a nameserver. Both
@@ -54,6 +56,33 @@ type Resolver struct {
 	rng *rand.Rand
 
 	queriesSent int64
+
+	// depth, when instrumented, records the upstream exchange count of
+	// each top-level resolution (0 = pure cache hit), so the histogram's
+	// mass at zero IS the cache hit ratio and its tail shows how deep
+	// iteration walks the hierarchy.
+	depth atomic.Pointer[obs.Histogram]
+}
+
+// Instrument registers the resolver's cache and iteration metrics with
+// reg. Reads happen at scrape time via function metrics.
+func (r *Resolver) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("resolver_cache_hits_total", "", "cache lookups answered from memory", func() int64 {
+		h, _ := r.cache.HitsMisses()
+		return h
+	})
+	reg.CounterFunc("resolver_cache_misses_total", "", "cache lookups that went upstream", func() int64 {
+		_, m := r.cache.HitsMisses()
+		return m
+	})
+	reg.CounterFunc("resolver_queries_sent_total", "", "upstream queries issued", r.QueriesSent)
+	reg.GaugeFunc("resolver_cache_entries", "", "live RRset cache entries", func() int64 {
+		return int64(r.cache.Len())
+	})
+	r.depth.Store(reg.Histogram("resolver_iteration_depth", "", "upstream exchanges per resolution"))
 }
 
 // Answer is the result of a resolution.
@@ -113,7 +142,13 @@ func (r *Resolver) QueriesSent() int64 {
 // Resolve answers (name, type) iteratively.
 func (r *Resolver) Resolve(ctx context.Context, name string, qtype dnswire.Type) (*Answer, error) {
 	st := &resolveState{gluelessBudget: 4}
-	return r.resolveWith(ctx, st, dnswire.CanonicalName(name), qtype, 0)
+	ans, err := r.resolveWith(ctx, st, dnswire.CanonicalName(name), qtype, 0)
+	if ans != nil && err == nil {
+		if h := r.depth.Load(); h != nil {
+			h.Record(int64(ans.Upstream))
+		}
+	}
+	return ans, err
 }
 
 // resolveState carries per-resolution bookkeeping across recursive calls:
