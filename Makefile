@@ -1,14 +1,15 @@
 # Development targets for the LDplayer reproduction. `make check` is the
 # gate every change must pass: vet, build, the full test suite under the
 # race detector, a short-form run of the engine hot-path benchmarks
-# (which also executes their allocation sanity assertions), and the
-# observability smoke test.
+# (which also executes their allocation sanity assertions), the
+# observability smoke test, and a short fuzz budget over the DNS wire
+# codec.
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench obs-smoke
+.PHONY: check vet build test race bench-smoke bench obs-smoke fuzz-smoke
 
-check: vet build race bench-smoke obs-smoke
+check: vet build race bench-smoke obs-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +34,12 @@ bench-smoke:
 # both sides and /trace must carry query-lifecycle spans.
 obs-smoke:
 	$(GO) test -run TestObsSmoke -count=1 ./internal/obs/
+
+# Short fuzz budget over the DNS wire codec: hostile decode must never
+# panic and decode→encode must reach a byte-identical fixed point.
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz 'FuzzMessageUnpack$$' -fuzztime 5s ./internal/dnswire/
+	$(GO) test -run XXX -fuzz 'FuzzPackUnpackRoundTrip$$' -fuzztime 5s ./internal/dnswire/
 
 # Full benchmark sweep (regenerates the paper's tables and figures).
 bench:

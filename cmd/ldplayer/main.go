@@ -26,6 +26,7 @@ import (
 
 	"ldplayer/internal/experiments"
 	"ldplayer/internal/mutate"
+	"ldplayer/internal/netsim"
 	"ldplayer/internal/obs"
 	"ldplayer/internal/pcap"
 	"ldplayer/internal/replay"
@@ -287,6 +288,9 @@ func cmdReplay(args []string) error {
 	distributors := fs.Int("distributors", 1, "distributor processes")
 	queriers := fs.Int("queriers", 6, "queriers per distributor")
 	idle := fs.Duration("idle-timeout", 20*time.Second, "client connection reuse timeout")
+	udpRetries := fs.Int("udp-retries", 0, "UDP retransmissions per unanswered query (0 = fire and forget)")
+	udpRetryTimeout := fs.Duration("udp-retry-timeout", 250*time.Millisecond, "wait before the first UDP retransmission (doubles per retry)")
+	impair := fs.String("impair", "", "fault-inject the UDP path, e.g. 'drop=0.2,dup=0.05,jitter=5ms,seed=1'")
 	clients := fs.String("clients", "", "comma-separated ldclient addresses: act as remote controller (Figure 5)")
 	obsListen := fs.String("obs-listen", "", "observability HTTP address serving /metrics, /metrics.json and /debug/pprof (empty = disabled)")
 	fs.Parse(args)
@@ -311,12 +315,34 @@ func cmdReplay(args []string) error {
 		fmt.Println("trace distributed to", *clients)
 		return nil
 	}
+	udpTarget := *udp
+	var relay *netsim.UDPRelay
+	if *impair != "" {
+		imp, perr := netsim.ParseImpairment(*impair)
+		if perr != nil {
+			return fmt.Errorf("replay: %w", perr)
+		}
+		if udpTarget == "" {
+			return fmt.Errorf("replay: -impair requires a -udp target")
+		}
+		// Interpose a lossy relay between the queriers and the target so
+		// the real sockets traverse the fault model.
+		relay, err = netsim.NewUDPRelay("127.0.0.1:0", udpTarget, imp)
+		if err != nil {
+			return err
+		}
+		defer relay.Close()
+		udpTarget = relay.Addr().String()
+		fmt.Printf("impairing UDP path to %s: %s\n", *udp, imp)
+	}
 	en, err := replay.New(replay.Config{
 		Distributors:           *distributors,
 		QueriersPerDistributor: *queriers,
-		UDPTarget:              *udp,
+		UDPTarget:              udpTarget,
 		TCPTarget:              *tcp,
 		IdleTimeout:            *idle,
+		UDPRetries:             *udpRetries,
+		UDPRetryTimeout:        *udpRetryTimeout,
 		FastMode:               *fast,
 	})
 	if err != nil {
@@ -339,6 +365,15 @@ func cmdReplay(args []string) error {
 	fmt.Printf("sent=%d responses=%d errors=%d conns=%d sources=%d duration=%v (%.0f q/s)\n",
 		st.Sent, st.Responses, st.Errors, st.ConnsOpened, st.Sources,
 		st.Duration.Round(time.Millisecond), float64(st.Sent)/st.Duration.Seconds())
+	if st.UDPRetransmits+st.Giveups+st.Duplicates > 0 {
+		fmt.Printf("retransmits=%d giveups=%d dup-responses=%d\n",
+			st.UDPRetransmits, st.Giveups, st.Duplicates)
+	}
+	if relay != nil {
+		is := relay.Stats()
+		fmt.Printf("impairment: offered=%d dropped=%d duplicated=%d reordered=%d corrupted=%d\n",
+			is.Offered, is.Dropped, is.Duplicated, is.Reordered, is.Corrupted)
+	}
 	return nil
 }
 

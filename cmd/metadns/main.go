@@ -25,6 +25,7 @@ import (
 
 	"ldplayer/internal/authserver"
 	"ldplayer/internal/dnswire"
+	"ldplayer/internal/netsim"
 	"ldplayer/internal/obs"
 	"ldplayer/internal/zone"
 )
@@ -46,15 +47,16 @@ func main() {
 	idle := flag.Duration("idle-timeout", authserver.DefaultIdleTimeout, "TCP/TLS idle connection timeout")
 	obsListen := flag.String("obs-listen", "", "observability HTTP address serving /metrics, /metrics.json, /trace and /debug/pprof (empty = disabled)")
 	obsSample := flag.Int("obs-sample", authserver.DefaultObsSampleEvery, "trace and time 1 in N queries when -obs-listen is set")
+	impair := flag.String("impair", "", "fault-inject the UDP listener, e.g. 'drop=0.2,jitter=5ms,seed=1'")
 	flag.Parse()
 
-	if err := run(zoneFlags, viewFlags, *udp, *tcp, *tlsAddr, *tlsHost, *idle, *obsListen, *obsSample); err != nil {
+	if err := run(zoneFlags, viewFlags, *udp, *tcp, *tlsAddr, *tlsHost, *idle, *obsListen, *obsSample, *impair); err != nil {
 		fmt.Fprintln(os.Stderr, "metadns:", err)
 		os.Exit(1)
 	}
 }
 
-func run(zoneFlags, viewFlags []string, udp, tcp, tlsAddr, tlsHost string, idle time.Duration, obsListen string, obsSample int) error {
+func run(zoneFlags, viewFlags []string, udp, tcp, tlsAddr, tlsHost string, idle time.Duration, obsListen string, obsSample int, impair string) error {
 	if len(zoneFlags) == 0 {
 		return fmt.Errorf("at least one -zone is required")
 	}
@@ -144,11 +146,32 @@ func run(zoneFlags, viewFlags []string, udp, tcp, tlsAddr, tlsHost string, idle 
 		}
 		srv.TLSConfig = serverTLS
 	}
-	if err := srv.Start(udp, tcp, tlsAddr); err != nil {
+	// With -impair, the server binds UDP on an internal loopback port and
+	// a lossy relay listens on the public address in front of it.
+	serveUDP := udp
+	var imp netsim.Impairment
+	if impair != "" {
+		var err error
+		if imp, err = netsim.ParseImpairment(impair); err != nil {
+			return err
+		}
+		if udp == "" {
+			return fmt.Errorf("-impair requires a -udp listen address")
+		}
+		serveUDP = "127.0.0.1:0"
+	}
+	if err := srv.Start(serveUDP, tcp, tlsAddr); err != nil {
 		return err
 	}
 	defer srv.Close()
-	if a := srv.UDPAddr(); a != nil {
+	if impair != "" {
+		relay, err := netsim.NewUDPRelay(udp, srv.UDPAddr().String(), imp)
+		if err != nil {
+			return err
+		}
+		defer relay.Close()
+		fmt.Printf("udp listening on %s (impaired: %s)\n", relay.Addr(), imp)
+	} else if a := srv.UDPAddr(); a != nil {
 		fmt.Println("udp listening on", a)
 	}
 	if a := srv.TCPAddr(); a != nil {

@@ -1,0 +1,265 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Impairment is a per-link fault model: the in-simulation analogue of a
+// lossy, jittery WAN path. Every probability is per datagram traversal;
+// all randomness is drawn from a single seeded PRNG per impairer, so a
+// given seed and a given offered-load sequence reproduce the exact same
+// per-packet fate sequence (see TestImpairmentDeterministic).
+//
+// The zero value is a perfect link (no impairment).
+type Impairment struct {
+	// Drop is the probability a datagram is silently discarded.
+	Drop float64
+	// Duplicate is the probability a datagram is delivered twice. Each
+	// copy draws its own corruption/jitter/reorder fate.
+	Duplicate float64
+	// Reorder is the probability a datagram is held back an extra random
+	// delay in (0, ReorderWindow], letting later packets overtake it.
+	Reorder float64
+	// ReorderWindow bounds the extra hold-back delay. Defaults to 4x the
+	// link's one-way latency when zero (and to 1ms on zero-RTT links).
+	ReorderWindow time.Duration
+	// Jitter adds a uniform extra delay in [0, Jitter) to every delivery.
+	Jitter time.Duration
+	// Corrupt is the probability one payload byte is bit-flipped.
+	Corrupt float64
+	// Seed seeds the impairer's PRNG. Zero means seed 1, so the empty
+	// spec is still reproducible.
+	Seed int64
+}
+
+// IsZero reports whether the impairment is a no-op (perfect link).
+func (imp Impairment) IsZero() bool {
+	return imp.Drop == 0 && imp.Duplicate == 0 && imp.Reorder == 0 &&
+		imp.Jitter == 0 && imp.Corrupt == 0
+}
+
+// Validate checks probabilities and durations.
+func (imp Impairment) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", imp.Drop}, {"dup", imp.Duplicate}, {"reorder", imp.Reorder}, {"corrupt", imp.Corrupt}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("netsim: impairment %s=%v out of [0,1]", p.name, p.v)
+		}
+	}
+	if imp.ReorderWindow < 0 || imp.Jitter < 0 {
+		return fmt.Errorf("netsim: impairment delays must be non-negative")
+	}
+	return nil
+}
+
+// String renders the impairment in the ParseImpairment grammar.
+func (imp Impairment) String() string {
+	var parts []string
+	add := func(k string, v float64) {
+		if v != 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	add("drop", imp.Drop)
+	add("dup", imp.Duplicate)
+	if imp.Reorder != 0 {
+		s := "reorder=" + strconv.FormatFloat(imp.Reorder, 'g', -1, 64)
+		if imp.ReorderWindow != 0 {
+			s += ":" + imp.ReorderWindow.String()
+		}
+		parts = append(parts, s)
+	}
+	if imp.Jitter != 0 {
+		parts = append(parts, "jitter="+imp.Jitter.String())
+	}
+	add("corrupt", imp.Corrupt)
+	if imp.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatInt(imp.Seed, 10))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseImpairment parses the -impair spec grammar: a comma-separated list
+// of KEY=VALUE clauses,
+//
+//	drop=0.1,dup=0.05,reorder=0.25:40ms,jitter=5ms,corrupt=0.01,seed=7
+//
+// where drop/dup/reorder/corrupt take probabilities in [0,1], reorder
+// optionally carries its hold-back window after a colon, jitter takes a
+// duration, and seed an integer. "none" or "" is a perfect link.
+func ParseImpairment(spec string) (Impairment, error) {
+	var imp Impairment
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return imp, nil
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(clause), "=")
+		if !ok {
+			return imp, fmt.Errorf("netsim: bad impairment clause %q (want KEY=VALUE)", clause)
+		}
+		prob := func() (float64, error) {
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return 0, fmt.Errorf("netsim: bad %s probability %q", key, val)
+			}
+			return p, nil
+		}
+		var err error
+		switch key {
+		case "drop":
+			imp.Drop, err = prob()
+		case "dup":
+			imp.Duplicate, err = prob()
+		case "reorder":
+			pStr, wStr, hasWindow := strings.Cut(val, ":")
+			val = pStr
+			if imp.Reorder, err = prob(); err == nil && hasWindow {
+				imp.ReorderWindow, err = time.ParseDuration(wStr)
+			}
+		case "jitter":
+			imp.Jitter, err = time.ParseDuration(val)
+		case "corrupt":
+			imp.Corrupt, err = prob()
+		case "seed":
+			imp.Seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return imp, fmt.Errorf("netsim: unknown impairment key %q", key)
+		}
+		if err != nil {
+			return imp, err
+		}
+	}
+	if err := imp.Validate(); err != nil {
+		return imp, err
+	}
+	return imp, nil
+}
+
+// ImpairStats counts impairment decisions on a link (or aggregate).
+type ImpairStats struct {
+	// Offered is the number of datagrams presented to the impairer.
+	Offered int64
+	// Dropped, Duplicated, Reordered, Corrupted count the respective
+	// fates; a duplicated datagram's two copies each count their own
+	// corruption/reorder fate.
+	Dropped    int64
+	Duplicated int64
+	Reordered  int64
+	Corrupted  int64
+}
+
+func (s ImpairStats) add(o ImpairStats) ImpairStats {
+	s.Offered += o.Offered
+	s.Dropped += o.Dropped
+	s.Duplicated += o.Duplicated
+	s.Reordered += o.Reordered
+	s.Corrupted += o.Corrupted
+	return s
+}
+
+// impDelivery is the fate of one delivered copy of a datagram.
+type impDelivery struct {
+	extraDelay time.Duration
+	corruptAt  int // payload byte index to bit-flip, -1 = intact
+}
+
+// impairer applies one Impairment. All PRNG draws happen under mu in a
+// fixed per-packet order, so the decision sequence is a pure function of
+// the seed and the order datagrams arrive.
+type impairer struct {
+	imp Impairment
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	offered    atomic.Int64
+	dropped    atomic.Int64
+	duplicated atomic.Int64
+	reordered  atomic.Int64
+	corrupted  atomic.Int64
+}
+
+func newImpairer(imp Impairment) *impairer {
+	seed := imp.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &impairer{imp: imp, rng: rand.New(rand.NewSource(seed))}
+}
+
+// reorderWindow resolves the hold-back window against the link latency.
+func (ip *impairer) reorderWindow(oneWay time.Duration) time.Duration {
+	if ip.imp.ReorderWindow > 0 {
+		return ip.imp.ReorderWindow
+	}
+	if oneWay > 0 {
+		return 4 * oneWay
+	}
+	return time.Millisecond
+}
+
+// decide rolls one datagram's fate. It returns drop=true, or up to two
+// deliveries in dels[:n], each with its extra delay beyond the link
+// latency and an optional corruption position.
+func (ip *impairer) decide(payloadLen int, oneWay time.Duration) (drop bool, dels [2]impDelivery, n int) {
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	ip.offered.Add(1)
+	if ip.imp.Drop > 0 && ip.rng.Float64() < ip.imp.Drop {
+		ip.dropped.Add(1)
+		return true, dels, 0
+	}
+	n = 1
+	if ip.imp.Duplicate > 0 && ip.rng.Float64() < ip.imp.Duplicate {
+		n = 2
+		ip.duplicated.Add(1)
+	}
+	for i := 0; i < n; i++ {
+		d := impDelivery{corruptAt: -1}
+		if ip.imp.Corrupt > 0 && payloadLen > 0 && ip.rng.Float64() < ip.imp.Corrupt {
+			d.corruptAt = ip.rng.Intn(payloadLen)
+			ip.corrupted.Add(1)
+		}
+		if ip.imp.Jitter > 0 {
+			d.extraDelay += time.Duration(ip.rng.Int63n(int64(ip.imp.Jitter)))
+		}
+		if ip.imp.Reorder > 0 && ip.rng.Float64() < ip.imp.Reorder {
+			w := ip.reorderWindow(oneWay)
+			d.extraDelay += time.Duration(1 + ip.rng.Int63n(int64(w)))
+			ip.reordered.Add(1)
+		}
+		dels[i] = d
+	}
+	return false, dels, n
+}
+
+// corruptPayload returns a copy of payload with one byte bit-flipped. The
+// original is never mutated: senders may retain their buffers.
+func corruptPayload(payload []byte, at int) []byte {
+	out := append([]byte(nil), payload...)
+	out[at] ^= 0x20
+	return out
+}
+
+// stats snapshots the impairer's counters.
+func (ip *impairer) stats() ImpairStats {
+	return ImpairStats{
+		Offered:    ip.offered.Load(),
+		Dropped:    ip.dropped.Load(),
+		Duplicated: ip.duplicated.Load(),
+		Reordered:  ip.reordered.Load(),
+		Corrupted:  ip.corrupted.Load(),
+	}
+}

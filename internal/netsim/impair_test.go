@@ -1,0 +1,285 @@
+package netsim
+
+import (
+	"net"
+	"net/netip"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseImpairment(t *testing.T) {
+	imp, err := ParseImpairment("drop=0.1,dup=0.05,reorder=0.25:40ms,jitter=5ms,corrupt=0.01,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Impairment{
+		Drop: 0.1, Duplicate: 0.05, Reorder: 0.25, ReorderWindow: 40 * time.Millisecond,
+		Jitter: 5 * time.Millisecond, Corrupt: 0.01, Seed: 7,
+	}
+	if imp != want {
+		t.Errorf("parsed %+v, want %+v", imp, want)
+	}
+	// The String rendering must parse back to the same impairment.
+	back, err := ParseImpairment(imp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != imp {
+		t.Errorf("round trip %+v != %+v", back, imp)
+	}
+	for _, spec := range []string{"", "none"} {
+		imp, err := ParseImpairment(spec)
+		if err != nil || !imp.IsZero() {
+			t.Errorf("ParseImpairment(%q) = %+v, %v", spec, imp, err)
+		}
+	}
+	for _, bad := range []string{"drop=2", "drop=-0.1", "frob=1", "drop", "reorder=0.5:xx", "jitter=abc"} {
+		if _, err := ParseImpairment(bad); err == nil {
+			t.Errorf("ParseImpairment(%q) accepted", bad)
+		}
+	}
+}
+
+// TestImpairmentDeterministic is the seed-determinism guarantee: two
+// networks with the same impairment seed, offered the same sequential
+// datagram sequence, produce the identical multiset of delivered
+// payloads. (Duplicate copies of one packet are delivered at the same
+// instant by independent goroutines, so their relative order is not part
+// of the guarantee — the comparison sorts deliveries.)
+func TestImpairmentDeterministic(t *testing.T) {
+	run := func(seed int64) []string {
+		n := New(0)
+		defer n.Close()
+		a, _ := n.AddNode("a", netip.MustParseAddr("10.0.0.1"))
+		b, _ := n.AddNode("b", netip.MustParseAddr("10.0.0.2"))
+		_ = a
+		if err := n.SetLinkImpairment(a.Addrs()[0], b.Addrs()[0], Impairment{
+			Drop: 0.3, Duplicate: 0.2, Corrupt: 0.2, Seed: seed,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var got []string
+		done := make(chan struct{}, 1)
+		b.Handle(func(d Datagram) {
+			mu.Lock()
+			got = append(got, string(d.Payload))
+			mu.Unlock()
+			select {
+			case done <- struct{}{}:
+			default:
+			}
+		})
+		// Sequential offered load: send, then wait for the network to go
+		// idle before the next packet, so arrival order is deterministic.
+		for i := 0; i < 60; i++ {
+			a.Send(Datagram{
+				Src:     ap("10.0.0.1:1000"),
+				Dst:     ap("10.0.0.2:53"),
+				Payload: []byte{byte('A' + i%26), byte(i)},
+			})
+			deadline := time.Now().Add(time.Second)
+			for n.InFlight() > 0 && time.Now().Before(deadline) {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		n.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		out := append([]string(nil), got...)
+		sort.Strings(out)
+		return out
+	}
+	first := run(42)
+	second := run(42)
+	if len(first) != len(second) {
+		t.Fatalf("runs delivered %d vs %d datagrams", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("delivery %d differs: %q vs %q", i, first[i], second[i])
+		}
+	}
+	other := run(43)
+	same := len(other) == len(first)
+	if same {
+		for i := range first {
+			if first[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fate sequences")
+	}
+}
+
+func TestImpairmentDropAndStats(t *testing.T) {
+	n := New(0)
+	defer n.Close()
+	a, _ := n.AddNode("a", netip.MustParseAddr("10.0.0.1"))
+	b, _ := n.AddNode("b", netip.MustParseAddr("10.0.0.2"))
+	if err := n.SetLinkImpairment(a.Addrs()[0], b.Addrs()[0], Impairment{Drop: 1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Datagram, 16)
+	b.Handle(func(d Datagram) { got <- d })
+	for i := 0; i < 5; i++ {
+		a.Send(Datagram{Src: ap("10.0.0.1:1"), Dst: ap("10.0.0.2:53"), Payload: []byte("x")})
+	}
+	n.Close()
+	select {
+	case <-got:
+		t.Error("datagram delivered through a 100%-loss link")
+	default:
+	}
+	st := n.ImpairStats()
+	if st.Offered != 5 || st.Dropped != 5 {
+		t.Errorf("impair stats = %+v, want offered=5 dropped=5", st)
+	}
+	if ls := n.LinkImpairStats(a.Addrs()[0], b.Addrs()[0]); ls.Dropped != 5 {
+		t.Errorf("link impair stats = %+v", ls)
+	}
+	// Blackholed datagrams are an impairment fate, not a routing drop.
+	if n.Dropped() != 0 {
+		t.Errorf("route-dropped = %d, want 0", n.Dropped())
+	}
+}
+
+func TestImpairmentDuplicateDelivery(t *testing.T) {
+	n := New(0)
+	defer n.Close()
+	a, _ := n.AddNode("a", netip.MustParseAddr("10.0.0.1"))
+	b, _ := n.AddNode("b", netip.MustParseAddr("10.0.0.2"))
+	if err := n.SetLinkImpairment(a.Addrs()[0], b.Addrs()[0], Impairment{Duplicate: 1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Datagram, 16)
+	b.Handle(func(d Datagram) { got <- d })
+	a.Send(Datagram{Src: ap("10.0.0.1:1"), Dst: ap("10.0.0.2:53"), Payload: []byte("q")})
+	for i := 0; i < 2; i++ {
+		select {
+		case <-got:
+		case <-time.After(time.Second):
+			t.Fatalf("copy %d not delivered", i)
+		}
+	}
+	if st := n.ImpairStats(); st.Duplicated != 1 {
+		t.Errorf("duplicated = %d, want 1", st.Duplicated)
+	}
+}
+
+func TestImpairmentCorruptionClonesPayload(t *testing.T) {
+	n := New(0)
+	defer n.Close()
+	a, _ := n.AddNode("a", netip.MustParseAddr("10.0.0.1"))
+	b, _ := n.AddNode("b", netip.MustParseAddr("10.0.0.2"))
+	if err := n.SetLinkImpairment(a.Addrs()[0], b.Addrs()[0], Impairment{Corrupt: 1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Datagram, 1)
+	b.Handle(func(d Datagram) { got <- d })
+	orig := []byte{1, 2, 3, 4}
+	a.Send(Datagram{Src: ap("10.0.0.1:1"), Dst: ap("10.0.0.2:53"), Payload: orig})
+	select {
+	case d := <-got:
+		diff := 0
+		for i := range orig {
+			if d.Payload[i] != [...]byte{1, 2, 3, 4}[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Errorf("corruption flipped %d bytes, want exactly 1 (payload %v)", diff, d.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("corrupted datagram not delivered")
+	}
+	// The sender's buffer must never be mutated.
+	if orig[0] != 1 || orig[1] != 2 || orig[2] != 3 || orig[3] != 4 {
+		t.Errorf("sender buffer mutated: %v", orig)
+	}
+	if st := n.ImpairStats(); st.Corrupted != 1 {
+		t.Errorf("corrupted = %d, want 1", st.Corrupted)
+	}
+}
+
+func TestDefaultImpairmentAppliesToAllLinks(t *testing.T) {
+	n := New(0)
+	defer n.Close()
+	a, _ := n.AddNode("a", netip.MustParseAddr("10.0.0.1"))
+	b, _ := n.AddNode("b", netip.MustParseAddr("10.0.0.2"))
+	if err := n.SetDefaultImpairment(Impairment{Drop: 1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Datagram, 1)
+	b.Handle(func(d Datagram) { got <- d })
+	a.Send(Datagram{Src: ap("10.0.0.1:1"), Dst: ap("10.0.0.2:53"), Payload: []byte("x")})
+	n.Close()
+	select {
+	case <-got:
+		t.Error("default impairment not applied")
+	default:
+	}
+	// Clearing restores perfect links.
+	if err := n.SetDefaultImpairment(Impairment{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUDPRelayImpairedPath checks the real-socket relay: an echo server
+// behind a perfect relay answers everything; behind a blackhole relay,
+// nothing — and the relay's counters say why.
+func TestUDPRelayImpairedPath(t *testing.T) {
+	echo, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer echo.Close()
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			n, raddr, err := echo.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			echo.WriteToUDP(buf[:n], raddr)
+		}
+	}()
+
+	run := func(imp Impairment, msgs int) (answered int) {
+		relay, err := NewUDPRelay("127.0.0.1:0", echo.LocalAddr().String(), imp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer relay.Close()
+		c, err := net.Dial("udp", relay.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for i := 0; i < msgs; i++ {
+			if _, err := c.Write([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		buf := make([]byte, 2048)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return answered
+			}
+			answered++
+		}
+	}
+
+	if got := run(Impairment{Seed: 1}, 5); got != 5 {
+		t.Errorf("perfect relay answered %d/5", got)
+	}
+	if got := run(Impairment{Drop: 1, Seed: 1}, 5); got != 0 {
+		t.Errorf("blackhole relay answered %d/5", got)
+	}
+}

@@ -58,6 +58,10 @@ type Network struct {
 	linkRTT map[[2]netip.Addr]time.Duration
 	// defaultRTT applies to pairs without an explicit link entry.
 	defaultRTT time.Duration
+	// impairers maps unordered address pairs to their fault model;
+	// defaultImpairer (may be nil) applies to pairs without an entry.
+	impairers       map[[2]netip.Addr]*impairer
+	defaultImpairer *impairer
 
 	dropped   atomic.Int64
 	delivered atomic.Int64
@@ -79,6 +83,21 @@ func (n *Network) Instrument(reg *obs.Registry) {
 	reg.CounterFunc("netsim_delivered_total", "", "datagrams delivered to a handler", n.delivered.Load)
 	reg.CounterFunc("netsim_dropped_total", "", "datagrams dropped (no route or no handler)", n.dropped.Load)
 	reg.GaugeFunc("netsim_queue_depth", "", "datagrams in flight on virtual links", n.inFlight.Load)
+	reg.CounterFunc("netsim_impair_offered_total", "", "datagrams presented to link impairers", func() int64 {
+		return n.ImpairStats().Offered
+	})
+	reg.CounterFunc("netsim_impair_dropped_total", "", "datagrams dropped by link impairment", func() int64 {
+		return n.ImpairStats().Dropped
+	})
+	reg.CounterFunc("netsim_impair_duplicated_total", "", "datagrams duplicated by link impairment", func() int64 {
+		return n.ImpairStats().Duplicated
+	})
+	reg.CounterFunc("netsim_impair_reordered_total", "", "datagram copies held back by reorder impairment", func() int64 {
+		return n.ImpairStats().Reordered
+	})
+	reg.CounterFunc("netsim_impair_corrupted_total", "", "datagram copies corrupted by link impairment", func() int64 {
+		return n.ImpairStats().Corrupted
+	})
 }
 
 // InFlight returns the number of datagrams currently traversing virtual
@@ -91,6 +110,7 @@ func New(defaultRTT time.Duration) *Network {
 	return &Network{
 		nodes:      make(map[netip.Addr]*Node),
 		linkRTT:    make(map[[2]netip.Addr]time.Duration),
+		impairers:  make(map[[2]netip.Addr]*impairer),
 		defaultRTT: defaultRTT,
 	}
 }
@@ -169,6 +189,75 @@ func (n *Network) rttBetween(a, b netip.Addr) time.Duration {
 	return n.defaultRTT
 }
 
+// SetLinkImpairment installs a fault model on the link between two
+// addresses (order irrelevant), overriding the network default. A zero
+// Impairment restores the perfect link. Returns imp.Validate()'s error.
+func (n *Network) SetLinkImpairment(a, b netip.Addr, imp Impairment) error {
+	if err := imp.Validate(); err != nil {
+		return err
+	}
+	k := linkKey(a, b)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if imp.IsZero() {
+		delete(n.impairers, k)
+		return nil
+	}
+	n.impairers[k] = newImpairer(imp)
+	return nil
+}
+
+// SetDefaultImpairment installs a fault model on every link without an
+// explicit SetLinkImpairment entry. A zero Impairment restores perfect
+// default links.
+func (n *Network) SetDefaultImpairment(imp Impairment) error {
+	if err := imp.Validate(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if imp.IsZero() {
+		n.defaultImpairer = nil
+		return nil
+	}
+	n.defaultImpairer = newImpairer(imp)
+	return nil
+}
+
+// impairerFor returns the impairer governing the (a,b) link, or nil.
+func (n *Network) impairerFor(a, b netip.Addr) *impairer {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if ip, ok := n.impairers[linkKey(a, b)]; ok {
+		return ip
+	}
+	return n.defaultImpairer
+}
+
+// ImpairStats aggregates impairment counters across every impaired link
+// (including the default impairer).
+func (n *Network) ImpairStats() ImpairStats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var s ImpairStats
+	for _, ip := range n.impairers {
+		s = s.add(ip.stats())
+	}
+	if n.defaultImpairer != nil {
+		s = s.add(n.defaultImpairer.stats())
+	}
+	return s
+}
+
+// LinkImpairStats returns the impairment counters of the (a,b) link's
+// governing impairer (the default impairer when no per-link entry exists).
+func (n *Network) LinkImpairStats(a, b netip.Addr) ImpairStats {
+	if ip := n.impairerFor(a, b); ip != nil {
+		return ip.stats()
+	}
+	return ImpairStats{}
+}
+
 // Dropped returns the number of datagrams dropped for lack of a route.
 func (n *Network) Dropped() int64 { return n.dropped.Load() }
 
@@ -222,7 +311,9 @@ func (nd *Node) Send(d Datagram) {
 }
 
 // Inject delivers d to the owner of d.Dst, bypassing egress filters. The
-// proxies use this to re-insert rewritten packets.
+// proxies use this to re-insert rewritten packets. The link's impairment
+// model (if any) decides the datagram's fate: drop, duplication, extra
+// delay, or payload corruption.
 func (n *Network) Inject(d Datagram) {
 	if n.closed.Load() {
 		return
@@ -234,7 +325,28 @@ func (n *Network) Inject(d Datagram) {
 		n.dropped.Add(1)
 		return
 	}
-	rtt := n.rttBetween(d.Src.Addr(), d.Dst.Addr())
+	// One-way latency is half the round trip.
+	oneWay := n.rttBetween(d.Src.Addr(), d.Dst.Addr()) / 2
+	ip := n.impairerFor(d.Src.Addr(), d.Dst.Addr())
+	if ip == nil {
+		n.schedule(dst, d, oneWay)
+		return
+	}
+	drop, dels, copies := ip.decide(len(d.Payload), oneWay)
+	if drop {
+		return
+	}
+	for i := 0; i < copies; i++ {
+		cp := d
+		if at := dels[i].corruptAt; at >= 0 {
+			cp.Payload = corruptPayload(d.Payload, at)
+		}
+		n.schedule(dst, cp, oneWay+dels[i].extraDelay)
+	}
+}
+
+// schedule arranges delivery of d to dst after delay.
+func (n *Network) schedule(dst *Node, d Datagram, delay time.Duration) {
 	n.wg.Add(1)
 	n.inFlight.Add(1)
 	deliver := func() {
@@ -250,10 +362,9 @@ func (n *Network) Inject(d Datagram) {
 		n.delivered.Add(1)
 		h(d)
 	}
-	if rtt <= 0 {
+	if delay <= 0 {
 		go deliver()
 		return
 	}
-	// One-way latency is half the round trip.
-	time.AfterFunc(rtt/2, deliver)
+	time.AfterFunc(delay, deliver)
 }

@@ -1,0 +1,172 @@
+package netsim
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// UDPRelay is an impaired datagram path between real sockets: it listens
+// on a local UDP address and forwards each datagram to a fixed target
+// through an Impairment, with responses impaired on the way back. It is
+// how `ldplayer replay -impair` and `metadns -impair` put a fault model
+// in front of components that own real sockets rather than netsim nodes.
+//
+// Per distinct client address the relay opens one upstream socket, so the
+// target sees one peer per client — source-to-socket affinity through the
+// relay is preserved.
+type UDPRelay struct {
+	conn   *net.UDPConn
+	target *net.UDPAddr
+	ip     *impairer
+
+	mu       sync.Mutex
+	sessions map[string]*relaySession
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	// timers tracks delayed writes so Close can wait for them.
+	timerWG sync.WaitGroup
+}
+
+type relaySession struct {
+	client   *net.UDPAddr
+	upstream *net.UDPConn
+}
+
+// NewUDPRelay starts a relay listening on listen (host:port, port 0 for
+// ephemeral) forwarding to target through imp.
+func NewUDPRelay(listen, target string, imp Impairment) (*UDPRelay, error) {
+	if err := imp.Validate(); err != nil {
+		return nil, err
+	}
+	laddr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, err
+	}
+	taddr, err := net.ResolveUDPAddr("udp", target)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	r := &UDPRelay{
+		conn:     conn,
+		target:   taddr,
+		ip:       newImpairer(imp),
+		sessions: make(map[string]*relaySession),
+	}
+	r.wg.Add(1)
+	go r.readClients()
+	return r, nil
+}
+
+// Addr returns the client-facing listen address.
+func (r *UDPRelay) Addr() net.Addr { return r.conn.LocalAddr() }
+
+// Stats returns the relay's impairment counters (both directions share
+// one impairer, so Offered counts queries plus responses).
+func (r *UDPRelay) Stats() ImpairStats { return r.ip.stats() }
+
+// Close stops the relay and waits for in-flight deliveries.
+func (r *UDPRelay) Close() error {
+	if !r.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	r.conn.Close()
+	r.mu.Lock()
+	for _, s := range r.sessions {
+		s.upstream.Close()
+	}
+	r.mu.Unlock()
+	r.timerWG.Wait()
+	r.wg.Wait()
+	return nil
+}
+
+func (r *UDPRelay) readClients() {
+	defer r.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, client, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		s, err := r.session(client)
+		if err != nil {
+			continue
+		}
+		r.impairedWrite(buf[:n], func(p []byte) { s.upstream.Write(p) })
+	}
+}
+
+// session returns (creating if needed) the upstream socket for client.
+func (r *UDPRelay) session(client *net.UDPAddr) (*relaySession, error) {
+	key := client.String()
+	r.mu.Lock()
+	s := r.sessions[key]
+	r.mu.Unlock()
+	if s != nil {
+		return s, nil
+	}
+	up, err := net.DialUDP("udp", nil, r.target)
+	if err != nil {
+		return nil, err
+	}
+	s = &relaySession{client: client, upstream: up}
+	r.mu.Lock()
+	if existing := r.sessions[key]; existing != nil {
+		r.mu.Unlock()
+		up.Close()
+		return existing, nil
+	}
+	r.sessions[key] = s
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go r.readUpstream(s)
+	return s, nil
+}
+
+func (r *UDPRelay) readUpstream(s *relaySession) {
+	defer r.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := s.upstream.Read(buf)
+		if err != nil {
+			return
+		}
+		r.impairedWrite(buf[:n], func(p []byte) { r.conn.WriteToUDP(p, s.client) })
+	}
+}
+
+// impairedWrite rolls payload's fate and performs (possibly delayed,
+// duplicated, corrupted) writes via w. The payload is copied before any
+// deferred write since the caller reuses its buffer.
+func (r *UDPRelay) impairedWrite(payload []byte, w func([]byte)) {
+	drop, dels, copies := r.ip.decide(len(payload), 0)
+	if drop {
+		return
+	}
+	for i := 0; i < copies; i++ {
+		var p []byte
+		if at := dels[i].corruptAt; at >= 0 {
+			p = corruptPayload(payload, at)
+		} else {
+			p = append([]byte(nil), payload...)
+		}
+		if d := dels[i].extraDelay; d > 0 {
+			r.timerWG.Add(1)
+			time.AfterFunc(d, func() {
+				defer r.timerWG.Done()
+				if !r.closed.Load() {
+					w(p)
+				}
+			})
+			continue
+		}
+		w(p)
+	}
+}

@@ -1,0 +1,112 @@
+package proxy
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ldplayer/internal/netsim"
+)
+
+// Tests for the proxy chain running over an impaired network: the proxy
+// still forwards everything handed to it, and loss/duplication shows up
+// in the network's impairment counters, not as proxy failures.
+
+// impairedFig2 wires the Figure-2 proxy chain (recursive -> egress proxy
+// -> impaired query link -> meta, echo reply back) and returns the
+// network, nodes, proxies, and a reply channel.
+func impairedFig2(t *testing.T, imp netsim.Impairment) (*netsim.Network, *netsim.Node, chan netsim.Datagram) {
+	t.Helper()
+	n := netsim.New(0)
+	t.Cleanup(n.Close)
+	rec, err := n.AddNode("recursive", recAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := n.AddNode("meta", metaAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recProxy := Attach(rec, n, CaptureQueries, metaAddr, Options{})
+	t.Cleanup(recProxy.Close)
+	authProxy := Attach(meta, n, CaptureResponses, recAddr, Options{})
+	t.Cleanup(authProxy.Close)
+
+	// Queries arrive at the meta server over the (oqda, meta) link after
+	// the OQDA rewrite; impair only that link so replies travel clean.
+	if err := n.SetLinkImpairment(oqda, metaAddr, imp); err != nil {
+		t.Fatal(err)
+	}
+
+	meta.Handle(func(d netsim.Datagram) {
+		meta.Send(netsim.Datagram{
+			Src:     netip.AddrPortFrom(metaAddr, 53),
+			Dst:     d.Src,
+			Payload: d.Payload,
+		})
+	})
+	replies := make(chan netsim.Datagram, 1024)
+	rec.Handle(func(d netsim.Datagram) { replies <- d })
+	return n, rec, replies
+}
+
+func sendQueries(rec *netsim.Node, total int) {
+	for i := 0; i < total; i++ {
+		rec.Send(netsim.Datagram{
+			Src:     netip.AddrPortFrom(recAddr, uint16(10000+i)),
+			Dst:     netip.AddrPortFrom(oqda, 53),
+			Payload: []byte{byte(i), byte(i >> 8)},
+		})
+	}
+}
+
+func drainReplies(replies chan netsim.Datagram, wait time.Duration) int {
+	got := 0
+	for {
+		select {
+		case <-replies:
+			got++
+		case <-time.After(wait):
+			return got
+		}
+	}
+}
+
+// TestProxyLossAccounting: dropped datagrams behind the proxy are charged
+// to the impairment stats while the proxy itself counts a clean forward
+// for every captured query.
+func TestProxyLossAccounting(t *testing.T) {
+	n, rec, replies := impairedFig2(t, netsim.Impairment{Drop: 1, Seed: 7})
+	const total = 20
+	sendQueries(rec, total)
+	if got := drainReplies(replies, 300*time.Millisecond); got != 0 {
+		t.Errorf("replies = %d through a blackholed query link", got)
+	}
+	st := n.ImpairStats()
+	if st.Offered != total || st.Dropped != total {
+		t.Errorf("impair stats = %+v, want %d offered and dropped", st, total)
+	}
+	if n.Dropped() != 0 {
+		t.Errorf("route drops = %d; impairment loss must not count as routing failure", n.Dropped())
+	}
+	if ls := n.LinkImpairStats(oqda, metaAddr); ls.Dropped != total {
+		t.Errorf("per-link dropped = %d, want %d", ls.Dropped, total)
+	}
+}
+
+// TestProxyDuplicationDelivery: dup=1 doubles every query behind the
+// proxy; the echo meta server answers each copy, so the recursive sees
+// twice the replies and the duplication is visible in the counters.
+func TestProxyDuplicationDelivery(t *testing.T) {
+	n, rec, replies := impairedFig2(t, netsim.Impairment{Duplicate: 1, Seed: 7})
+	const total = 10
+	sendQueries(rec, total)
+	got := drainReplies(replies, 500*time.Millisecond)
+	if got != 2*total {
+		t.Errorf("replies = %d, want %d (every query duplicated)", got, 2*total)
+	}
+	st := n.ImpairStats()
+	if st.Duplicated != total {
+		t.Errorf("duplicated = %d, want %d", st.Duplicated, total)
+	}
+}

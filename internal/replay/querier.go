@@ -123,12 +123,36 @@ func (q *querier) send(e trace.Entry) {
 	}
 }
 
-// udpSocket is one emulated UDP source.
+// udpSocket is one emulated UDP source. It tracks in-flight queries by
+// DNS message ID so unanswered queries can be retransmitted with
+// exponential backoff and duplicated responses are recognized instead of
+// double-counted.
 type udpSocket struct {
 	conn *net.UDPConn
 	// lastSend is the UnixNano of the most recent write, consumed (once)
 	// by the reader to produce a round-trip latency sample.
 	lastSend atomic.Int64
+
+	mu      sync.Mutex
+	closed  bool
+	pending map[uint16]*pendingQuery
+	// answered remembers recently answered IDs (bounded ring) so a
+	// duplicate of an already-answered response is counted as such.
+	answered     map[uint16]struct{}
+	answeredRing [answeredRingSize]uint16
+	answeredN    int
+	answeredLen  int
+}
+
+// answeredRingSize bounds the recently-answered ID memory per socket.
+const answeredRingSize = 1024
+
+// pendingQuery is one in-flight UDP query awaiting its response.
+type pendingQuery struct {
+	// wire is retained only when retransmission is enabled.
+	wire    []byte
+	attempt int
+	timer   *time.Timer
 }
 
 func (q *querier) sendUDP(e trace.Entry) error {
@@ -148,7 +172,11 @@ func (q *querier) sendUDP(e trace.Entry) error {
 		if err != nil {
 			return err
 		}
-		sock = &udpSocket{conn: conn}
+		sock = &udpSocket{
+			conn:     conn,
+			pending:  make(map[uint16]*pendingQuery),
+			answered: make(map[uint16]struct{}),
+		}
 		q.mu.Lock()
 		// Re-check under the lock; a racing send for the same source wins.
 		if existing := q.udp[key]; existing != nil {
@@ -166,8 +194,104 @@ func (q *querier) sendUDP(e trace.Entry) error {
 	_, err := sock.conn.Write(e.Message)
 	if err == nil {
 		sock.lastSend.Store(time.Now().UnixNano())
+		q.trackUDP(sock, e.Message)
 	}
 	return err
+}
+
+// trackUDP registers a just-sent query in the socket's pending table and,
+// when retransmission is enabled, arms its retry timer.
+func (q *querier) trackUDP(sock *udpSocket, msg []byte) {
+	if len(msg) < 2 {
+		return
+	}
+	id := uint16(msg[0])<<8 | uint16(msg[1])
+	retrans := q.en.cfg.UDPRetries > 0
+	pq := &pendingQuery{}
+	if retrans {
+		pq.wire = append([]byte(nil), msg...)
+	}
+	sock.mu.Lock()
+	if sock.closed {
+		sock.mu.Unlock()
+		return
+	}
+	// An ID reused by a later query supersedes the older in-flight one.
+	if old := sock.pending[id]; old != nil && old.timer != nil {
+		old.timer.Stop()
+	}
+	delete(sock.answered, id)
+	sock.pending[id] = pq
+	if retrans {
+		pq.timer = time.AfterFunc(q.en.cfg.UDPRetryTimeout, func() {
+			q.retransmitUDP(sock, id, pq)
+		})
+	}
+	sock.mu.Unlock()
+}
+
+// retransmitUDP re-sends a still-pending query or gives up once the retry
+// budget is spent.
+func (q *querier) retransmitUDP(sock *udpSocket, id uint16, pq *pendingQuery) {
+	sock.mu.Lock()
+	if sock.closed || sock.pending[id] != pq {
+		sock.mu.Unlock()
+		return
+	}
+	if pq.attempt >= q.en.cfg.UDPRetries {
+		delete(sock.pending, id)
+		sock.mu.Unlock()
+		q.en.giveups.Add(1)
+		return
+	}
+	pq.attempt++
+	// Exponential backoff: timeout doubles with each retransmission.
+	pq.timer = time.AfterFunc(q.en.cfg.UDPRetryTimeout<<pq.attempt, func() {
+		q.retransmitUDP(sock, id, pq)
+	})
+	wire := pq.wire
+	sock.mu.Unlock()
+	if _, err := sock.conn.Write(wire); err != nil {
+		return // socket is closing; drain accounting covers the query
+	}
+	q.en.udpRetransmits.Add(1)
+	sock.lastSend.Store(time.Now().UnixNano())
+}
+
+// markAnswered settles a response against the pending table. It reports
+// whether the response is fresh (true) or a duplicate of an already
+// answered query (false). Unknown IDs count as fresh: traces replayed
+// without tracking context (e.g. ID reuse races) keep legacy accounting.
+func (sock *udpSocket) markAnswered(id uint16) bool {
+	sock.mu.Lock()
+	defer sock.mu.Unlock()
+	if pq := sock.pending[id]; pq != nil {
+		if pq.timer != nil {
+			pq.timer.Stop()
+		}
+		delete(sock.pending, id)
+		sock.rememberAnswered(id)
+		return true
+	}
+	if _, dup := sock.answered[id]; dup {
+		return false
+	}
+	sock.rememberAnswered(id)
+	return true
+}
+
+// rememberAnswered records id in the bounded answered ring; callers hold
+// sock.mu.
+func (sock *udpSocket) rememberAnswered(id uint16) {
+	if sock.answeredLen == answeredRingSize {
+		evict := sock.answeredRing[sock.answeredN]
+		delete(sock.answered, evict)
+	} else {
+		sock.answeredLen++
+	}
+	sock.answeredRing[sock.answeredN] = id
+	sock.answeredN = (sock.answeredN + 1) % answeredRingSize
+	sock.answered[id] = struct{}{}
 }
 
 func (q *querier) readUDP(sock *udpSocket) {
@@ -177,6 +301,13 @@ func (q *querier) readUDP(sock *udpSocket) {
 		n, err := sock.conn.Read(buf)
 		if err != nil {
 			return
+		}
+		if n >= 2 {
+			id := uint16(buf[0])<<8 | uint16(buf[1])
+			if !sock.markAnswered(id) {
+				q.en.dupResponses.Add(1)
+				continue
+			}
 		}
 		q.en.responses.Add(1)
 		q.recordRTT(&sock.lastSend)
@@ -221,7 +352,7 @@ func (q *querier) sendStream(e trace.Entry) error {
 	}
 	key := sourceKey{addr: e.Src.Addr().String(), proto: e.Protocol}
 
-	for attempt := 0; attempt < 2; attempt++ {
+	for attempt := 0; attempt < q.en.cfg.StreamAttempts; attempt++ {
 		sc, err := q.getStream(key, e.Protocol, target)
 		if err != nil {
 			return err
@@ -340,10 +471,19 @@ func (q *querier) idleCloser(key sourceKey, sc *streamConn) {
 	}
 }
 
-// closeSockets tears down all sockets after the drain grace period.
+// closeSockets tears down all sockets after the drain grace period,
+// stopping any armed retransmission timers first.
 func (q *querier) closeSockets() {
 	q.mu.Lock()
 	for _, s := range q.udp {
+		s.mu.Lock()
+		s.closed = true
+		for _, pq := range s.pending {
+			if pq.timer != nil {
+				pq.timer.Stop()
+			}
+		}
+		s.mu.Unlock()
 		s.conn.Close()
 	}
 	conns := make([]*streamConn, 0, len(q.conn))
@@ -367,4 +507,4 @@ func (e errNoTarget) Error() string {
 
 type errConnBroken struct{}
 
-func (errConnBroken) Error() string { return "replay: connection broke twice" }
+func (errConnBroken) Error() string { return "replay: connection broke on every attempt" }

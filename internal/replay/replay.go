@@ -65,6 +65,19 @@ type Config struct {
 	// Default 20s (the paper's reference timeout).
 	IdleTimeout time.Duration
 
+	// UDPRetries is the number of retransmissions an unanswered UDP query
+	// gets after its first send, stub-resolver style: retransmit after
+	// UDPRetryTimeout, doubling the wait each time, then give up. 0 (the
+	// default) disables retransmission — fire and forget, as before.
+	UDPRetries int
+	// UDPRetryTimeout is the wait before the first retransmission.
+	// Default 250ms when UDPRetries > 0.
+	UDPRetryTimeout time.Duration
+	// StreamAttempts is how many times a TCP/TLS send is attempted across
+	// reconnects before the query errors out. Default 2 (one reconnect),
+	// the original hard-coded behavior.
+	StreamAttempts int
+
 	// FastMode disables timing and sends queries as fast as possible
 	// (§2.6 load-testing option; the Figure 9 throughput mode).
 	FastMode bool
@@ -91,21 +104,33 @@ type Stats struct {
 	Retries     int64
 	IdleClosed  int64
 	Unanswered  int64
-	Sources     int
-	Duration    time.Duration
+	// UDPRetransmits counts UDP queries re-sent after a retry timeout.
+	UDPRetransmits int64
+	// Giveups counts UDP queries abandoned after the retransmission
+	// budget was exhausted (a subset of Unanswered).
+	Giveups int64
+	// Duplicates counts responses discarded because their query was
+	// already answered (e.g. a duplicated datagram on the path); they are
+	// not in Responses, so duplication never double-counts.
+	Duplicates int64
+	Sources    int
+	Duration   time.Duration
 }
 
 // Engine replays traces against live servers.
 type Engine struct {
 	cfg Config
 
-	sent        atomic.Int64
-	responses   atomic.Int64
-	errorsCount atomic.Int64
-	connsOpened atomic.Int64
-	retries     atomic.Int64
-	idleClosed  atomic.Int64
-	unanswered  atomic.Int64
+	sent           atomic.Int64
+	responses      atomic.Int64
+	errorsCount    atomic.Int64
+	connsOpened    atomic.Int64
+	retries        atomic.Int64
+	idleClosed     atomic.Int64
+	unanswered     atomic.Int64
+	udpRetransmits atomic.Int64
+	giveups        atomic.Int64
+	dupResponses   atomic.Int64
 
 	// latency, when instrumented, records send→response round trips in
 	// nanoseconds. The measurement is per-socket (last send timestamp), so
@@ -133,6 +158,9 @@ func (en *Engine) Instrument(reg *obs.Registry) {
 	reg.CounterFunc("ldplayer_retries_total", "", "stream sends retried on a fresh connection", en.retries.Load)
 	reg.CounterFunc("ldplayer_idle_closed_total", "", "stream connections closed by the idle timeout", en.idleClosed.Load)
 	reg.CounterFunc("ldplayer_unanswered_total", "", "queries still unanswered at the drain deadline", en.unanswered.Load)
+	reg.CounterFunc("ldplayer_udp_retransmits_total", "", "UDP queries re-sent after a retry timeout", en.udpRetransmits.Load)
+	reg.CounterFunc("ldplayer_giveups_total", "", "UDP queries abandoned after the retransmission budget", en.giveups.Load)
+	reg.CounterFunc("ldplayer_dup_responses_total", "", "responses discarded as duplicates of an answered query", en.dupResponses.Load)
 	reg.GaugeFunc("ldplayer_in_flight", "", "queries sent and not yet answered", func() int64 {
 		if d := en.sent.Load() - en.responses.Load(); d > 0 {
 			return d
@@ -158,6 +186,15 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 500 * time.Millisecond
+	}
+	if cfg.UDPRetries < 0 {
+		cfg.UDPRetries = 0
+	}
+	if cfg.UDPRetries > 0 && cfg.UDPRetryTimeout <= 0 {
+		cfg.UDPRetryTimeout = 250 * time.Millisecond
+	}
+	if cfg.StreamAttempts <= 0 {
+		cfg.StreamAttempts = 2
 	}
 	if cfg.UDPTarget == "" && cfg.TCPTarget == "" && cfg.TLSTarget == "" {
 		return nil, errors.New("replay: no targets configured")
@@ -185,6 +222,9 @@ func (en *Engine) Replay(ctx context.Context, r trace.Reader) (*Stats, error) {
 	en.retries.Store(0)
 	en.idleClosed.Store(0)
 	en.unanswered.Store(0)
+	en.udpRetransmits.Store(0)
+	en.giveups.Store(0)
+	en.dupResponses.Store(0)
 
 	start := time.Now()
 
@@ -280,9 +320,13 @@ loop:
 	}
 
 	// Give in-flight responses a grace period, then shut sockets down.
-	if en.responses.Load() < en.sent.Load() && en.cfg.OnResponse != nil || en.cfg.DrainTimeout > 0 {
+	// Only sleep while something is actually outstanding: an all-answered
+	// (or all-given-up) run must exit immediately, and a blackholed run
+	// must terminate at the deadline with correct unanswered accounting
+	// rather than hang.
+	if en.cfg.DrainTimeout > 0 && en.outstanding() > 0 {
 		deadline := time.Now().Add(en.cfg.DrainTimeout)
-		for time.Now().Before(deadline) && en.responses.Load() < en.sent.Load() {
+		for time.Now().Before(deadline) && en.outstanding() > 0 {
 			time.Sleep(5 * time.Millisecond)
 		}
 	}
@@ -294,17 +338,26 @@ loop:
 	}
 
 	st := &Stats{
-		Sent:        en.sent.Load(),
-		Responses:   en.responses.Load(),
-		Errors:      en.errorsCount.Load(),
-		ConnsOpened: en.connsOpened.Load(),
-		Retries:     en.retries.Load(),
-		IdleClosed:  en.idleClosed.Load(),
-		Unanswered:  en.unanswered.Load(),
-		Sources:     sources.count(),
-		Duration:    time.Since(start),
+		Sent:           en.sent.Load(),
+		Responses:      en.responses.Load(),
+		Errors:         en.errorsCount.Load(),
+		ConnsOpened:    en.connsOpened.Load(),
+		Retries:        en.retries.Load(),
+		IdleClosed:     en.idleClosed.Load(),
+		Unanswered:     en.unanswered.Load(),
+		UDPRetransmits: en.udpRetransmits.Load(),
+		Giveups:        en.giveups.Load(),
+		Duplicates:     en.dupResponses.Load(),
+		Sources:        sources.count(),
+		Duration:       time.Since(start),
 	}
 	return st, err
+}
+
+// outstanding is the number of sent queries neither answered nor given
+// up — what the drain grace period is actually waiting for.
+func (en *Engine) outstanding() int64 {
+	return en.sent.Load() - en.responses.Load() - en.giveups.Load()
 }
 
 // sourceTracker counts distinct original sources across the run.

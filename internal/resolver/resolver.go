@@ -37,8 +37,18 @@ type Config struct {
 	MaxIterations int
 	// MaxCNAME bounds cross-zone CNAME restarts (default 8).
 	MaxCNAME int
-	// QueryTimeout bounds a single exchange (default 2s).
+	// QueryTimeout bounds a whole exchange with one server, across all
+	// its attempts (default 2s).
 	QueryTimeout time.Duration
+	// AttemptsPerServer is how many times one exchange retries a server
+	// with exponentially growing per-attempt timeouts before failing the
+	// exchange — at which point the resolve loop fails over to the next
+	// server of the NS set. Default 2.
+	AttemptsPerServer int
+	// AttemptTimeout bounds the first attempt; each retry doubles it
+	// (capped by QueryTimeout overall). Default QueryTimeout divided by
+	// AttemptsPerServer.
+	AttemptTimeout time.Duration
 	// Now supplies time (for cache TTLs); defaults to time.Now.
 	Now func() time.Time
 	// Rand selects among equivalent nameservers; defaults to a private
@@ -56,6 +66,13 @@ type Resolver struct {
 	rng *rand.Rand
 
 	queriesSent int64
+
+	// retries counts attempts re-sent to the same server after a
+	// per-attempt timeout; giveups counts exchanges abandoned after every
+	// attempt failed (each giveup triggers next-server failover in the
+	// resolve loop).
+	retries atomic.Int64
+	giveups atomic.Int64
 
 	// depth, when instrumented, records the upstream exchange count of
 	// each top-level resolution (0 = pure cache hit), so the histogram's
@@ -79,6 +96,8 @@ func (r *Resolver) Instrument(reg *obs.Registry) {
 		return m
 	})
 	reg.CounterFunc("resolver_queries_sent_total", "", "upstream queries issued", r.QueriesSent)
+	reg.CounterFunc("resolver_retries_total", "", "per-attempt timeouts retried against the same server", r.retries.Load)
+	reg.CounterFunc("resolver_giveups_total", "", "exchanges abandoned after all attempts (next-server failover)", r.giveups.Load)
 	reg.GaugeFunc("resolver_cache_entries", "", "live RRset cache entries", func() int64 {
 		return int64(r.cache.Len())
 	})
@@ -118,6 +137,12 @@ func New(cfg Config) (*Resolver, error) {
 	if cfg.QueryTimeout <= 0 {
 		cfg.QueryTimeout = 2 * time.Second
 	}
+	if cfg.AttemptsPerServer <= 0 {
+		cfg.AttemptsPerServer = 2
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = cfg.QueryTimeout / time.Duration(cfg.AttemptsPerServer)
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -138,6 +163,14 @@ func (r *Resolver) QueriesSent() int64 {
 	defer r.mu.Unlock()
 	return r.queriesSent
 }
+
+// Retries returns the number of per-attempt timeouts retried against the
+// same server.
+func (r *Resolver) Retries() int64 { return r.retries.Load() }
+
+// Giveups returns the number of exchanges abandoned after every attempt
+// failed.
+func (r *Resolver) Giveups() int64 { return r.giveups.Load() }
 
 // Resolve answers (name, type) iteratively.
 func (r *Resolver) Resolve(ctx context.Context, name string, qtype dnswire.Type) (*Answer, error) {
@@ -261,23 +294,45 @@ func (r *Resolver) intn(n int) int {
 	return r.rng.Intn(n)
 }
 
+// exchange performs one query/response exchange with server: up to
+// AttemptsPerServer attempts, each bounded by an exponentially growing
+// per-attempt timeout, the whole exchange bounded by QueryTimeout. When
+// every attempt fails the caller (the resolve loop) rotates to the next
+// server of the NS set — per-attempt timeout plus next-server failover,
+// the way production resolvers survive lossy paths and dead servers.
 func (r *Resolver) exchange(ctx context.Context, server netip.AddrPort, qname string, qtype dnswire.Type) (*dnswire.Message, error) {
 	r.mu.Lock()
 	id := uint16(r.rng.Intn(1 << 16))
-	r.queriesSent++
 	r.mu.Unlock()
 	q := dnswire.NewQuery(id, qname, qtype)
 	q.Header.RD = false // iterative
 	ctx, cancel := context.WithTimeout(ctx, r.cfg.QueryTimeout)
 	defer cancel()
-	resp, err := r.cfg.Exchanger.Exchange(ctx, server, q)
-	if err != nil {
-		return nil, err
+
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.AttemptsPerServer; attempt++ {
+		r.mu.Lock()
+		r.queriesSent++
+		r.mu.Unlock()
+		actx, acancel := context.WithTimeout(ctx, r.cfg.AttemptTimeout<<attempt)
+		resp, err := r.cfg.Exchanger.Exchange(actx, server, q)
+		acancel()
+		if err == nil {
+			if resp.Header.ID != id {
+				return nil, fmt.Errorf("resolver: response ID mismatch")
+			}
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break // whole-exchange deadline or parent cancellation
+		}
+		if attempt+1 < r.cfg.AttemptsPerServer {
+			r.retries.Add(1)
+		}
 	}
-	if resp.Header.ID != id {
-		return nil, fmt.Errorf("resolver: response ID mismatch")
-	}
-	return resp, nil
+	r.giveups.Add(1)
+	return nil, lastErr
 }
 
 // responseKind classifies an upstream response.

@@ -1,0 +1,143 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ldplayer/internal/authserver"
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/netsim"
+	"ldplayer/internal/proxy"
+	"ldplayer/internal/zone"
+)
+
+// flakyExchanger fails every odd-numbered exchange attempt, so each
+// upstream exchange needs exactly one same-server retry to succeed.
+type flakyExchanger struct {
+	inner Exchanger
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *flakyExchanger) Exchange(ctx context.Context, server netip.AddrPort, q *dnswire.Message) (*dnswire.Message, error) {
+	f.mu.Lock()
+	f.calls++
+	fail := f.calls%2 == 1
+	f.mu.Unlock()
+	if fail {
+		return nil, errors.New("transient loss")
+	}
+	return f.inner.Exchange(ctx, server, q)
+}
+
+// TestResolverRetriesFlakyTransport: with per-attempt retries, a
+// transport that loses every first attempt still resolves, and the retry
+// counters account for every re-send.
+func TestResolverRetriesFlakyTransport(t *testing.T) {
+	flaky := &flakyExchanger{inner: buildHierarchy(t)}
+	r, err := New(Config{
+		Roots:             []netip.Addr{rootNS},
+		Exchanger:         flaky,
+		AttemptsPerServer: 2,
+		AttemptTimeout:    time.Second,
+		Rand:              rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := r.Resolve(context.Background(), "www.example.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Records) != 1 || ans.Records[0].Data.String() != "192.0.2.80" {
+		t.Errorf("answer = %+v", ans)
+	}
+	if ans.Upstream != 3 {
+		t.Errorf("upstream = %d, want 3", ans.Upstream)
+	}
+	if got := r.Retries(); got != 3 {
+		t.Errorf("retries = %d, want 3 (one per exchange)", got)
+	}
+	if got := r.Giveups(); got != 0 {
+		t.Errorf("giveups = %d", got)
+	}
+	// Every attempt is an upstream query: 3 exchanges x 2 attempts.
+	if got := r.QueriesSent(); got != 6 {
+		t.Errorf("queries sent = %d, want 6", got)
+	}
+}
+
+// TestResolverGiveupOnBlackholedRoot runs the full netsim pipeline with a
+// 100%-loss impairment on the root's query link: every attempt times out
+// per-attempt, the exchange gives up, and the resolve loop fails with no
+// servers left — quickly, not hanging on the whole-query timeout.
+func TestResolverGiveupOnBlackholedRoot(t *testing.T) {
+	recAddr := netip.MustParseAddr("10.1.0.1")
+	metaAddr := netip.MustParseAddr("10.2.0.1")
+
+	n := netsim.New(0)
+	defer n.Close()
+	recNode, err := n.AddNode("recursive", recAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaNode, err := n.AddNode("meta-dns", metaAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recProxy := proxy.Attach(recNode, n, proxy.CaptureQueries, metaAddr, proxy.Options{})
+	defer recProxy.Close()
+	authProxy := proxy.Attach(metaNode, n, proxy.CaptureResponses, recAddr, proxy.Options{})
+	defer authProxy.Close()
+
+	z, err := zone.Parse(strings.NewReader(rootText), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := authserver.NewEngine()
+	if err := engine.AddView(&authserver.View{Name: "root", Sources: []netip.Addr{rootNS}, Zones: []*zone.Zone{z}}); err != nil {
+		t.Fatal(err)
+	}
+	authserver.AttachNetsim(engine, metaNode)
+
+	// Post-OQDA-rewrite, queries to the root traverse the (rootNS, meta)
+	// link; blackhole it.
+	if err := n.SetLinkImpairment(rootNS, metaAddr, netsim.Impairment{Drop: 1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := New(Config{
+		Roots:             []netip.Addr{rootNS},
+		Exchanger:         NewNetsimExchanger(recNode, recAddr),
+		QueryTimeout:      300 * time.Millisecond,
+		AttemptsPerServer: 2,
+		AttemptTimeout:    50 * time.Millisecond,
+		Rand:              rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = r.Resolve(context.Background(), "www.example.com.", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("resolution through a blackholed root succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("giveup took %v; per-attempt timeouts should bound it", elapsed)
+	}
+	if got := r.Retries(); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+	if got := r.Giveups(); got != 1 {
+		t.Errorf("giveups = %d, want 1", got)
+	}
+	if st := n.ImpairStats(); st.Dropped < 2 {
+		t.Errorf("impairment dropped %d, want both attempts", st.Dropped)
+	}
+}
