@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench obs-smoke fuzz-smoke
+.PHONY: check vet build test race bench-smoke bench-replay bench-replay-smoke bench obs-smoke fuzz-smoke
 
-check: vet build race bench-smoke obs-smoke fuzz-smoke
+check: vet build race bench-smoke bench-replay-smoke obs-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,16 @@ obs-smoke:
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz 'FuzzMessageUnpack$$' -fuzztime 5s ./internal/dnswire/
 	$(GO) test -run XXX -fuzz 'FuzzPackUnpackRoundTrip$$' -fuzztime 5s ./internal/dnswire/
+
+# One-second replay-datapath smoke: runs the scaled-down loopback suite
+# end to end (engine, wheel, batched I/O, sink) and validates the JSON it
+# would record, without touching BENCH_replay.json.
+bench-replay-smoke:
+	$(GO) run ./cmd/ldplayer bench -smoke >/dev/null && echo "bench-replay-smoke: ok"
+
+# Full replay benchmark: appends a labeled run to BENCH_replay.json.
+bench-replay:
+	$(GO) run ./cmd/ldplayer bench -label "$${LABEL:-dev}"
 
 # Full benchmark sweep (regenerates the paper's tables and figures).
 bench:

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"ldplayer/internal/obs"
 	"ldplayer/internal/pcap"
 	"ldplayer/internal/replay"
+	"ldplayer/internal/replay/bench"
 	"ldplayer/internal/trace"
 	"ldplayer/internal/traceg"
 )
@@ -49,6 +51,8 @@ func main() {
 		err = cmdMutate(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
 	case "demo":
@@ -64,11 +68,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ldplayer <gen|stats|mutate|replay|experiment|demo> [flags]
+	fmt.Fprintln(os.Stderr, `usage: ldplayer <gen|stats|mutate|replay|bench|experiment|demo> [flags]
   gen        -kind broot|rec|syn -out FILE synthesize a Table-1 trace family
   stats      -in FILE                      print Table-1 style statistics
   mutate     -in FILE -out FILE [flags]    rewrite a trace (protocol, DO, tags)
   replay     -in FILE -udp HOST:PORT ...   replay against live servers
+  bench      -label NAME [-out FILE]       loopback replay self-benchmark
   experiment -name NAME                    regenerate a paper figure/table
   demo                                     end-to-end self-contained demo`)
 }
@@ -374,6 +379,62 @@ func cmdReplay(args []string) error {
 		fmt.Printf("impairment: offered=%d dropped=%d duplicated=%d reordered=%d corrupted=%d\n",
 			is.Offered, is.Dropped, is.Duplicated, is.Reordered, is.Corrupted)
 	}
+	return nil
+}
+
+// cmdBench runs the loopback replay self-benchmark and records the
+// results in a BENCH_replay.json trajectory file. -smoke runs a scaled-
+// down suite, validates the JSON it would write, and prints it to stdout
+// without touching the trajectory file (the CI gate).
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	label := fs.String("label", "dev", "trajectory label for this run (e.g. baseline, batched-io)")
+	out := fs.String("out", "BENCH_replay.json", "trajectory file to append to")
+	smoke := fs.Bool("smoke", false, "short run: validate JSON output, write nothing")
+	scale := fs.Float64("scale", 1, "scale factor for the suite's trace sizes")
+	fs.Parse(args)
+
+	sc := *scale
+	if *smoke {
+		sc = 0.04 // ~1 second of work
+	}
+	results, err := bench.Suite(sc)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		mode := fmt.Sprintf("paced @%.0f q/s", r.Rate)
+		if r.FastMode {
+			mode = "fast mode"
+		}
+		fmt.Printf("%-12s %s: %.0f q/s, sched err p50=%.0fµs p99=%.0fµs, %.1f allocs/query (%d sent, %d responses)\n",
+			r.Name, mode, r.AchievedQPS, r.P50SchedErrUS, r.P99SchedErrUS, r.AllocsPerQuery, r.Sent, r.Responses)
+	}
+
+	if *smoke {
+		rep := bench.NewReport()
+		rep.Append("smoke", results)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := bench.Validate(data); err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		fmt.Println("bench smoke: JSON output validates")
+		return nil
+	}
+
+	rep, err := bench.LoadReport(*out)
+	if err != nil {
+		return err
+	}
+	rep.Append(*label, results)
+	if err := rep.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %q in %s\n", *label, *out)
 	return nil
 }
 

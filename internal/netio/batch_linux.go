@@ -1,0 +1,378 @@
+//go:build linux && (amd64 || arm64)
+
+package netio
+
+import (
+	"net"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// BatchSyscalls reports whether this build uses real sendmmsg/recvmmsg.
+const BatchSyscalls = true
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-written
+// received-length field. The trailing pad keeps the array stride at the
+// kernel's 8-byte alignment.
+type mmsghdr struct {
+	hdr    syscall.Msghdr
+	msgLen uint32
+	_      [4]byte
+}
+
+// UDP-level socket options for generic segmentation/receive offload
+// (linux/udp.h). With UDP_SEGMENT a single send carries many equal-size
+// datagrams in one skb; with UDP_GRO the receiving socket accepts that
+// skb whole and reports the segment size via cmsg. On loopback the two
+// together let a super-packet cross the stack without ever being
+// segmented, collapsing the per-datagram kernel cost on both sides.
+const (
+	solUDP     = 17
+	udpSegment = 103
+	udpGRO     = 104
+
+	// gsoMaxSegs is the kernel's UDP_MAX_SEGMENTS floor (64 until 5.19).
+	gsoMaxSegs = 64
+	// gsoMaxBytes keeps a segmented send under the IPv4 datagram limit.
+	gsoMaxBytes = 60000
+)
+
+// cmsgSeg is one aligned control-message slot: a cmsghdr plus room for
+// the UDP_SEGMENT (__u16) or UDP_GRO (int) payload. Struct layout keeps
+// the data field naturally aligned; both supported GOARCHes are
+// little-endian, so storing uint32(v) yields the right __u16 bytes.
+type cmsgSeg struct {
+	hdr  syscall.Cmsghdr
+	data uint32
+	_    [4]byte
+}
+
+const (
+	cmsgSegSpace = int(unsafe.Sizeof(cmsgSeg{}))
+	cmsgLenU16   = syscall.SizeofCmsghdr + 2
+	cmsgLenInt   = syscall.SizeofCmsghdr + 4
+)
+
+// UDPBatch is a batched I/O facade over one UDP socket.
+type UDPBatch struct {
+	conn *net.UDPConn
+	rc   syscall.RawConn
+
+	// gso/gro record whether the kernel accepted the respective socket
+	// options at construction time; when false the corresponding path
+	// degrades to plain per-datagram sendmmsg/recvmmsg.
+	gso bool
+	gro bool
+
+	// send state
+	sendIovs []syscall.Iovec
+	sendHdrs []mmsghdr
+	sendCtl  []cmsgSeg
+	sendRuns []int // messages carried by each staged header
+
+	// receive state
+	bufs     [][]byte
+	recvIovs []syscall.Iovec
+	recvHdrs []mmsghdr
+	recvCtl  []cmsgSeg
+	lens     []int
+	segs     []int // GRO segment size per received buffer (0 = plain)
+
+	// peer-address state (withAddrs only): raw sockaddr storage written
+	// by recvmmsg and echoed back verbatim by sendmmsg.
+	names    [][]byte
+	echoIovs []syscall.Iovec
+	echoHdrs []mmsghdr
+	echoCtl  []cmsgSeg
+
+	// Prebuilt RawConn callbacks with their in/out parameters staged in
+	// the fields below: a literal closure passed to rc.Read/rc.Write
+	// escapes and costs one heap allocation per syscall batch, which at
+	// replay rates is an allocation per query.
+	sendFn    func(fd uintptr) bool
+	sendChunk int // in: headers staged in sendHdrs
+	sendDone  int // out: headers submitted
+	sendErr   error
+	recvFn    func(fd uintptr) bool
+	recvGot   int // out: messages received
+	recvErr   error
+	echoFn    func(fd uintptr) bool
+	echoN     int // in: messages staged in echoIovs
+	echoDone  int // out: messages submitted
+	echoErr   error
+}
+
+// sockaddrStorage is large enough for any AF_INET/AF_INET6 sockaddr.
+const sockaddrStorage = 28
+
+// NewUDPBatch builds batched I/O state for c: up to sendN messages per
+// send call, recvN buffers per receive call, each receive buffer bufSize
+// bytes. withAddrs enables peer-address capture (required for Echo on
+// unconnected sockets). When the kernel supports it, sends coalesce runs
+// of equal-size messages into single GSO super-datagrams and receives
+// accept coalesced buffers — size receive buffers for up to 64 segments
+// per buffer when responses may arrive coalesced.
+func NewUDPBatch(c *net.UDPConn, sendN, recvN, bufSize int, withAddrs bool) (*UDPBatch, error) {
+	sendN, n, bufSize := clampBatch(sendN, recvN, bufSize)
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	b := &UDPBatch{
+		conn:     c,
+		rc:       rc,
+		sendIovs: make([]syscall.Iovec, sendN),
+		sendHdrs: make([]mmsghdr, sendN),
+		sendCtl:  make([]cmsgSeg, sendN),
+		sendRuns: make([]int, sendN),
+		recvIovs: make([]syscall.Iovec, n),
+		recvHdrs: make([]mmsghdr, n),
+		recvCtl:  make([]cmsgSeg, n),
+		lens:     make([]int, n),
+		segs:     make([]int, n),
+	}
+	// Probe segmentation offload support: setting a zero segment size is
+	// a no-op on kernels that know the option and ENOPROTOOPT on ones
+	// that don't. GRO is enabled for the socket's lifetime.
+	ctlErr := rc.Control(func(fd uintptr) {
+		if syscall.SetsockoptInt(int(fd), solUDP, udpSegment, 0) == nil {
+			b.gso = true
+		}
+		if syscall.SetsockoptInt(int(fd), solUDP, udpGRO, 1) == nil {
+			b.gro = true
+		}
+	})
+	if ctlErr != nil {
+		return nil, ctlErr
+	}
+	slab := make([]byte, n*bufSize)
+	b.bufs = make([][]byte, n)
+	for i := range b.bufs {
+		b.bufs[i] = slab[i*bufSize : (i+1)*bufSize : (i+1)*bufSize]
+	}
+	for i := range b.recvHdrs {
+		b.recvIovs[i].Base = &b.bufs[i][0]
+		b.recvIovs[i].SetLen(bufSize)
+		b.recvHdrs[i].hdr.Iov = &b.recvIovs[i]
+		b.recvHdrs[i].hdr.Iovlen = 1
+	}
+	if withAddrs {
+		nameSlab := make([]byte, n*sockaddrStorage)
+		b.names = make([][]byte, n)
+		b.echoIovs = make([]syscall.Iovec, n)
+		b.echoHdrs = make([]mmsghdr, n)
+		b.echoCtl = make([]cmsgSeg, n)
+		for i := range b.names {
+			b.names[i] = nameSlab[i*sockaddrStorage : (i+1)*sockaddrStorage]
+			b.recvHdrs[i].hdr.Name = &b.names[i][0]
+			b.echoHdrs[i].hdr.Iov = &b.echoIovs[i]
+			b.echoHdrs[i].hdr.Iovlen = 1
+			b.echoHdrs[i].hdr.Name = &b.names[i][0]
+		}
+	}
+	b.sendFn = func(fd uintptr) bool {
+		for b.sendDone < b.sendChunk {
+			r1, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&b.sendHdrs[b.sendDone])), uintptr(b.sendChunk-b.sendDone), 0, 0, 0)
+			switch {
+			case errno == syscall.EAGAIN:
+				return false
+			case errno == syscall.EINTR:
+				continue
+			case errno != 0:
+				b.sendErr = errno
+				return true
+			}
+			b.sendDone += int(r1)
+		}
+		return true
+	}
+	b.recvFn = func(fd uintptr) bool {
+		for {
+			r1, _, errno := syscall.Syscall6(sysRECVMMSG, fd,
+				uintptr(unsafe.Pointer(&b.recvHdrs[0])), uintptr(len(b.recvHdrs)), 0, 0, 0)
+			switch {
+			case errno == syscall.EAGAIN:
+				return false
+			case errno == syscall.EINTR:
+				continue
+			case errno != 0:
+				b.recvErr = errno
+				return true
+			}
+			b.recvGot = int(r1)
+			return true
+		}
+	}
+	b.echoFn = func(fd uintptr) bool {
+		for b.echoDone < b.echoN {
+			r1, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&b.echoHdrs[b.echoDone])), uintptr(b.echoN-b.echoDone), 0, 0, 0)
+			switch {
+			case errno == syscall.EAGAIN:
+				return false
+			case errno == syscall.EINTR:
+				continue
+			case errno != 0:
+				b.echoErr = errno
+				return true
+			}
+			b.echoDone += int(r1)
+		}
+		return true
+	}
+	return b, nil
+}
+
+// Cap returns the per-call receive message capacity.
+func (b *UDPBatch) Cap() int { return len(b.recvHdrs) }
+
+// stageSeg fills control slot ctl with a UDP_SEGMENT cmsg of size seg
+// and attaches it to hd.
+func stageSeg(hd *syscall.Msghdr, ctl *cmsgSeg, seg int) {
+	ctl.hdr.SetLen(cmsgLenU16)
+	ctl.hdr.Level = solUDP
+	ctl.hdr.Type = udpSegment
+	ctl.data = uint32(seg)
+	hd.Control = (*byte)(unsafe.Pointer(ctl))
+	hd.SetControllen(cmsgSegSpace)
+}
+
+// Send transmits up to len(msgs) datagrams on the (connected) socket in
+// one or more sendmmsg calls, coalescing runs of equal-size messages
+// into GSO super-datagrams when the kernel supports UDP_SEGMENT. It
+// returns the number of messages fully submitted; on a per-message error,
+// sent counts the messages before the failing header and err describes
+// the failure. Send guarantees progress: sent < len(msgs) implies
+// err != nil.
+func (b *UDPBatch) Send(msgs [][]byte) (int, error) {
+	total := 0
+	for total < len(msgs) {
+		h, iov, mi := 0, 0, total
+		for mi < len(msgs) && h < len(b.sendHdrs) && iov < len(b.sendIovs) {
+			sz := len(msgs[mi])
+			run := 1
+			if b.gso && sz > 0 {
+				maxRun := gsoMaxBytes / sz
+				if maxRun > gsoMaxSegs {
+					maxRun = gsoMaxSegs
+				}
+				for mi+run < len(msgs) && run < maxRun && iov+run < len(b.sendIovs) &&
+					len(msgs[mi+run]) == sz {
+					run++
+				}
+			}
+			for k := 0; k < run; k++ {
+				m := msgs[mi+k]
+				if len(m) > 0 {
+					b.sendIovs[iov+k].Base = &m[0]
+				} else {
+					b.sendIovs[iov+k].Base = nil
+				}
+				b.sendIovs[iov+k].SetLen(len(m))
+			}
+			hd := &b.sendHdrs[h].hdr
+			hd.Iov = &b.sendIovs[iov]
+			hd.Iovlen = uint64(run)
+			if run > 1 {
+				stageSeg(hd, &b.sendCtl[h], sz)
+			} else {
+				hd.Control = nil
+				hd.SetControllen(0)
+			}
+			b.sendRuns[h] = run
+			h++
+			iov += run
+			mi += run
+		}
+		b.sendChunk = h
+		b.sendDone = 0
+		b.sendErr = nil
+		err := b.rc.Write(b.sendFn)
+		runtime.KeepAlive(msgs)
+		for i := 0; i < b.sendDone; i++ {
+			total += b.sendRuns[i]
+		}
+		if err == nil {
+			err = b.sendErr
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Recv drains up to Cap() coalesced buffers in one recvmmsg call,
+// blocking until at least one arrives. Buffer i is Msg(i) with GRO
+// segment size SegSize(i); buffers are valid until the next Recv.
+func (b *UDPBatch) Recv() (int, error) {
+	for i := range b.recvHdrs {
+		if b.names != nil {
+			b.recvHdrs[i].hdr.Namelen = sockaddrStorage
+		}
+		if b.gro {
+			b.recvCtl[i].data = 0
+			b.recvHdrs[i].hdr.Control = (*byte)(unsafe.Pointer(&b.recvCtl[i]))
+			b.recvHdrs[i].hdr.SetControllen(cmsgSegSpace)
+		}
+	}
+	b.recvGot = 0
+	b.recvErr = nil
+	err := b.rc.Read(b.recvFn)
+	runtime.KeepAlive(b)
+	if err == nil {
+		err = b.recvErr
+	}
+	if err != nil {
+		return 0, err
+	}
+	got := b.recvGot
+	for i := 0; i < got; i++ {
+		b.lens[i] = int(b.recvHdrs[i].msgLen)
+		b.segs[i] = 0
+		if b.gro && b.recvHdrs[i].hdr.Controllen >= cmsgLenInt &&
+			b.recvCtl[i].hdr.Level == solUDP && b.recvCtl[i].hdr.Type == udpGRO {
+			b.segs[i] = int(int32(b.recvCtl[i].data))
+		}
+	}
+	return got, nil
+}
+
+// Msg returns received buffer i from the last Recv. When SegSize(i) > 0
+// the buffer holds several datagrams of that size (the last possibly
+// shorter) coalesced by GRO.
+func (b *UDPBatch) Msg(i int) []byte { return b.bufs[i][:b.lens[i]] }
+
+// SegSize returns the GRO segment size of received buffer i, or 0 when
+// the buffer is a single plain datagram.
+func (b *UDPBatch) SegSize(i int) int { return b.segs[i] }
+
+// Echo sends back the first n received buffers (possibly modified in
+// place via Msg) to their senders in one or more sendmmsg calls.
+// Coalesced buffers are re-segmented on the wire with their original GRO
+// segment size. Only valid when the UDPBatch was built withAddrs.
+func (b *UDPBatch) Echo(n int) (int, error) {
+	for i := 0; i < n; i++ {
+		b.echoIovs[i].Base = &b.bufs[i][0]
+		b.echoIovs[i].SetLen(b.lens[i])
+		hd := &b.echoHdrs[i].hdr
+		hd.Namelen = b.recvHdrs[i].hdr.Namelen
+		if b.gso && b.segs[i] > 0 && b.segs[i] < b.lens[i] {
+			stageSeg(hd, &b.echoCtl[i], b.segs[i])
+		} else {
+			hd.Control = nil
+			hd.SetControllen(0)
+		}
+	}
+	b.echoN = n
+	b.echoDone = 0
+	b.echoErr = nil
+	err := b.rc.Write(b.echoFn)
+	runtime.KeepAlive(b)
+	if err == nil {
+		err = b.echoErr
+	}
+	return b.echoDone, err
+}

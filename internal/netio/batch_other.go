@@ -1,0 +1,89 @@
+//go:build !linux || !(amd64 || arm64)
+
+package netio
+
+import (
+	"net"
+)
+
+// BatchSyscalls reports whether this build uses real sendmmsg/recvmmsg.
+const BatchSyscalls = false
+
+// UDPBatch is the portable fallback: the same API over per-datagram
+// Write/ReadFromUDP loops, so callers batch unconditionally and only the
+// syscall count differs between platforms.
+type UDPBatch struct {
+	conn  *net.UDPConn
+	bufs  [][]byte
+	lens  []int
+	addrs []*net.UDPAddr
+	peers bool
+}
+
+// NewUDPBatch builds batched I/O state for c; see the Linux variant for
+// the contract. The fallback sends with a loop, so sendN only bounds the
+// progress-check chunking and receive state is sized by recvN.
+func NewUDPBatch(c *net.UDPConn, sendN, recvN, bufSize int, withAddrs bool) (*UDPBatch, error) {
+	_, n, bufSize := clampBatch(sendN, recvN, bufSize)
+	b := &UDPBatch{
+		conn:  c,
+		bufs:  make([][]byte, n),
+		lens:  make([]int, n),
+		addrs: make([]*net.UDPAddr, n),
+		peers: withAddrs,
+	}
+	for i := range b.bufs {
+		b.bufs[i] = make([]byte, bufSize)
+	}
+	return b, nil
+}
+
+// Cap returns the per-call receive message capacity.
+func (b *UDPBatch) Cap() int { return len(b.bufs) }
+
+// Send transmits msgs with one Write per datagram. Progress contract as
+// on Linux: sent < len(msgs) implies err != nil.
+func (b *UDPBatch) Send(msgs [][]byte) (int, error) {
+	for i, m := range msgs {
+		if _, err := b.conn.Write(m); err != nil {
+			return i, err
+		}
+	}
+	return len(msgs), nil
+}
+
+// Recv reads one datagram (the portable loop cannot drain a burst in one
+// call without deadline games).
+func (b *UDPBatch) Recv() (int, error) {
+	var (
+		n   int
+		err error
+	)
+	if b.peers {
+		n, b.addrs[0], err = b.conn.ReadFromUDP(b.bufs[0])
+	} else {
+		n, err = b.conn.Read(b.bufs[0])
+	}
+	if err != nil {
+		return 0, err
+	}
+	b.lens[0] = n
+	return 1, nil
+}
+
+// Msg returns received datagram i from the last Recv.
+func (b *UDPBatch) Msg(i int) []byte { return b.bufs[i][:b.lens[i]] }
+
+// SegSize returns the GRO segment size of received buffer i; the
+// portable fallback never coalesces, so it is always 0.
+func (b *UDPBatch) SegSize(i int) int { return 0 }
+
+// Echo sends back the first n received datagrams to their senders.
+func (b *UDPBatch) Echo(n int) (int, error) {
+	for i := 0; i < n; i++ {
+		if _, err := b.conn.WriteToUDP(b.bufs[i][:b.lens[i]], b.addrs[i]); err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,90 @@
+//go:build linux && (amd64 || arm64)
+
+package netio
+
+import (
+	"net"
+	"testing"
+)
+
+// BenchmarkSendmmsgFloor measures the raw per-packet loopback cost of
+// plain sendmmsg batches against an unread sink: the hard kernel ceiling
+// for a non-GSO datapath on this machine.
+func BenchmarkSendmmsgFloor(b *testing.B) {
+	benchSendFloor(b, false)
+}
+
+// BenchmarkSendGSOFloor measures the same ceiling with UDP_SEGMENT
+// coalescing (64 equal-size datagrams per super-packet).
+func BenchmarkSendGSOFloor(b *testing.B) {
+	benchSendFloor(b, true)
+}
+
+func benchSendFloor(b *testing.B, gso bool) {
+	sinkConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sinkConn.Close()
+	c, err := net.DialUDP("udp", nil, sinkConn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ub, err := NewUDPBatch(c, 128, 1, 2048, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if gso && !ub.gso {
+		b.Skip("kernel lacks UDP_SEGMENT")
+	}
+	ub.gso = gso
+	msg := make([]byte, 40)
+	msgs := make([][]byte, 128)
+	for i := range msgs {
+		msgs[i] = msg
+	}
+	b.ResetTimer()
+	sent := 0
+	for sent < b.N {
+		n, err := ub.Send(msgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sent += n
+	}
+	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// TestSendZeroAllocs guards the batched send fast path: staging a full
+// batch of messages into sendmmsg (with GSO coalescing) must not allocate
+// — one allocation per call is one allocation per query at replay rates.
+func TestSendZeroAllocs(t *testing.T) {
+	sinkConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sinkConn.Close()
+	c, err := net.DialUDP("udp", nil, sinkConn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ub, err := NewUDPBatch(c, 128, 1, 2048, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 40)
+	msgs := make([][]byte, 128)
+	for i := range msgs {
+		msgs[i] = msg
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := ub.Send(msgs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Send allocates %.1f times per batch, want 0", allocs)
+	}
+}

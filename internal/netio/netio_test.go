@@ -1,0 +1,147 @@
+package netio
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// segments invokes fn for every datagram in received buffer i, walking
+// GRO-coalesced buffers at their segment stride.
+func segments(b *UDPBatch, i int, fn func(m []byte)) int {
+	m := b.Msg(i)
+	seg := b.SegSize(i)
+	if seg <= 0 || seg >= len(m) {
+		fn(m)
+		return 1
+	}
+	n := 0
+	for off := 0; off < len(m); off += seg {
+		end := off + seg
+		if end > len(m) {
+			end = len(m)
+		}
+		fn(m[off:end])
+		n++
+	}
+	return n
+}
+
+// TestBatchSendRecvEcho round-trips a burst: a connected client Sends a
+// batch (coalesced via GSO where supported), an unconnected sink Recvs
+// with peer addresses, flips a byte in every datagram, and Echoes; the
+// client Recvs the responses. Exercises the GSO/GRO segment accounting
+// on both directions.
+func TestBatchSendRecvEcho(t *testing.T) {
+	sinkConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sinkConn.Close()
+	sink, err := NewUDPBatch(sinkConn, 32, 32, 512, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raddr := sinkConn.LocalAddr().(*net.UDPAddr)
+	clientConn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientConn.Close()
+	client, err := NewUDPBatch(clientConn, 32, 32, 512, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const burst = 20
+	msgs := make([][]byte, burst)
+	for i := range msgs {
+		msgs[i] = []byte(fmt.Sprintf("msg-%03d", i))
+	}
+	sent, err := client.Send(msgs)
+	if err != nil || sent != burst {
+		t.Fatalf("Send = %d, %v", sent, err)
+	}
+
+	// Sink: drain the burst (possibly across several Recv calls), echo
+	// each batch back with the first byte of every datagram flipped.
+	echoed := 0
+	sinkConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for echoed < burst {
+		n, err := sink.Recv()
+		if err != nil {
+			t.Fatalf("sink recv after %d: %v", echoed, err)
+		}
+		for i := 0; i < n; i++ {
+			echoed += segments(sink, i, func(m []byte) { m[0] = 'M' })
+		}
+		en, err := sink.Echo(n)
+		if err != nil || en != n {
+			t.Fatalf("Echo = %d, %v", en, err)
+		}
+	}
+
+	// Client: collect all responses, splitting coalesced buffers.
+	got := map[string]bool{}
+	clientConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for len(got) < burst {
+		n, err := client.Recv()
+		if err != nil {
+			t.Fatalf("client recv after %d: %v", len(got), err)
+		}
+		for i := 0; i < n; i++ {
+			segments(client, i, func(m []byte) { got[string(m)] = true })
+		}
+	}
+	for i := 0; i < burst; i++ {
+		want := fmt.Sprintf("Msg-%03d", i)
+		if !got[want] {
+			t.Errorf("response %q missing (got %v)", want, got)
+		}
+	}
+}
+
+// TestBatchSendOversizedBatch sends more messages than the batch capacity
+// in one call; Send must loop internally and submit them all.
+func TestBatchSendOversizedBatch(t *testing.T) {
+	sinkConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sinkConn.Close()
+
+	clientConn, err := net.DialUDP("udp", nil, sinkConn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientConn.Close()
+	client, err := NewUDPBatch(clientConn, 4, 4, 512, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	msgs := make([][]byte, 11)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), 0xAB}
+	}
+	sent, err := client.Send(msgs)
+	if err != nil || sent != len(msgs) {
+		t.Fatalf("Send = %d, %v", sent, err)
+	}
+	buf := make([]byte, 512)
+	seen := make(map[byte]bool)
+	sinkConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for len(seen) < len(msgs) {
+		n, _, err := sinkConn.ReadFromUDP(buf)
+		if err != nil {
+			t.Fatalf("sink read after %d: %v", len(seen), err)
+		}
+		if n != 2 || !bytes.Equal(buf[1:2], []byte{0xAB}) {
+			t.Fatalf("bad datagram % x", buf[:n])
+		}
+		seen[buf[0]] = true
+	}
+}

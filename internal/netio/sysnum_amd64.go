@@ -1,0 +1,9 @@
+//go:build linux && amd64
+
+package netio
+
+// Syscall numbers absent from the frozen syscall package table.
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package netio
+
+// Syscall numbers absent from the frozen syscall package table.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

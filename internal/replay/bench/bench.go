@@ -1,0 +1,284 @@
+// Package bench is the replay-datapath benchmark harness: a loopback
+// self-test that drives the real Engine against an in-process UDP sink
+// and reports achieved throughput, scheduling-error quantiles, and
+// allocations per query. `ldplayer bench` runs it and appends the results
+// to BENCH_replay.json, so the performance trajectory of the replay
+// client — the paper's ~87k queries/s headline (§3) — is recorded next to
+// the code that produces it.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/netio"
+	"ldplayer/internal/replay"
+	"ldplayer/internal/trace"
+)
+
+// Config is one benchmark run's shape.
+type Config struct {
+	// Name labels the run in the report (e.g. "fast-mode", "paced-25k").
+	Name string
+	// Queries is the synthetic trace length.
+	Queries int
+	// Sources is the number of distinct original source addresses the
+	// trace cycles through (each becomes one replay socket).
+	Sources int
+	// Rate is the paced-mode target in queries/second; ignored when
+	// FastMode is set.
+	Rate float64
+	// FastMode sends as fast as possible, ignoring trace timing.
+	FastMode bool
+	// Distributors and Queriers shape the engine pool (engine defaults
+	// when zero).
+	Distributors int
+	Queriers     int
+	// SinkReaders is the echo-server goroutine count (default 2: GRO
+	// hands each reader up to 64 messages per receive, and extra readers
+	// just add scheduler churn on small machines).
+	SinkReaders int
+	// DrainTimeout bounds the post-send wait for responses (default
+	// 250ms).
+	DrainTimeout time.Duration
+}
+
+// Result is one benchmark run's measurements.
+type Result struct {
+	Name     string  `json:"name"`
+	Queries  int     `json:"queries"`
+	Sources  int     `json:"sources"`
+	FastMode bool    `json:"fast_mode"`
+	Rate     float64 `json:"target_qps,omitempty"`
+
+	AchievedQPS    float64 `json:"achieved_qps"`
+	P50SchedErrUS  float64 `json:"p50_sched_err_us"`
+	P99SchedErrUS  float64 `json:"p99_sched_err_us"`
+	MaxSchedErrUS  float64 `json:"max_sched_err_us"`
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+
+	Sent       int64   `json:"sent"`
+	Responses  int64   `json:"responses"`
+	Errors     int64   `json:"errors"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// sink is an in-process UDP echo server: it flips the QR bit in place and
+// writes the batch back via recvmmsg/sendmmsg, allocation-free, with
+// several reader goroutines so the sink never becomes the measured
+// bottleneck (on one CPU a per-datagram sink would cost two syscalls per
+// query and dominate the run).
+type sink struct {
+	conn *net.UDPConn
+}
+
+func newSink(readers int) (*sink, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	s := &sink{conn: conn}
+	for i := 0; i < readers; i++ {
+		// Receive buffers are GRO-sized: one coalesced super-datagram can
+		// carry up to 64 segments, and echoing it back whole (same
+		// segment size) costs one skb instead of 64.
+		b, err := netio.NewUDPBatch(conn, 64, 8, 64<<10, true)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		go s.echo(b)
+	}
+	return s, nil
+}
+
+func (s *sink) echo(b *netio.UDPBatch) {
+	for {
+		n, err := b.Recv()
+		if err != nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			m := b.Msg(i)
+			seg := b.SegSize(i)
+			if seg <= 0 || seg >= len(m) {
+				if len(m) >= 3 {
+					m[2] |= 0x80 // QR: make it a response
+				}
+				continue
+			}
+			// Coalesced buffer: flip the QR bit of every segment.
+			for off := 0; off+2 < len(m); off += seg {
+				m[off+2] |= 0x80
+			}
+		}
+		_, _ = b.Echo(n)
+	}
+}
+
+func (s *sink) addr() string { return s.conn.LocalAddr().String() }
+func (s *sink) close()       { s.conn.Close() }
+
+// makeTrace synthesizes cfg.Queries pre-packed queries cycling over
+// cfg.Sources sources, spaced for cfg.Rate (0 gap in fast mode — the
+// engine ignores timing there anyway).
+func makeTrace(cfg Config) []trace.Entry {
+	gap := time.Duration(0)
+	if !cfg.FastMode && cfg.Rate > 0 {
+		gap = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+	base := time.Now()
+	dst := netip.MustParseAddrPort("198.41.0.4:53")
+	entries := make([]trace.Entry, cfg.Queries)
+	for i := range entries {
+		m := dnswire.NewQuery(uint16(i), fmt.Sprintf("q%d.bench.example.", i), dnswire.TypeA)
+		wire, err := m.Pack(nil)
+		if err != nil {
+			panic(err)
+		}
+		s := i % cfg.Sources
+		src := netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 1, byte(s >> 8), byte(s)}), 5353)
+		entries[i] = trace.Entry{
+			Time:     base.Add(time.Duration(i) * gap),
+			Src:      src,
+			Dst:      dst,
+			Protocol: trace.UDP,
+			Message:  wire,
+		}
+	}
+	return entries
+}
+
+// Run executes one benchmark run.
+func Run(cfg Config) (Result, error) {
+	if cfg.Queries <= 0 {
+		cfg.Queries = 50000
+	}
+	if cfg.Sources <= 0 {
+		cfg.Sources = 64
+	}
+	if cfg.SinkReaders <= 0 {
+		cfg.SinkReaders = 2
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 250 * time.Millisecond
+	}
+
+	s, err := newSink(cfg.SinkReaders)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.close()
+
+	// Scheduling errors land in a preallocated slice via an atomic cursor:
+	// the observer itself must not distort the allocation measurement.
+	schedErrs := make([]time.Duration, cfg.Queries)
+	var cursor, lastSend atomic.Int64
+
+	ecfg := replay.Config{
+		Distributors:           cfg.Distributors,
+		QueriersPerDistributor: cfg.Queriers,
+		UDPTarget:              s.addr(),
+		FastMode:               cfg.FastMode,
+		DrainTimeout:           cfg.DrainTimeout,
+		OnSend: func(_ *trace.Entry, at time.Time, schedErr time.Duration) {
+			if i := cursor.Add(1) - 1; int(i) < len(schedErrs) {
+				schedErrs[i] = schedErr
+			}
+			lastSend.Store(at.UnixNano())
+		},
+	}
+	en, err := replay.New(ecfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	entries := makeTrace(cfg)
+	reader := trace.NewSliceReader(entries)
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	st, err := en.Replay(context.Background(), reader)
+	if err != nil {
+		return Result{}, err
+	}
+	// Throughput is measured over the send phase only (first to last
+	// transmission), excluding whatever part of the drain window was spent
+	// waiting for stragglers.
+	sendDur := time.Since(start)
+	if ls := lastSend.Load(); ls != 0 {
+		if d := time.Unix(0, ls).Sub(start); d > 0 {
+			sendDur = d
+		}
+	}
+	runtime.ReadMemStats(&after)
+
+	n := int(cursor.Load())
+	if n > len(schedErrs) {
+		n = len(schedErrs)
+	}
+	obs := schedErrs[:n]
+	sort.Slice(obs, func(i, j int) bool { return obs[i] < obs[j] })
+	quantUS := func(q float64) float64 {
+		if len(obs) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(obs)-1))
+		return float64(obs[idx]) / float64(time.Microsecond)
+	}
+
+	res := Result{
+		Name:       cfg.Name,
+		Queries:    cfg.Queries,
+		Sources:    cfg.Sources,
+		FastMode:   cfg.FastMode,
+		Rate:       cfg.Rate,
+		Sent:       st.Sent,
+		Responses:  st.Responses,
+		Errors:     st.Errors,
+		DurationMS: float64(st.Duration) / float64(time.Millisecond),
+	}
+	if st.Sent > 0 {
+		res.AchievedQPS = float64(st.Sent) / sendDur.Seconds()
+		res.AllocsPerQuery = float64(after.Mallocs-before.Mallocs) / float64(st.Sent)
+	}
+	if !cfg.FastMode {
+		res.P50SchedErrUS = quantUS(0.50)
+		res.P99SchedErrUS = quantUS(0.99)
+		res.MaxSchedErrUS = quantUS(1.0)
+	}
+	return res, nil
+}
+
+// Suite is the standard trajectory suite: a fast-mode throughput run and
+// a paced run at rate qps. scale < 1 shrinks the trace for smoke runs.
+func Suite(scale float64) ([]Result, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	fastN := int(300000 * scale)
+	pacedRate := 25000.0
+	pacedN := int(50000 * scale)
+	runs := []Config{
+		{Name: "fast-mode", Queries: fastN, Sources: 64, FastMode: true},
+		{Name: "paced-25k", Queries: pacedN, Sources: 64, Rate: pacedRate},
+	}
+	out := make([]Result, 0, len(runs))
+	for _, c := range runs {
+		r, err := Run(c)
+		if err != nil {
+			return out, fmt.Errorf("bench %s: %w", c.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

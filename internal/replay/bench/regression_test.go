@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// TestPacedSchedErrRegression replays a paced trace at 20k q/s through
+// the full engine-to-sink loopback datapath and bounds the p99 scheduling
+// error. The bound is deliberately loose — shared CI machines jitter by
+// milliseconds — but a regression to per-query timers or unbatched I/O
+// blows past it by an order of magnitude.
+func TestPacedSchedErrRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive loopback benchmark")
+	}
+	res, err := Run(Config{
+		Name:    "regression-paced-20k",
+		Queries: 30000,
+		Sources: 64,
+		Rate:    20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != int64(res.Queries) {
+		t.Fatalf("sent %d of %d queries", res.Sent, res.Queries)
+	}
+	if res.AchievedQPS < 19000 {
+		t.Errorf("achieved %.0f q/s, want >= 19000 (pacing fell behind)", res.AchievedQPS)
+	}
+	const p99BoundUS = 50000 // 50ms: loose, catches order-of-magnitude regressions
+	if res.P99SchedErrUS > p99BoundUS {
+		t.Errorf("p99 sched err = %.0fµs, want <= %dµs", res.P99SchedErrUS, p99BoundUS)
+	}
+	if res.P50SchedErrUS > 5000 {
+		t.Errorf("p50 sched err = %.0fµs, want <= 5000µs", res.P50SchedErrUS)
+	}
+}

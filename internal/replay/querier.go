@@ -4,41 +4,60 @@ import (
 	"context"
 	"crypto/tls"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ldplayer/internal/authserver"
+	"ldplayer/internal/netio"
 	"ldplayer/internal/trace"
 )
 
-// querier owns sockets and replay timing for its share of the sources.
+// UDP socket I/O geometry: sends are grouped per socket and submitted
+// through sendmmsg in chunks of sendBatchCap (equal-size runs coalesce
+// further into GSO super-datagrams on Linux); the reader drains up to
+// recvBatchCap buffers per recvmmsg, each sized to hold a maximally
+// GRO-coalesced response train (64 segments of up to ~1 KiB).
+const (
+	sendBatchCap = 128
+	recvBatchCap = 4
+	recvBufSize  = 64 * 1024
+)
+
+// querier owns sockets and transmits its share of the sources. Timing no
+// longer lives here: entries arrive in pre-paced batches (from the
+// distributor's timing wheel, or as fast as possible in fast mode), and
+// the querier's job is to turn a batch into as few syscalls as it can.
 // Same-source queries reuse the same socket while it is open; new sources
 // open new sockets; idle TCP/TLS connections close after the configured
 // timeout — the §2.6 connection-reuse emulation.
 type querier struct {
-	en   *Engine
-	name string
-	in   chan trace.Entry
+	en    *Engine
+	name  string
+	wheel *wheel
+	in    chan []trace.Entry
 
-	syncMu sync.Mutex
-	sp     *syncPoint
+	sp atomic.Pointer[syncPoint]
 
 	mu   sync.Mutex
-	udp  map[sourceKey]*udpSocket
-	conn map[sourceKey]*streamConn
+	udp  map[netip.Addr]*udpSocket
+	conn map[streamKey]*streamConn
+
+	// dirty lists sockets holding queued messages for the batch being
+	// sent; reused across batches.
+	dirty []*udpSocket
 
 	// io tracks socket reader and idle goroutines; they exit when
 	// closeSockets runs after the drain grace period.
 	io sync.WaitGroup
 }
 
-// sourceKey identifies an emulated query source. The original source
-// address is the key: its queries share sockets, per the paper.
-type sourceKey struct {
-	addr string
-	// proto separates the UDP socket from the TCP/TLS connection of the
-	// same source.
+// streamKey identifies an emulated TCP or TLS query source. The original
+// source address is the key: its queries share the connection, per the
+// paper.
+type streamKey struct {
+	addr  netip.Addr
 	proto trace.Protocol
 }
 
@@ -46,276 +65,350 @@ func newQuerier(en *Engine, name string) *querier {
 	return &querier{
 		en:   en,
 		name: name,
-		in:   make(chan trace.Entry, 256),
-		udp:  make(map[sourceKey]*udpSocket),
-		conn: make(map[sourceKey]*streamConn),
+		in:   make(chan []trace.Entry, 16),
+		udp:  make(map[netip.Addr]*udpSocket),
+		conn: make(map[streamKey]*streamConn),
 	}
 }
 
-func (q *querier) setSync(sp *syncPoint) {
-	q.syncMu.Lock()
-	q.sp = sp
-	q.syncMu.Unlock()
-}
+func (q *querier) setSync(sp *syncPoint) { q.sp.Store(sp) }
 
+// run consumes entry batches until the channel closes. A cancelled
+// context drains remaining batches without sending.
 func (q *querier) run(ctx context.Context) {
-	// The querier is a sequential event loop: its input arrives in trace
-	// order, so sleeping until each query's ΔTᵢ and then sending preserves
-	// both absolute timing and same-source ordering. A cancelled context
-	// aborts the current wait immediately.
-	timer := time.NewTimer(time.Hour)
-	if !timer.Stop() {
-		<-timer.C
+	for b := range q.in {
+		if ctx.Err() == nil {
+			q.sendBatch(b)
+		}
+		putBatch(b)
 	}
-	for e := range q.in {
-		if !q.en.cfg.FastMode {
-			q.syncMu.Lock()
-			sp := q.sp
-			q.syncMu.Unlock()
-			if sp != nil {
-				idealDelay := e.Time.Sub(sp.traceStart)     // Δt̄ᵢ
-				elapsed := time.Since(sp.realStart)         // Δtᵢ
-				if wait := idealDelay - elapsed; wait > 0 { // ΔTᵢ
-					timer.Reset(wait)
-					select {
-					case <-timer.C:
-					case <-ctx.Done():
-						if !timer.Stop() {
-							<-timer.C
-						}
-						return
-					}
-				}
-				// ΔTᵢ ≤ 0: input fell behind; send immediately.
+}
+
+// sendBatch transmits one batch: UDP entries are grouped by socket and
+// submitted via batched sends; stream entries go out inline. Per-socket
+// grouping keeps same-source queries in order (a source always maps to
+// one socket).
+func (q *querier) sendBatch(batch []trace.Entry) {
+	for i := range batch {
+		e := &batch[i]
+		switch e.Protocol {
+		case trace.UDP:
+			sock, err := q.getUDP(e.Src.Addr())
+			if err != nil {
+				q.fail(e, err)
+				continue
+			}
+			if len(sock.out) == 0 {
+				q.dirty = append(q.dirty, sock)
+			}
+			sock.out = append(sock.out, e.Message)
+			sock.outIdx = append(sock.outIdx, i)
+		case trace.TCP, trace.TLS:
+			err := q.sendStream(*e)
+			if err != nil {
+				q.fail(e, err)
+			} else {
+				q.accountSend(e, time.Now())
 			}
 		}
-		q.send(e)
+	}
+	for _, sock := range q.dirty {
+		n, err := sock.batch.Send(sock.out)
+		at := time.Now()
+		if h := q.en.batchSizeHist.Load(); h != nil {
+			h.Record(int64(len(sock.out)))
+		}
+		if n > 0 {
+			sock.lastSend.Store(at.UnixNano())
+		}
+		for j, idx := range sock.outIdx {
+			e := &batch[idx]
+			if j < n {
+				q.trackUDP(sock, e.Message)
+				q.accountSend(e, at)
+			} else {
+				// Send guarantees n < len(out) implies err != nil.
+				q.fail(e, err)
+			}
+		}
+		sock.out = sock.out[:0]
+		sock.outIdx = sock.outIdx[:0]
+	}
+	q.dirty = q.dirty[:0]
+}
+
+// accountSend settles a successful transmission: counters, the
+// scheduling-error sample, and the OnSend callback.
+func (q *querier) accountSend(e *trace.Entry, at time.Time) {
+	q.en.sent.Add(1)
+	var schedErr time.Duration
+	if sp := q.sp.Load(); sp != nil {
+		schedErr = at.Sub(sp.realStart) - e.Time.Sub(sp.traceStart)
+		if h := q.en.schedErrHist.Load(); h != nil {
+			h.Record(int64(schedErr))
+		}
+	}
+	if q.en.cfg.OnSend != nil {
+		q.en.cfg.OnSend(e, at, schedErr)
 	}
 }
 
-// send transmits one query on the appropriate socket.
-func (q *querier) send(e trace.Entry) {
-	var err error
-	switch e.Protocol {
-	case trace.UDP:
-		err = q.sendUDP(e)
-	case trace.TCP, trace.TLS:
-		err = q.sendStream(e)
-	}
-	at := time.Now()
-	if err != nil {
-		q.en.errorsCount.Add(1)
-		if q.en.cfg.OnError != nil {
-			q.en.cfg.OnError(&e, err)
-		}
-		return
-	}
-	q.en.sent.Add(1)
-	if q.en.cfg.OnSend != nil {
-		var schedErr time.Duration
-		q.syncMu.Lock()
-		sp := q.sp
-		q.syncMu.Unlock()
-		if sp != nil {
-			schedErr = at.Sub(sp.realStart) - e.Time.Sub(sp.traceStart)
-		}
-		q.en.cfg.OnSend(&e, at, schedErr)
+func (q *querier) fail(e *trace.Entry, err error) {
+	q.en.errorsCount.Add(1)
+	if q.en.cfg.OnError != nil {
+		q.en.cfg.OnError(e, err)
 	}
 }
+
+// pendShards splits each socket's in-flight state by DNS message ID so
+// the send path (track), the wheel (retransmit), and the reader (answer)
+// contend on different locks. Power of two.
+const pendShards = 8
+
+// shardRingSize bounds the recently-answered ID memory per shard.
+const shardRingSize = 256
 
 // udpSocket is one emulated UDP source. It tracks in-flight queries by
 // DNS message ID so unanswered queries can be retransmitted with
 // exponential backoff and duplicated responses are recognized instead of
 // double-counted.
 type udpSocket struct {
-	conn *net.UDPConn
+	conn  *net.UDPConn
+	batch *netio.UDPBatch
 	// lastSend is the UnixNano of the most recent write, consumed (once)
 	// by the reader to produce a round-trip latency sample.
 	lastSend atomic.Int64
+	closed   atomic.Bool
 
-	mu      sync.Mutex
-	closed  bool
-	pending map[uint16]*pendingQuery
+	shards [pendShards]pendShard
+
+	// out and outIdx queue this socket's share of the batch being sent;
+	// owned by the querier goroutine.
+	out    [][]byte
+	outIdx []int
+}
+
+// pendShard holds one slice of a socket's pending and answered state.
+type pendShard struct {
+	mu sync.Mutex
+	// seq stamps each pending insert; a retransmission wheel item fires
+	// only while its seq still matches, which is how answers, ID reuse,
+	// and close cancel timers without touching the wheel.
+	seq     uint32
+	pending map[uint16]pendingQuery
 	// answered remembers recently answered IDs (bounded ring) so a
 	// duplicate of an already-answered response is counted as such.
 	answered     map[uint16]struct{}
-	answeredRing [answeredRingSize]uint16
+	answeredRing [shardRingSize]uint16
 	answeredN    int
 	answeredLen  int
 }
 
-// answeredRingSize bounds the recently-answered ID memory per socket.
-const answeredRingSize = 1024
+func (sh *pendShard) init() {
+	sh.pending = make(map[uint16]pendingQuery)
+	sh.answered = make(map[uint16]struct{})
+}
 
-// pendingQuery is one in-flight UDP query awaiting its response.
+// pendingQuery is one in-flight UDP query awaiting its response. Stored
+// by value: tracking a query allocates nothing unless retransmission
+// needs a wire copy.
 type pendingQuery struct {
 	// wire is retained only when retransmission is enabled.
 	wire    []byte
-	attempt int
-	timer   *time.Timer
+	attempt int32
+	seq     uint32
 }
 
-func (q *querier) sendUDP(e trace.Entry) error {
-	if q.en.cfg.UDPTarget == "" {
-		return errNoTarget{trace.UDP}
-	}
-	key := sourceKey{addr: e.Src.Addr().String(), proto: trace.UDP}
+func (sock *udpSocket) shard(id uint16) *pendShard {
+	return &sock.shards[id&(pendShards-1)]
+}
+
+// getUDP returns the socket for src, opening (and wiring a batched
+// reader to) a new one for a first-seen source.
+func (q *querier) getUDP(src netip.Addr) (*udpSocket, error) {
 	q.mu.Lock()
-	sock := q.udp[key]
+	sock := q.udp[src]
 	q.mu.Unlock()
-	if sock == nil {
-		raddr, err := net.ResolveUDPAddr("udp", q.en.cfg.UDPTarget)
-		if err != nil {
-			return err
-		}
-		conn, err := net.DialUDP("udp", nil, raddr)
-		if err != nil {
-			return err
-		}
-		sock = &udpSocket{
-			conn:     conn,
-			pending:  make(map[uint16]*pendingQuery),
-			answered: make(map[uint16]struct{}),
-		}
-		q.mu.Lock()
-		// Re-check under the lock; a racing send for the same source wins.
-		if existing := q.udp[key]; existing != nil {
-			q.mu.Unlock()
-			conn.Close()
-			sock = existing
-		} else {
-			q.udp[key] = sock
-			q.mu.Unlock()
-			q.en.connsOpened.Add(1)
-			q.io.Add(1)
-			go q.readUDP(sock)
-		}
+	if sock != nil {
+		return sock, nil
 	}
-	_, err := sock.conn.Write(e.Message)
-	if err == nil {
-		sock.lastSend.Store(time.Now().UnixNano())
-		q.trackUDP(sock, e.Message)
+	if q.en.cfg.UDPTarget == "" {
+		return nil, errNoTarget{trace.UDP}
 	}
-	return err
+	raddr, err := net.ResolveUDPAddr("udp", q.en.cfg.UDPTarget)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := netio.NewUDPBatch(conn, sendBatchCap, recvBatchCap, recvBufSize, false)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	sock = &udpSocket{conn: conn, batch: batch}
+	for i := range sock.shards {
+		sock.shards[i].init()
+	}
+	q.mu.Lock()
+	// Re-check under the lock; a racing send for the same source wins.
+	if existing := q.udp[src]; existing != nil {
+		q.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	q.udp[src] = sock
+	q.mu.Unlock()
+	q.en.connsOpened.Add(1)
+	q.io.Add(1)
+	go q.readUDP(sock)
+	return sock, nil
 }
 
-// trackUDP registers a just-sent query in the socket's pending table and,
-// when retransmission is enabled, arms its retry timer.
+// trackUDP registers a just-sent query in its pending shard and, when
+// retransmission is enabled, arms its retry slot on the timing wheel.
 func (q *querier) trackUDP(sock *udpSocket, msg []byte) {
 	if len(msg) < 2 {
 		return
 	}
 	id := uint16(msg[0])<<8 | uint16(msg[1])
 	retrans := q.en.cfg.UDPRetries > 0
-	pq := &pendingQuery{}
+	var wire []byte
 	if retrans {
-		pq.wire = append([]byte(nil), msg...)
+		// trace.Entry.Message buffers are immutable after decode (see the
+		// field's contract), so retransmission retains a reference instead
+		// of copying — the copy was one allocation per query.
+		wire = msg
 	}
-	sock.mu.Lock()
-	if sock.closed {
-		sock.mu.Unlock()
+	sh := sock.shard(id)
+	sh.mu.Lock()
+	if sock.closed.Load() {
+		sh.mu.Unlock()
 		return
 	}
-	// An ID reused by a later query supersedes the older in-flight one.
-	if old := sock.pending[id]; old != nil && old.timer != nil {
-		old.timer.Stop()
-	}
-	delete(sock.answered, id)
-	sock.pending[id] = pq
+	sh.seq++
+	seq := sh.seq
+	// An ID reused by a later query supersedes the older in-flight one:
+	// the new seq strands the old retransmission slot.
+	delete(sh.answered, id)
+	sh.pending[id] = pendingQuery{wire: wire, seq: seq}
+	sh.mu.Unlock()
 	if retrans {
-		pq.timer = time.AfterFunc(q.en.cfg.UDPRetryTimeout, func() {
-			q.retransmitUDP(sock, id, pq)
-		})
+		q.wheel.scheduleRetrans(q.en.cfg.UDPRetryTimeout, q, sock, id, seq)
 	}
-	sock.mu.Unlock()
 }
 
-// retransmitUDP re-sends a still-pending query or gives up once the retry
-// budget is spent.
-func (q *querier) retransmitUDP(sock *udpSocket, id uint16, pq *pendingQuery) {
-	sock.mu.Lock()
-	if sock.closed || sock.pending[id] != pq {
-		sock.mu.Unlock()
+// retransmitUDP fires when a retry slot expires: re-send a still-pending
+// query with a doubled timeout, or give up once the budget is spent.
+// Stale slots (answered, superseded, or closed since arming) no-op.
+func (q *querier) retransmitUDP(sock *udpSocket, id uint16, seq uint32) {
+	sh := sock.shard(id)
+	sh.mu.Lock()
+	pq, ok := sh.pending[id]
+	if !ok || pq.seq != seq || sock.closed.Load() {
+		sh.mu.Unlock()
 		return
 	}
-	if pq.attempt >= q.en.cfg.UDPRetries {
-		delete(sock.pending, id)
-		sock.mu.Unlock()
+	if int(pq.attempt) >= q.en.cfg.UDPRetries {
+		delete(sh.pending, id)
+		sh.mu.Unlock()
 		q.en.giveups.Add(1)
 		return
 	}
 	pq.attempt++
-	// Exponential backoff: timeout doubles with each retransmission.
-	pq.timer = time.AfterFunc(q.en.cfg.UDPRetryTimeout<<pq.attempt, func() {
-		q.retransmitUDP(sock, id, pq)
-	})
+	sh.pending[id] = pq
 	wire := pq.wire
-	sock.mu.Unlock()
+	attempt := pq.attempt
+	sh.mu.Unlock()
 	if _, err := sock.conn.Write(wire); err != nil {
 		return // socket is closing; drain accounting covers the query
 	}
 	q.en.udpRetransmits.Add(1)
 	sock.lastSend.Store(time.Now().UnixNano())
+	// Exponential backoff: timeout doubles with each retransmission.
+	q.wheel.scheduleRetrans(q.en.cfg.UDPRetryTimeout<<attempt, q, sock, id, seq)
 }
 
-// markAnswered settles a response against the pending table. It reports
+// markAnswered settles a response against the pending shard. It reports
 // whether the response is fresh (true) or a duplicate of an already
 // answered query (false). Unknown IDs count as fresh: traces replayed
 // without tracking context (e.g. ID reuse races) keep legacy accounting.
 func (sock *udpSocket) markAnswered(id uint16) bool {
-	sock.mu.Lock()
-	defer sock.mu.Unlock()
-	if pq := sock.pending[id]; pq != nil {
-		if pq.timer != nil {
-			pq.timer.Stop()
-		}
-		delete(sock.pending, id)
-		sock.rememberAnswered(id)
+	sh := sock.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.pending[id]; ok {
+		delete(sh.pending, id)
+		sh.rememberAnswered(id)
 		return true
 	}
-	if _, dup := sock.answered[id]; dup {
+	if _, dup := sh.answered[id]; dup {
 		return false
 	}
-	sock.rememberAnswered(id)
+	sh.rememberAnswered(id)
 	return true
 }
 
 // rememberAnswered records id in the bounded answered ring; callers hold
-// sock.mu.
-func (sock *udpSocket) rememberAnswered(id uint16) {
-	if sock.answeredLen == answeredRingSize {
-		evict := sock.answeredRing[sock.answeredN]
-		delete(sock.answered, evict)
+// sh.mu.
+func (sh *pendShard) rememberAnswered(id uint16) {
+	if sh.answeredLen == shardRingSize {
+		evict := sh.answeredRing[sh.answeredN]
+		delete(sh.answered, evict)
 	} else {
-		sock.answeredLen++
+		sh.answeredLen++
 	}
-	sock.answeredRing[sock.answeredN] = id
-	sock.answeredN = (sock.answeredN + 1) % answeredRingSize
-	sock.answered[id] = struct{}{}
+	sh.answeredRing[sh.answeredN] = id
+	sh.answeredN = (sh.answeredN + 1) % shardRingSize
+	sh.answered[id] = struct{}{}
 }
 
+// readUDP drains responses in batches until the socket closes. A
+// GRO-coalesced buffer holds several responses back to back at a fixed
+// segment stride (the last possibly shorter); each segment settles
+// independently.
 func (q *querier) readUDP(sock *udpSocket) {
 	defer q.io.Done()
-	buf := make([]byte, 64*1024)
 	for {
-		n, err := sock.conn.Read(buf)
+		n, err := sock.batch.Recv()
 		if err != nil {
 			return
 		}
-		if n >= 2 {
-			id := uint16(buf[0])<<8 | uint16(buf[1])
-			if !sock.markAnswered(id) {
-				q.en.dupResponses.Add(1)
+		for i := 0; i < n; i++ {
+			buf := sock.batch.Msg(i)
+			seg := sock.batch.SegSize(i)
+			if seg <= 0 || seg >= len(buf) {
+				q.settleResponse(sock, buf)
 				continue
 			}
+			for off := 0; off < len(buf); off += seg {
+				end := off + seg
+				if end > len(buf) {
+					end = len(buf)
+				}
+				q.settleResponse(sock, buf[off:end])
+			}
 		}
-		q.en.responses.Add(1)
-		q.recordRTT(&sock.lastSend)
-		if q.en.cfg.OnResponse != nil {
-			msg := make([]byte, n)
-			copy(msg, buf[:n])
-			q.en.cfg.OnResponse(msg, time.Now())
+	}
+}
+
+// settleResponse accounts one received response datagram.
+func (q *querier) settleResponse(sock *udpSocket, buf []byte) {
+	if len(buf) >= 2 {
+		id := uint16(buf[0])<<8 | uint16(buf[1])
+		if !sock.markAnswered(id) {
+			q.en.dupResponses.Add(1)
+			return
 		}
+	}
+	q.en.responses.Add(1)
+	q.recordRTT(&sock.lastSend)
+	if q.en.cfg.OnResponse != nil {
+		msg := make([]byte, len(buf))
+		copy(msg, buf)
+		q.en.cfg.OnResponse(msg, time.Now())
 	}
 }
 
@@ -350,7 +443,7 @@ func (q *querier) sendStream(e trace.Entry) error {
 	if target == "" {
 		return errNoTarget{e.Protocol}
 	}
-	key := sourceKey{addr: e.Src.Addr().String(), proto: e.Protocol}
+	key := streamKey{addr: e.Src.Addr(), proto: e.Protocol}
 
 	for attempt := 0; attempt < q.en.cfg.StreamAttempts; attempt++ {
 		sc, err := q.getStream(key, e.Protocol, target)
@@ -380,7 +473,7 @@ func (q *querier) sendStream(e trace.Entry) error {
 	return errConnBroken{}
 }
 
-func (q *querier) getStream(key sourceKey, proto trace.Protocol, target string) (*streamConn, error) {
+func (q *querier) getStream(key streamKey, proto trace.Protocol, target string) (*streamConn, error) {
 	q.mu.Lock()
 	sc := q.conn[key]
 	q.mu.Unlock()
@@ -414,7 +507,7 @@ func (q *querier) getStream(key sourceKey, proto trace.Protocol, target string) 
 	return sc, nil
 }
 
-func (q *querier) dropStream(key sourceKey, sc *streamConn) {
+func (q *querier) dropStream(key streamKey, sc *streamConn) {
 	sc.mu.Lock()
 	if !sc.closed {
 		sc.closed = true
@@ -429,7 +522,7 @@ func (q *querier) dropStream(key sourceKey, sc *streamConn) {
 	q.mu.Unlock()
 }
 
-func (q *querier) readStream(key sourceKey, sc *streamConn) {
+func (q *querier) readStream(key streamKey, sc *streamConn) {
 	defer q.io.Done()
 	for {
 		msg, err := authserver.ReadTCPMessage(sc.conn)
@@ -449,7 +542,7 @@ func (q *querier) readStream(key sourceKey, sc *streamConn) {
 }
 
 // idleCloser enforces the client-side connection reuse timeout.
-func (q *querier) idleCloser(key sourceKey, sc *streamConn) {
+func (q *querier) idleCloser(key streamKey, sc *streamConn) {
 	defer q.io.Done()
 	timeout := q.en.cfg.IdleTimeout
 	ticker := time.NewTicker(timeout / 4)
@@ -471,23 +564,24 @@ func (q *querier) idleCloser(key sourceKey, sc *streamConn) {
 	}
 }
 
-// closeSockets tears down all sockets after the drain grace period,
-// stopping any armed retransmission timers first.
+// closeSockets tears down all sockets after the drain grace period. The
+// caller has already stopped the timing wheel, so no retransmission can
+// fire during or after this; clearing the pending shards strands any
+// still-queued wheel items for good measure.
 func (q *querier) closeSockets() {
 	q.mu.Lock()
 	for _, s := range q.udp {
-		s.mu.Lock()
-		s.closed = true
-		for _, pq := range s.pending {
-			if pq.timer != nil {
-				pq.timer.Stop()
-			}
+		s.closed.Store(true)
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			clear(sh.pending)
+			sh.mu.Unlock()
 		}
-		s.mu.Unlock()
 		s.conn.Close()
 	}
 	conns := make([]*streamConn, 0, len(q.conn))
-	keys := make([]sourceKey, 0, len(q.conn))
+	keys := make([]streamKey, 0, len(q.conn))
 	for k, c := range q.conn {
 		conns = append(conns, c)
 		keys = append(keys, k)

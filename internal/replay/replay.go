@@ -2,13 +2,21 @@
 // Figure 4): a Controller whose Reader pre-loads a window of queries and
 // whose Postman distributes them stickily by original source address to
 // Distributors, which distribute — again stickily — to Queriers that own
-// the sockets and the replay timing.
+// the sockets.
 //
 // Timing follows the paper exactly: on the first query the controller
-// broadcasts a time-synchronization point (t̄₁, t₁); for query i a querier
-// computes the relative trace time Δt̄ᵢ = t̄ᵢ − t̄₁ and the relative real
-// time Δtᵢ = tᵢ − t₁, then schedules the send ΔTᵢ = Δt̄ᵢ − Δtᵢ in the
-// future — or immediately when the input has fallen behind (ΔTᵢ ≤ 0).
+// broadcasts a time-synchronization point (t̄₁, t₁); for query i the
+// engine computes the relative trace time Δt̄ᵢ = t̄ᵢ − t̄₁ and schedules
+// the send at t₁ + Δt̄ᵢ — or immediately when the input has fallen
+// behind. The scheduler is a per-distributor timing wheel (wheel.go)
+// rather than a timer per query: entries are binned into sub-millisecond
+// ticks and released to queriers as per-tick bursts, so the cost of
+// pacing is one wakeup per tick, not one per query.
+//
+// The datapath is batched end to end: the reader decodes entries in
+// batches, batches flow through the postman and distributors in pooled
+// slices, and queriers group each burst by socket and submit it with
+// sendmmsg/recvmmsg where the platform has them (internal/netio).
 //
 // Sticky distribution guarantees all queries from one original source
 // reach the same querier, which maps sources to sockets, so DNS-over-TCP
@@ -37,6 +45,22 @@ import (
 
 	"ldplayer/internal/obs"
 	"ldplayer/internal/trace"
+)
+
+// defaultMaxBatch is the entry-batch capacity used throughout the
+// datapath (reader decode, postman/distributor hand-off, wheel bursts).
+// Sized so that even with entries fanned out over six queriers and a few
+// dozen sockets each, the per-socket groups still fill wide sendmmsg
+// calls.
+const defaultMaxBatch = 1024
+
+// Timing-wheel geometry: 250µs ticks bound the pacing quantization to a
+// quarter millisecond, and 32768 slots give each distributor an ~8s
+// scheduling horizon — enough for the full exponential-backoff
+// retransmission ladder without touching the overflow list.
+const (
+	defaultWheelTick  = 250 * time.Microsecond
+	defaultWheelSlots = 32768
 )
 
 // Config configures an Engine.
@@ -137,6 +161,15 @@ type Engine struct {
 	// pipelined same-source queries fold into one sample — fine for the
 	// live-rate view this feeds.
 	latency atomic.Pointer[obs.Histogram]
+	// schedErrHist, when instrumented, records per-query scheduling error
+	// (actual send time minus ideal trace time) in nanoseconds.
+	schedErrHist atomic.Pointer[obs.Histogram]
+	// batchSizeHist, when instrumented, records messages per batched UDP
+	// send.
+	batchSizeHist atomic.Pointer[obs.Histogram]
+	// wheelLag is the most recent timing-wheel scheduling debt in
+	// nanoseconds (how far tick processing trails the wall clock).
+	wheelLag atomic.Int64
 
 	seed maphash.Seed
 }
@@ -167,7 +200,10 @@ func (en *Engine) Instrument(reg *obs.Registry) {
 		}
 		return 0
 	})
+	reg.GaugeFunc("ldplayer_wheel_lag_ns", "", "timing-wheel scheduling debt (ns)", en.wheelLag.Load)
 	en.latency.Store(reg.Histogram("ldplayer_rtt_ns", "", "send to response round trip (ns)"))
+	en.schedErrHist.Store(reg.Histogram("ldplayer_sched_err_ns", "", "send scheduling error vs ideal trace time (ns)"))
+	en.batchSizeHist.Store(reg.Histogram("ldplayer_send_batch_size", "", "messages per batched UDP send"))
 }
 
 // New validates cfg and creates an Engine.
@@ -229,22 +265,28 @@ func (en *Engine) Replay(ctx context.Context, r trace.Reader) (*Stats, error) {
 	start := time.Now()
 
 	// Reader: pre-loads a window of queries (its own process in the
-	// paper's controller).
-	window := make(chan trace.Entry, en.cfg.Window)
+	// paper's controller), decoding in batches.
+	window := make(chan []trace.Entry, max(1, en.cfg.Window/defaultMaxBatch))
 	readErr := make(chan error, 1)
 	go func() {
 		defer close(window)
 		for {
-			e, err := r.Next()
+			buf := getBatch()
+			n, err := trace.ReadBatch(r, buf[:cap(buf)])
+			if n > 0 {
+				select {
+				case window <- buf[:n]:
+				case <-ctx.Done():
+					putBatch(buf)
+					return
+				}
+			} else {
+				putBatch(buf)
+			}
 			if err != nil {
 				if !errors.Is(err, io.EOF) {
 					readErr <- err
 				}
-				return
-			}
-			select {
-			case window <- e:
-			case <-ctx.Done():
 				return
 			}
 		}
@@ -264,19 +306,33 @@ func (en *Engine) Replay(ctx context.Context, r trace.Reader) (*Stats, error) {
 		}(dists[i])
 	}
 
-	// Postman: sticky source→distributor assignment.
+	// Postman: sticky source→distributor assignment, re-batching entries
+	// per destination.
 	var sync0 *syncPoint
 	assign := make(map[netip.Addr]int, 1024)
+	scratch := make([][]trace.Entry, nd)
 	var err error
+	flush := func(i int) bool {
+		sb := scratch[i]
+		scratch[i] = nil
+		select {
+		case dists[i].in <- sb:
+			return true
+		case <-ctx.Done():
+			putBatch(sb)
+			err = ctx.Err()
+			return false
+		}
+	}
 loop:
 	for {
 		select {
-		case e, ok := <-window:
+		case b, ok := <-window:
 			if !ok {
 				break loop
 			}
-			if sync0 == nil {
-				ts := e.Time
+			if sync0 == nil && len(b) > 0 {
+				ts := b[0].Time
 				if p, ok := r.(traceStartProvider); ok {
 					if t0, have := p.TraceStart(); have {
 						ts = t0
@@ -287,20 +343,40 @@ loop:
 					d.sync(sync0)
 				}
 			}
-			src := e.Src.Addr()
-			idx, ok2 := assign[src]
-			if !ok2 {
-				idx = int(maphash.Comparable(en.seed, src)) % nd
-				if idx < 0 {
-					idx = -idx
+			for k := range b {
+				idx := 0
+				if nd > 1 {
+					src := b[k].Src.Addr()
+					i, ok2 := assign[src]
+					if !ok2 {
+						i = int(maphash.Comparable(en.seed, src)) % nd
+						if i < 0 {
+							i = -i
+						}
+						assign[src] = i
+					}
+					idx = i
 				}
-				assign[src] = idx
+				sb := scratch[idx]
+				if sb == nil {
+					sb = getBatch()
+				}
+				sb = append(sb, b[k])
+				scratch[idx] = sb
+				if len(sb) == cap(sb) {
+					if !flush(idx) {
+						putBatch(b)
+						break loop
+					}
+				}
 			}
-			select {
-			case dists[idx].in <- e:
-			case <-ctx.Done():
-				err = ctx.Err()
-				break loop
+			putBatch(b)
+			for i := range scratch {
+				if scratch[i] != nil {
+					if !flush(i) {
+						break loop
+					}
+				}
 			}
 		case e := <-readErr:
 			err = e
@@ -308,6 +384,12 @@ loop:
 		case <-ctx.Done():
 			err = ctx.Err()
 			break loop
+		}
+	}
+	for i := range scratch {
+		if scratch[i] != nil {
+			putBatch(scratch[i])
+			scratch[i] = nil
 		}
 	}
 	for _, d := range dists {
@@ -382,30 +464,56 @@ func (s *sourceTracker) count() int {
 	return len(s.seen)
 }
 
-// distributor fans entries out to its querier pool, sticky by source.
+// distributor fans entries out to its querier pool, sticky by source. In
+// paced mode it is the timing authority: each entry's due time goes on
+// the distributor's wheel, which releases per-tick bursts to the
+// queriers. In fast mode entries are re-batched per querier and handed
+// straight over.
 type distributor struct {
-	en       *Engine
-	idx      int
-	in       chan trace.Entry
-	queriers []*querier
-	sources  *sourceTracker
+	en        *Engine
+	idx       int
+	in        chan []trace.Entry
+	queriers  []*querier
+	sources   *sourceTracker
+	wheel     *wheel
+	lookahead time.Duration
+	sp        atomic.Pointer[syncPoint]
 }
 
 func newDistributor(en *Engine, idx int, sources *sourceTracker) *distributor {
 	d := &distributor{
 		en:      en,
 		idx:     idx,
-		in:      make(chan trace.Entry, 256),
+		in:      make(chan []trace.Entry, 8),
 		sources: sources,
 	}
 	d.queriers = make([]*querier, en.cfg.QueriersPerDistributor)
 	for i := range d.queriers {
 		d.queriers[i] = newQuerier(en, fmt.Sprintf("d%d-q%d", idx, i))
 	}
+	// Paced bursts are sent inline on the wheel goroutine: paced mode is
+	// rate-limited, not throughput-bound, and skipping the channel +
+	// goroutine hop keeps the release-to-wire latency inside the pacing
+	// budget. (Fast mode bypasses the wheel and uses the querier
+	// goroutines via their channels.)
+	d.wheel = newWheel(defaultWheelTick, defaultWheelSlots, len(d.queriers), &en.wheelLag,
+		func(qidx int32, b []trace.Entry) {
+			d.queriers[qidx].sendBatch(b)
+			putBatch(b)
+		})
+	// Bounded lookahead: never schedule further ahead than a second (or
+	// half the wheel's horizon, if smaller), so the wheel's live-item
+	// footprint is proportional to rate, not trace length, and freed
+	// items recycle.
+	d.lookahead = min(d.wheel.horizon()/2, time.Second)
+	for _, q := range d.queriers {
+		q.wheel = d.wheel
+	}
 	return d
 }
 
 func (d *distributor) sync(sp *syncPoint) {
+	d.sp.Store(sp)
 	for _, q := range d.queriers {
 		q.setSync(sp)
 	}
@@ -420,23 +528,79 @@ func (d *distributor) run(ctx context.Context) {
 			q.run(ctx)
 		}(q)
 	}
-	assign := make(map[netip.Addr]int, 256)
-	nq := len(d.queriers)
-	for e := range d.in {
-		src := e.Src.Addr()
-		d.sources.note(src)
-		idx, ok := assign[src]
-		if !ok {
-			idx = int(maphash.Comparable(d.en.seed, src)) % nq
-			if idx < 0 {
-				idx = -idx
+	paced := !d.en.cfg.FastMode
+	nq := int32(len(d.queriers))
+	assign := make(map[netip.Addr]int32, 256)
+	scratch := make([][]trace.Entry, nq)
+	wait := time.NewTimer(time.Hour)
+	if !wait.Stop() {
+		<-wait.C
+	}
+	canceled := false
+	for b := range d.in {
+		if canceled || ctx.Err() != nil {
+			canceled = true
+			putBatch(b)
+			continue
+		}
+		sp := d.sp.Load()
+		for k := range b {
+			e := b[k]
+			src := e.Src.Addr()
+			idx, ok := assign[src]
+			if !ok {
+				idx = int32(maphash.Comparable(d.en.seed, src)) % nq
+				if idx < 0 {
+					idx = -idx
+				}
+				assign[src] = idx
+				d.sources.note(src)
 			}
-			assign[src] = idx
+			if paced && sp != nil {
+				due := sp.realStart.Add(e.Time.Sub(sp.traceStart))
+				if w := time.Until(due) - d.lookahead; w > 0 {
+					wait.Reset(w)
+					select {
+					case <-wait.C:
+					case <-ctx.Done():
+						if !wait.Stop() {
+							<-wait.C
+						}
+						canceled = true
+					}
+					if canceled {
+						break
+					}
+				}
+				d.wheel.scheduleEntry(due, idx, e)
+			} else {
+				sb := scratch[idx]
+				if sb == nil {
+					sb = getBatch()
+				}
+				sb = append(sb, e)
+				if len(sb) == cap(sb) {
+					d.queriers[idx].in <- sb
+					sb = nil
+				}
+				scratch[idx] = sb
+			}
 		}
-		select {
-		case d.queriers[idx].in <- e:
-		case <-ctx.Done():
+		putBatch(b)
+		for i, sb := range scratch {
+			if sb != nil {
+				d.queriers[i].in <- sb
+				scratch[i] = nil
+			}
 		}
+	}
+	// Drain the wheel: every scheduled entry must be delivered (or, on
+	// cancellation, discarded) before querier channels close.
+	for d.wheel.pacedPending() > 0 {
+		if ctx.Err() != nil {
+			d.wheel.discardPaced()
+		}
+		time.Sleep(d.wheel.tick)
 	}
 	for _, q := range d.queriers {
 		close(q.in)
@@ -444,7 +608,10 @@ func (d *distributor) run(ctx context.Context) {
 	wg.Wait()
 }
 
+// closeQueriers stops the timing wheel — after this no retransmission can
+// fire — and then tears down every querier's sockets.
 func (d *distributor) closeQueriers() {
+	d.wheel.stop()
 	for _, q := range d.queriers {
 		q.closeSockets()
 	}

@@ -1,0 +1,503 @@
+package replay
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldplayer/internal/trace"
+)
+
+// The timing wheel is the replay clock: one per distributor, one
+// goroutine, one ticker. Trace entries are binned into coarse ticks and
+// released as per-querier bursts when their tick expires, and UDP
+// retransmission deadlines occupy slots on the same wheel — so 100k
+// in-flight queries cost 100k list nodes, not 100k kernel timers, and a
+// due burst costs one wakeup instead of one timer-channel receive per
+// query.
+//
+// Ordering: entries arrive from the distributor in trace order with
+// nondecreasing due times, inserts clamp to the wheel's current tick,
+// slots are FIFO, and ticks are processed strictly in order — so
+// same-source sends stay in trace order end to end.
+//
+// Cancellation is lazy: a retransmit slot is invalidated by bumping the
+// pending entry's sequence number (answer, ID reuse, close) and the item
+// no-ops when its tick fires. Nothing ever searches the wheel.
+
+// wheelItem is one scheduled event: a paced trace entry (kindEntry) or a
+// retransmission deadline (kindRetrans). Items are recycled on a
+// freelist under the wheel lock.
+type wheelItem struct {
+	next    *wheelItem
+	dueTick int64
+	kind    uint8
+
+	// kindEntry
+	qidx  int32
+	entry trace.Entry
+
+	// kindRetrans
+	q    *querier
+	sock *udpSocket
+	id   uint16
+	seq  uint32
+}
+
+const (
+	kindEntry = iota
+	kindRetrans
+)
+
+// slotList is an intrusive FIFO of wheel items.
+type slotList struct{ head, tail *wheelItem }
+
+func (l *slotList) push(it *wheelItem) {
+	it.next = nil
+	if l.tail == nil {
+		l.head = it
+	} else {
+		l.tail.next = it
+	}
+	l.tail = it
+}
+
+// The release loop sleeps coarsely and spins the final stretch: OS/timer
+// wakeups here are 1ms+ late, far worse than the pacing budget, so the
+// wheel wakes spinBudget early on a timer and then yields in a
+// time.Now() loop until the exact release instant. When the wheel is
+// empty it parks on the kick channel (poked by inserts that beat the
+// current sleep target), re-checking at idleRecheck as a backstop.
+const (
+	spinBudget  = 2 * time.Millisecond
+	tightSpin   = 30 * time.Microsecond
+	idleRecheck = 100 * time.Millisecond
+)
+
+type wheel struct {
+	tick  time.Duration
+	mask  int64
+	start time.Time
+
+	mu       sync.Mutex
+	slots    []slotList
+	overflow slotList
+	// overflowMin is the earliest dueTick in overflow; when it comes
+	// within the horizon the overflow list is folded back into the wheel.
+	overflowMin int64
+	cur         int64 // next tick to process
+	free        *wheelItem
+	// sleepTick is the tick the release loop is currently sleeping
+	// toward; an insert due sooner pokes the kick channel.
+	sleepTick int64
+
+	// paced counts kindEntry items not yet delivered; the distributor
+	// drains on it at end of trace.
+	paced atomic.Int64
+	// lag receives the wheel's scheduling debt in nanoseconds — the
+	// engine's wheel-lag gauge.
+	lag *atomic.Int64
+
+	deliver func(qidx int32, batch []trace.Entry)
+	scratch [][]trace.Entry // per-querier batch assembly, advance only
+
+	kick     chan struct{}
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	stopOnce sync.Once
+}
+
+// newWheel sizes a wheel: tick granularity, a power-of-two slot count,
+// and the querier fan-out it delivers to.
+func newWheel(tick time.Duration, slots, queriers int, lag *atomic.Int64, deliver func(int32, []trace.Entry)) *wheel {
+	if slots&(slots-1) != 0 {
+		panic("replay: wheel slots must be a power of two")
+	}
+	w := &wheel{
+		tick:    tick,
+		mask:    int64(slots - 1),
+		start:   time.Now(),
+		slots:   make([]slotList, slots),
+		lag:     lag,
+		deliver: deliver,
+		scratch: make([][]trace.Entry, queriers),
+		kick:    make(chan struct{}, 1),
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	w.sleepTick = 1 << 62
+	go w.run()
+	return w
+}
+
+// horizon is the wheel's forward scheduling capacity.
+func (w *wheel) horizon() time.Duration {
+	return w.tick * time.Duration(len(w.slots))
+}
+
+// tickOf maps a deadline to its tick number, rounding up so releases are
+// never early.
+func (w *wheel) tickOf(due time.Time) int64 {
+	d := due.Sub(w.start)
+	if d <= 0 {
+		return 0
+	}
+	return int64((d + w.tick - 1) / w.tick)
+}
+
+// itemChunk is how many wheelItems are allocated at once when the
+// freelist runs dry: items are population-sized (one per in-flight
+// deadline), so chunking turns tens of thousands of warmup allocations
+// into a few slab allocations with better locality.
+const itemChunk = 256
+
+// newItem pops the freelist, refilling it a chunk at a time; callers
+// hold w.mu.
+func (w *wheel) newItem() *wheelItem {
+	if w.free == nil {
+		chunk := make([]wheelItem, itemChunk)
+		for i := range chunk {
+			chunk[i].next = w.free
+			w.free = &chunk[i]
+		}
+	}
+	it := w.free
+	w.free = it.next
+	*it = wheelItem{}
+	return it
+}
+
+// recycle pushes items back on the freelist, dropping entry references;
+// callers hold w.mu.
+func (w *wheel) recycle(it *wheelItem) {
+	*it = wheelItem{next: w.free}
+	w.free = it
+}
+
+// insert files it at dueTick (clamped to the current tick) and wakes the
+// release loop if this item is due before its current sleep target;
+// callers hold w.mu.
+func (w *wheel) insert(it *wheelItem) {
+	if it.dueTick < w.cur {
+		it.dueTick = w.cur
+	}
+	if it.dueTick-w.cur > w.mask {
+		if w.overflow.head == nil || it.dueTick < w.overflowMin {
+			w.overflowMin = it.dueTick
+		}
+		w.overflow.push(it)
+	} else {
+		w.slots[it.dueTick&w.mask].push(it)
+	}
+	if it.dueTick < w.sleepTick {
+		w.sleepTick = it.dueTick
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// scheduleEntry bins a paced trace entry for release to querier qidx at
+// due.
+func (w *wheel) scheduleEntry(due time.Time, qidx int32, e trace.Entry) {
+	w.paced.Add(1)
+	w.mu.Lock()
+	it := w.newItem()
+	it.dueTick = w.tickOf(due)
+	it.kind = kindEntry
+	it.qidx = qidx
+	it.entry = e
+	w.insert(it)
+	w.mu.Unlock()
+}
+
+// scheduleRetrans arms a retransmission deadline for (sock, id, seq).
+func (w *wheel) scheduleRetrans(delay time.Duration, q *querier, sock *udpSocket, id uint16, seq uint32) {
+	w.mu.Lock()
+	it := w.newItem()
+	it.dueTick = w.tickOf(time.Now().Add(delay))
+	it.kind = kindRetrans
+	it.q = q
+	it.sock = sock
+	it.id = id
+	it.seq = seq
+	w.insert(it)
+	w.mu.Unlock()
+}
+
+// rescanOverflow re-files overflow items now within the horizon and
+// recomputes the overflow watermark; callers hold w.mu.
+func (w *wheel) rescanOverflow() {
+	var rest slotList
+	min := int64(1) << 62
+	for it := w.overflow.head; it != nil; {
+		next := it.next
+		if it.dueTick-w.cur <= w.mask {
+			it.next = nil
+			w.insert(it)
+		} else {
+			if it.dueTick < min {
+				min = it.dueTick
+			}
+			rest.push(it)
+		}
+		it = next
+	}
+	w.overflow = rest
+	w.overflowMin = min
+}
+
+// nextDue finds the earliest scheduled tick and records it as the sleep
+// target (under the lock, so a racing insert either is seen by this scan
+// or sees the fresh target and kicks).
+func (w *wheel) nextDue() (int64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	best := int64(-1)
+	for off := int64(0); off <= w.mask; off++ {
+		t := w.cur + off
+		it := w.slots[t&w.mask].head
+		if it == nil {
+			continue
+		}
+		// A slot can also hold items for future rotations; take its min.
+		min := it.dueTick
+		for it = it.next; it != nil; it = it.next {
+			if it.dueTick < min {
+				min = it.dueTick
+			}
+		}
+		if best < 0 || min < best {
+			best = min
+		}
+		if min == t {
+			// Due this rotation: later offsets and prior future-rotation
+			// candidates are all strictly later.
+			break
+		}
+	}
+	for it := w.overflow.head; it != nil; it = it.next {
+		if best < 0 || it.dueTick < best {
+			best = it.dueTick
+		}
+	}
+	if best < 0 {
+		w.sleepTick = 1 << 62
+		return 0, false
+	}
+	w.sleepTick = best
+	return best, true
+}
+
+// run is the release loop: process due ticks, then sleep coarsely toward
+// the next scheduled tick and spin the last spinBudget for a release
+// precision far under the timer subsystem's wakeup latency.
+func (w *wheel) run() {
+	defer close(w.doneCh)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	sleep := func(d time.Duration) (kicked bool) {
+		timer.Reset(d)
+		select {
+		case <-w.stopCh:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return false
+		case <-w.kick:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return true
+		case <-timer.C:
+			return false
+		}
+	}
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		default:
+		}
+		w.advance(time.Now())
+		next, ok := w.nextDue()
+		if !ok {
+			sleep(idleRecheck)
+			continue
+		}
+		target := w.start.Add(time.Duration(next) * w.tick)
+		if dt := time.Until(target); dt > spinBudget {
+			if sleep(dt-spinBudget) || isStopped(w.stopCh) {
+				continue // re-evaluate: earlier work arrived or stopping
+			}
+		}
+		// Yield while far out; hold the CPU for the final tightSpin so a
+		// scheduler round-trip can't push the release past the deadline.
+		for {
+			rem := time.Until(target)
+			if rem <= 0 {
+				break
+			}
+			select {
+			case <-w.stopCh:
+				return
+			default:
+			}
+			if rem > tightSpin {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+func isStopped(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// advance processes every tick up to now: due items are collected in
+// tick order under the lock, then delivered (paced bursts) and fired
+// (retransmissions) outside it.
+func (w *wheel) advance(now time.Time) {
+	w.mu.Lock()
+	target := int64(now.Sub(w.start) / w.tick)
+	if target < w.cur {
+		w.mu.Unlock()
+		return
+	}
+	w.lag.Store(int64(now.Sub(w.start.Add(time.Duration(w.cur) * w.tick))))
+	var due slotList
+	for w.cur <= target {
+		s := &w.slots[w.cur&w.mask]
+		var keep slotList
+		for it := s.head; it != nil; {
+			next := it.next
+			if it.dueTick <= w.cur {
+				due.push(it)
+			} else {
+				keep.push(it)
+			}
+			it = next
+		}
+		*s = keep
+		w.cur++
+		if w.overflow.head != nil && w.overflowMin-w.cur <= w.mask {
+			w.rescanOverflow()
+		}
+	}
+	w.mu.Unlock()
+
+	if due.head == nil {
+		return
+	}
+	// Assemble per-querier bursts in release order, then hand them off.
+	// Retransmissions fire inline — they re-send on this goroutine, which
+	// is exactly the "slots on the wheel, work on one loop" design.
+	released := 0
+	for it := due.head; it != nil; it = it.next {
+		switch it.kind {
+		case kindEntry:
+			b := w.scratch[it.qidx]
+			if b == nil {
+				b = getBatch()
+			}
+			w.scratch[it.qidx] = append(b, it.entry)
+			released++
+		case kindRetrans:
+			it.q.retransmitUDP(it.sock, it.id, it.seq)
+		}
+	}
+	for qidx, b := range w.scratch {
+		if b != nil {
+			w.scratch[qidx] = nil
+			w.deliver(int32(qidx), b)
+		}
+	}
+	if released > 0 {
+		w.paced.Add(int64(-released))
+	}
+	w.mu.Lock()
+	for it := due.head; it != nil; {
+		next := it.next
+		w.recycle(it)
+		it = next
+	}
+	w.mu.Unlock()
+}
+
+// pacedPending reports undelivered paced entries (the distributor's drain
+// condition).
+func (w *wheel) pacedPending() int64 { return w.paced.Load() }
+
+// discardPaced drops every undelivered paced entry (context
+// cancellation); retransmission items stay armed.
+func (w *wheel) discardPaced() {
+	w.mu.Lock()
+	dropped := 0
+	filter := func(l slotList) slotList {
+		var keep slotList
+		for it := l.head; it != nil; {
+			next := it.next
+			if it.kind == kindEntry {
+				w.recycle(it)
+				dropped++
+			} else {
+				it.next = nil
+				keep.push(it)
+			}
+			it = next
+		}
+		return keep
+	}
+	for i := range w.slots {
+		w.slots[i] = filter(w.slots[i])
+	}
+	w.overflow = filter(w.overflow)
+	w.mu.Unlock()
+	if dropped > 0 {
+		w.paced.Add(int64(-dropped))
+	}
+}
+
+// stop terminates the wheel goroutine and drops all scheduled work.
+func (w *wheel) stop() {
+	w.stopOnce.Do(func() { close(w.stopCh) })
+	<-w.doneCh
+}
+
+// batchFree recycles the entry batches that flow from the wheel (and the
+// fast-mode distributor) to the queriers. A buffered channel rather than
+// a sync.Pool: channel send/receive of a slice does not box it into an
+// interface, so recycling a batch is allocation-free — with a Pool every
+// Put costs one heap allocation, i.e. one allocation per released burst.
+// The capacity bounds the resident recycled memory; overflow batches are
+// simply dropped for the GC.
+var batchFree = make(chan []trace.Entry, 64)
+
+func getBatch() []trace.Entry {
+	select {
+	case b := <-batchFree:
+		return b
+	default:
+		return make([]trace.Entry, 0, defaultMaxBatch)
+	}
+}
+
+func putBatch(b []trace.Entry) {
+	if cap(b) < defaultMaxBatch {
+		return // undersized stray; let the GC take it
+	}
+	clear(b[:cap(b)]) // drop message references so slabs can be collected
+	select {
+	case batchFree <- b[:0]:
+	default:
+	}
+}

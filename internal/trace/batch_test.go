@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"ldplayer/internal/dnswire"
+)
+
+// manyEntries builds n distinct entries for batch-decode tests.
+func manyEntries(t *testing.T, n int) []Entry {
+	t.Helper()
+	base := time.Unix(1461234567, 0)
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = queryEntry(t, base.Add(time.Duration(i)*time.Millisecond),
+			fmt.Sprintf("10.0.%d.%d:5353", i/256, i%256), "198.41.0.4:53",
+			Protocol(i%3), fmt.Sprintf("q%d.example.com.", i), dnswire.TypeA, nil)
+	}
+	return out
+}
+
+// TestBinaryBatchDecodeMatchesNext decodes one stream twice — per-entry
+// and batched with an awkward batch size — and requires identical output.
+func TestBinaryBatchDecodeMatchesNext(t *testing.T) {
+	entries := manyEntries(t, 257)
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, e := range entries {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+
+	want := drain(t, NewBinaryReader(bytes.NewReader(stream)))
+
+	br := NewBinaryReader(bytes.NewReader(stream))
+	var got []Entry
+	batch := make([]Entry, 33) // deliberately not a divisor of 257
+	for {
+		n, err := br.NextBatch(batch)
+		got = append(got, batch[:n]...)
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch decode produced %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		assertEntriesEqual(t, i, got[i], want[i])
+	}
+}
+
+// TestReadBatchFallback exercises the per-entry fallback for readers
+// without a batch path and the batch path of SliceReader.
+func TestReadBatchFallback(t *testing.T) {
+	entries := manyEntries(t, 10)
+
+	// SliceReader implements BatchReader directly.
+	sr := NewSliceReader(entries)
+	dst := make([]Entry, 4)
+	var total int
+	for {
+		n, err := ReadBatch(sr, dst)
+		total += n
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	if total != 10 {
+		t.Errorf("SliceReader batches yielded %d entries, want 10", total)
+	}
+
+	// A plain Reader goes through the Next fallback.
+	plain := struct{ Reader }{NewSliceReader(entries)}
+	total = 0
+	for {
+		n, err := ReadBatch(plain, dst)
+		total += n
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	if total != 10 {
+		t.Errorf("fallback batches yielded %d entries, want 10", total)
+	}
+}
+
+func assertEntriesEqual(t *testing.T, i int, got, want Entry) {
+	t.Helper()
+	if !got.Time.Equal(want.Time) || got.Src != want.Src || got.Dst != want.Dst ||
+		got.Protocol != want.Protocol || !bytes.Equal(got.Message, want.Message) {
+		t.Errorf("entry %d mismatch:\n got %+v\nwant %+v", i, got, want)
+	}
+}

@@ -67,28 +67,43 @@ func (b *BinaryWriter) Flush() error { return b.w.Flush() }
 type BinaryReader struct {
 	r        *bufio.Reader
 	readHead bool
+	// slab is the carve-out arena for record payloads on the batch decode
+	// path: one allocation serves many records, so the reader goroutine
+	// stops paying one make per entry.
+	slab []byte
 }
+
+// slabSize is the batch-decode arena granularity. Records larger than the
+// remaining slab get a fresh one, so a slab pins at most slabSize bytes
+// past the lifetime of the entries carved from it.
+const slabSize = 512 * 1024
 
 // NewBinaryReader creates a BinaryReader on r.
 func NewBinaryReader(r io.Reader) *BinaryReader {
 	return &BinaryReader{r: bufio.NewReaderSize(r, 256*1024)}
 }
 
-// Next implements Reader.
-func (b *BinaryReader) Next() (Entry, error) {
-	if !b.readHead {
-		var magic [8]byte
-		if _, err := io.ReadFull(b.r, magic[:]); err != nil {
-			if err == io.EOF {
-				return Entry{}, io.EOF
-			}
-			return Entry{}, fmt.Errorf("trace: reading binary magic: %w", err)
-		}
-		if magic != binaryMagic {
-			return Entry{}, fmt.Errorf("trace: bad binary magic %q", magic[:])
-		}
-		b.readHead = true
+// head consumes and validates the stream magic on first use.
+func (b *BinaryReader) head() error {
+	if b.readHead {
+		return nil
 	}
+	var magic [8]byte
+	if _, err := io.ReadFull(b.r, magic[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("trace: reading binary magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return fmt.Errorf("trace: bad binary magic %q", magic[:])
+	}
+	b.readHead = true
+	return nil
+}
+
+// next reads one record payload into buf (freshly carved) and decodes it.
+func (b *BinaryReader) next() (Entry, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(b.r, hdr[:]); err != nil {
 		if err == io.EOF {
@@ -96,17 +111,44 @@ func (b *BinaryReader) Next() (Entry, error) {
 		}
 		return Entry{}, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > maxBinaryRecord {
 		return Entry{}, fmt.Errorf("trace: binary record of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
+	if len(b.slab) < n {
+		b.slab = make([]byte, max(slabSize, n))
+	}
+	buf := b.slab[:n:n]
+	b.slab = b.slab[n:]
 	if _, err := io.ReadFull(b.r, buf); err != nil {
 		return Entry{}, fmt.Errorf("trace: truncated binary record: %w", err)
 	}
-	e, err := UnmarshalEntry(buf)
-	if err != nil {
+	return UnmarshalEntry(buf)
+}
+
+// Next implements Reader.
+func (b *BinaryReader) Next() (Entry, error) {
+	if err := b.head(); err != nil {
 		return Entry{}, err
 	}
-	return e, nil
+	return b.next()
+}
+
+// NextBatch implements BatchReader: it decodes up to len(dst) consecutive
+// records in one call, carving their payloads out of a shared slab.
+func (b *BinaryReader) NextBatch(dst []Entry) (int, error) {
+	if err := b.head(); err != nil {
+		return 0, err
+	}
+	for i := range dst {
+		e, err := b.next()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				return i, nil
+			}
+			return i, err
+		}
+		dst[i] = e
+	}
+	return len(dst), nil
 }

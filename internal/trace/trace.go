@@ -63,7 +63,12 @@ type Entry struct {
 	Dst netip.AddrPort
 	// Protocol the message used, or should use after mutation.
 	Protocol Protocol
-	// Message is the wire-format DNS message.
+	// Message is the wire-format DNS message. Readers carve each message
+	// out of fresh (or caller-owned, never-recycled) memory, so the buffer
+	// is immutable once the entry is produced and downstream stages may
+	// retain references to it past the entry's batch lifetime — the replay
+	// retransmission path depends on this to track in-flight queries
+	// without copying.
 	Message []byte
 }
 
@@ -87,6 +92,37 @@ type Reader interface {
 // Writer persists trace entries.
 type Writer interface {
 	Write(Entry) error
+}
+
+// BatchReader is implemented by readers that can decode many entries per
+// call, amortizing per-record dispatch and allocation on the replay
+// pre-load path. NextBatch fills dst from the front and returns the
+// number of entries produced plus any error, following the io.Reader
+// convention: callers must process the n entries before considering the
+// error, and io.EOF is never returned alongside n > 0.
+type BatchReader interface {
+	Reader
+	NextBatch(dst []Entry) (int, error)
+}
+
+// ReadBatch fills dst from r, using the batch decode path when r provides
+// one and falling back to per-entry Next calls otherwise. Same return
+// convention as NextBatch.
+func ReadBatch(r Reader, dst []Entry) (int, error) {
+	if br, ok := r.(BatchReader); ok {
+		return br.NextBatch(dst)
+	}
+	for i := range dst {
+		e, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) && i > 0 {
+				return i, nil
+			}
+			return i, err
+		}
+		dst[i] = e
+	}
+	return len(dst), nil
 }
 
 // ReadAll drains r into a slice (tests and small traces only; replay
@@ -124,6 +160,16 @@ func (r *SliceReader) Next() (Entry, error) {
 	e := r.entries[r.pos]
 	r.pos++
 	return e, nil
+}
+
+// NextBatch implements BatchReader.
+func (r *SliceReader) NextBatch(dst []Entry) (int, error) {
+	if r.pos >= len(r.entries) {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.entries[r.pos:])
+	r.pos += n
+	return n, nil
 }
 
 // Reset rewinds the reader for another pass.
