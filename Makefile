@@ -1,18 +1,25 @@
 # Development targets for the LDplayer reproduction. `make check` is the
-# gate every change must pass: vet, build, the full test suite under the
-# race detector, a short-form run of the engine hot-path benchmarks
-# (which also executes their allocation sanity assertions), the
-# observability smoke test, and a short fuzz budget over the DNS wire
-# codec.
+# gate every change must pass: vet, the repo's own static analyzers
+# (ldlint), build, the full test suite under the race detector, a
+# short-form run of the engine hot-path benchmarks (which also executes
+# their allocation sanity assertions), the observability smoke test, and
+# a short fuzz budget over the DNS wire codec.
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-replay bench-replay-smoke bench obs-smoke fuzz-smoke
+.PHONY: check vet lint build test race bench-smoke bench-replay bench-replay-smoke bench obs-smoke fuzz-smoke
 
-check: vet build race bench-smoke bench-replay-smoke obs-smoke fuzz-smoke
+check: vet lint build race bench-smoke bench-replay-smoke obs-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis: enforces the zero-alloc, determinism,
+# pool-shape, trace-immutability, and lock-copy contracts. Exits
+# non-zero on any diagnostic. `go run ./cmd/ldlint -h` documents the
+# -list/-only/-disable flags and the //ldlint: directive grammar.
+lint:
+	$(GO) run ./cmd/ldlint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,20 @@
+// Command ldlint runs the repository's static-analysis suite: five
+// analyzers (noalloc, determinism, poolput, msgimmutable, atomiccopy)
+// that enforce the performance and determinism contracts documented in
+// DESIGN.md, built entirely on the stdlib toolchain. It exits non-zero
+// when any contract is violated.
+//
+// Usage:
+//
+//	ldlint [-list] [-only a,b] [-disable a,b] [-C dir] [./...]
+package main
+
+import (
+	"os"
+
+	"ldplayer/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

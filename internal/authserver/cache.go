@@ -36,6 +36,8 @@ const (
 // in the qname, TSIG, multiple questions) falls back to the slow path
 // and is simply not cached, which keeps hit behaviour bit-identical to
 // the slow path by construction.
+//
+//ldlint:noalloc
 func buildCacheKey(sc *scratch, query []byte, transport Transport) (int, bool) {
 	if len(query) < 12 {
 		return 0, false
@@ -151,6 +153,8 @@ func newRespCache() *respCache {
 // RD bit, and question bytes, or nil on miss (with rcode for the span).
 // It charges the engine's response counters exactly as the slow path
 // would have.
+//
+//ldlint:noalloc
 func (c *respCache) get(key, query []byte, qnameLen int, e *Engine) ([]byte, dnswire.Rcode) {
 	c.mu.RLock()
 	ent := c.m[string(key)]
@@ -158,7 +162,7 @@ func (c *respCache) get(key, query []byte, qnameLen int, e *Engine) ([]byte, dns
 	if ent == nil {
 		return nil, 0
 	}
-	out := make([]byte, len(ent.wire))
+	out := make([]byte, len(ent.wire)) //ldlint:ignore noalloc caller-owned copy is the contract's one allocation per response
 	copy(out, ent.wire)
 	// Patch the ID, echo the client's RD flag, and echo the question
 	// region byte-for-byte so 0x20-style mixed-case names round-trip.

@@ -27,7 +27,12 @@ type EDNSOption struct {
 // configuration common at root servers during the paper's trace epochs.
 const DefaultEDNSSize = 4096
 
+// errEDNSOptTooLong is hoisted out of the noalloc appendTo.
+var errEDNSOptTooLong = errors.New("dnswire: EDNS options exceed 65535 octets")
+
 // appendTo appends the OPT pseudo-record encoding.
+//
+//ldlint:noalloc
 func (e *EDNS) appendTo(buf []byte) ([]byte, error) {
 	buf = append(buf, 0) // root owner name
 	buf = binary.BigEndian.AppendUint16(buf, uint16(TypeOPT))
@@ -48,7 +53,7 @@ func (e *EDNS) appendTo(buf []byte) ([]byte, error) {
 	}
 	rdlen := len(buf) - lenAt - 2
 	if rdlen > 0xFFFF {
-		return buf, errors.New("dnswire: EDNS options exceed 65535 octets")
+		return buf, errEDNSOptTooLong
 	}
 	binary.BigEndian.PutUint16(buf[lenAt:], uint16(rdlen))
 	return buf, nil

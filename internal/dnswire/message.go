@@ -126,6 +126,8 @@ var (
 	ErrTruncatedMessage = errors.New("dnswire: truncated message")
 	ErrMessageTooLarge  = errors.New("dnswire: message exceeds 65535 octets")
 	errSectionCount     = errors.New("dnswire: section count overflows message")
+	errNilRData         = errors.New("dnswire: record with nil rdata")
+	errRDataTooLong     = errors.New("dnswire: rdata exceeds 65535 octets")
 )
 
 // compressorPool recycles compression state across Pack calls so the
@@ -138,6 +140,8 @@ var compressorPool = sync.Pool{
 // slice. Name compression is applied to owner names and to the
 // compressible rdata names. Pass buf = nil to allocate; packing into a
 // presized buffer performs no intermediate allocations.
+//
+//ldlint:noalloc
 func (m *Message) Pack(buf []byte) ([]byte, error) {
 	msgStart := len(buf)
 	cmp := compressorPool.Get().(*compressor)
@@ -165,7 +169,7 @@ func (m *Message) Pack(buf []byte) ([]byte, error) {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
 		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
 	}
-	for _, section := range [][]RR{m.Answer, m.Authority, m.Additional} {
+	for _, section := range [...][]RR{m.Answer, m.Authority, m.Additional} {
 		for _, rr := range section {
 			if buf, err = appendRR(buf, rr, cmp, msgStart); err != nil {
 				return buf, err
@@ -183,9 +187,10 @@ func (m *Message) Pack(buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
+//ldlint:noalloc
 func appendRR(buf []byte, rr RR, cmp compressionMap, msgStart int) ([]byte, error) {
 	if rr.Data == nil {
-		return buf, errors.New("dnswire: record with nil rdata")
+		return buf, errNilRData
 	}
 	var err error
 	if buf, err = appendName(buf, rr.Name, cmp, msgStart); err != nil {
@@ -202,7 +207,7 @@ func appendRR(buf []byte, rr RR, cmp compressionMap, msgStart int) ([]byte, erro
 	}
 	rdlen := len(buf) - lenAt - 2
 	if rdlen > 0xFFFF {
-		return buf, errors.New("dnswire: rdata exceeds 65535 octets")
+		return buf, errRDataTooLong
 	}
 	binary.BigEndian.PutUint16(buf[lenAt:], uint16(rdlen))
 	return buf, nil

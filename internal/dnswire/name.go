@@ -145,6 +145,8 @@ func (c *compressor) reset() {
 // suffixes are recorded (only offsets that fit in 14 bits are recorded, per
 // RFC 1035). For a canonical name the encoding performs no allocations:
 // suffixes are substrings of name and labels are appended directly.
+//
+//ldlint:noalloc
 func appendName(buf []byte, name string, cmp compressionMap, msgStart int) ([]byte, error) {
 	name = CanonicalName(name)
 	if nameWireLen(name) > maxNameWire {

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicCopy flags by-value copies of types that transitively contain
+// sync or sync/atomic state. Copying a mutex forks its lock word;
+// copying an atomic forks the value every other goroutine is
+// publishing through — both turn a synchronization point into two
+// unsynchronized ones. go vet's copylocks covers the common cases;
+// this analyzer re-checks them plus the shapes vet stays silent on
+// (interface boxing of lock-containing values, value receivers and
+// results on lock-containing types).
+//
+// Flagged: value parameters, value receivers, value results, range
+// copies, assignments copying an existing lock-containing value, and
+// interface boxing of lock-containing values. Constructing a fresh
+// value (composite literal, make, new) is legal.
+var AtomicCopy = &Analyzer{
+	Name: "atomiccopy",
+	Doc:  "flag by-value copies of structs containing sync or sync/atomic fields",
+	Run:  runAtomicCopy,
+}
+
+func runAtomicCopy(pass *Pass) {
+	c := &lockCache{memo: make(map[types.Type]bool)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, c, n.Recv, n.Type)
+			case *ast.FuncLit:
+				checkFuncSig(pass, c, nil, n.Type)
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := exprType(pass.Info, n.Value); t != nil && c.containsLock(t) {
+						pass.Reportf(n.Value.Pos(), "range copies %s by value; it contains %s — iterate by index or pointer", t, c.why(t))
+					}
+				}
+			case *ast.AssignStmt:
+				checkAssignCopies(pass, c, n)
+			case *ast.CallExpr:
+				checkCallCopies(pass, c, n)
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if isCopyingExpr(res) {
+						if t := exprType(pass.Info, res); t != nil && c.containsLock(t) {
+							pass.Reportf(res.Pos(), "return copies %s by value; it contains %s", t, c.why(t))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncSig flags value receivers, params, and results whose types
+// contain locks.
+func checkFuncSig(pass *Pass, c *lockCache, recv *ast.FieldList, ft *ast.FuncType) {
+	flag := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := exprType(pass.Info, field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if c.containsLock(t) {
+				pass.Reportf(field.Type.Pos(), "%s passes %s by value; it contains %s — use a pointer", what, t, c.why(t))
+			}
+		}
+	}
+	flag(recv, "receiver")
+	flag(ft.Params, "parameter")
+	flag(ft.Results, "result")
+}
+
+// checkAssignCopies flags assignments that copy an existing
+// lock-containing value (reading through a variable, field, index, or
+// dereference). Fresh construction on the RHS is fine.
+func checkAssignCopies(pass *Pass, c *lockCache, a *ast.AssignStmt) {
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, rhs := range a.Rhs {
+		if !isCopyingExpr(rhs) {
+			continue
+		}
+		t := exprType(pass.Info, rhs)
+		if t == nil || !c.containsLock(t) {
+			continue
+		}
+		if id, ok := ast.Unparen(a.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		pass.Reportf(a.Pos(), "assignment copies %s by value; it contains %s", t, c.why(t))
+	}
+}
+
+// checkCallCopies flags lock-containing values passed by value as call
+// arguments, including the implicit copy of interface boxing (which
+// vet's copylocks does not model).
+func checkCallCopies(pass *Pass, c *lockCache, call *ast.CallExpr) {
+	info := pass.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: T(x) copies x when T is an interface or value type.
+		if len(call.Args) == 1 {
+			if t := exprType(info, call.Args[0]); t != nil && c.containsLock(t) {
+				pass.Reportf(call.Args[0].Pos(), "conversion copies %s by value; it contains %s", t, c.why(t))
+			}
+		}
+		return
+	}
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1 && !call.Ellipsis.IsValid():
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isPtr := pt.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		t := exprType(info, arg)
+		if t == nil || !c.containsLock(t) {
+			continue
+		}
+		if types.IsInterface(pt.Underlying()) {
+			pass.Reportf(arg.Pos(), "argument boxes %s into %s, copying its %s (not reported by vet copylocks)", t, pt, c.why(t))
+		} else {
+			pass.Reportf(arg.Pos(), "argument copies %s by value; it contains %s", t, c.why(t))
+		}
+	}
+}
+
+// isCopyingExpr reports whether evaluating e copies an existing value
+// rather than constructing a fresh one.
+func isCopyingExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := objOf(info, id); obj != nil {
+			if _, isType := obj.(*types.TypeName); !isType {
+				return obj.Type()
+			}
+			return obj.Type()
+		}
+	}
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// lockCache memoizes containsLock over types and remembers which
+// component made a type lock-containing, for diagnostics.
+type lockCache struct {
+	memo   map[types.Type]bool
+	reason map[types.Type]string
+}
+
+// lockTypes are the sync and sync/atomic types whose copy is a bug.
+var lockTypes = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+		"Cond": true, "Pool": true, "Map": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Value": true, "Pointer": true,
+	},
+}
+
+func (c *lockCache) why(t types.Type) string {
+	if c.reason == nil {
+		c.reason = make(map[types.Type]string)
+	}
+	if r, ok := c.reason[t]; ok && r != "" {
+		return r
+	}
+	return "synchronization state"
+}
+
+func (c *lockCache) containsLock(t types.Type) bool {
+	if v, ok := c.memo[t]; ok {
+		return v
+	}
+	c.memo[t] = false // cycle guard: recursive types via pointers only
+	v, why := c.scan(t)
+	c.memo[t] = v
+	if v {
+		if c.reason == nil {
+			c.reason = make(map[types.Type]string)
+		}
+		c.reason[t] = why
+	}
+	return v
+}
+
+func (c *lockCache) scan(t types.Type) (bool, string) {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			if names, ok := lockTypes[obj.Pkg().Path()]; ok && names[obj.Name()] {
+				return true, obj.Pkg().Path() + "." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if c.containsLock(u.Field(i).Type()) {
+				return true, c.why(u.Field(i).Type())
+			}
+		}
+	case *types.Array:
+		if c.containsLock(u.Elem()) {
+			return true, c.why(u.Elem())
+		}
+	}
+	return false, ""
+}

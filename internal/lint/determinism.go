@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the seeded-fault-model contract from the chaos
+// harness: a link's per-packet fate sequence must be a pure function
+// of its seed and the order datagrams arrive, so a chaos scenario
+// replays bit-identically (TestImpairmentDeterministic and the five
+// seeded chaostest scenarios depend on it). In scoped packages it
+// forbids:
+//
+//   - time.Now and time.Since: wall-clock reads leak real time into
+//     simulated behaviour (timer *scheduling* via time.AfterFunc is
+//     part of the delivery model and stays legal — it affects arrival
+//     order, which the contract already parameterizes);
+//   - the global math/rand PRNG (rand.Intn, rand.Float64, ...): it is
+//     shared, unseeded state; constructors (rand.New, rand.NewSource,
+//     rand.NewZipf) for per-impairer seeded PRNGs are the sanctioned
+//     pattern;
+//   - ranging over maps: iteration order is randomized per run, so any
+//     map-range whose body feeds the fault sequence breaks seed
+//     stability. Order-independent aggregations (stat sums, close-all
+//     loops) carry a reasoned //ldlint:ignore.
+//
+// Scope: packages under ldplayer/internal/netsim, plus any package
+// with a //ldlint:deterministic directive comment.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, global math/rand, and map iteration in seeded-fault-model packages",
+	Run:  runDeterminism,
+}
+
+// deterministicScopePrefix hardcodes the fault-model packages so the
+// contract cannot be silently dropped by deleting a directive comment.
+const deterministicScopePrefix = "ldplayer/internal/netsim"
+
+// randConstructors are the math/rand package-level functions that build
+// seeded per-instance PRNGs rather than touching the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2 spellings
+}
+
+func runDeterminism(pass *Pass) {
+	inScope := pass.Path == deterministicScopePrefix ||
+		strings.HasPrefix(pass.Path, deterministicScopePrefix+"/")
+	if !inScope {
+		for _, f := range pass.Files {
+			if fileHasDirective(f, directiveDeterministic) {
+				inScope = true
+				break
+			}
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkgPath, name, ok := packageLevelCallee(pass.Info, sel)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkgPath == "time" && (name == "Now" || name == "Since" || name == "Until"):
+					pass.Reportf(n.Pos(), "time.%s reads the wall clock in deterministic fault-model code", name)
+				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[name]:
+					pass.Reportf(n.Pos(), "rand.%s uses the global math/rand PRNG; draw from a seeded per-impairer *rand.Rand instead", name)
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "map iteration order is nondeterministic; it must not feed the fault sequence")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Options configures a driver run.
+type Options struct {
+	// Root is the directory to lint (the module is found from here).
+	Root string
+	// Only restricts the run to the named analyzers (nil = all).
+	Only []string
+	// Disable removes the named analyzers from the run.
+	Disable []string
+}
+
+// SelectAnalyzers resolves Only/Disable against the full suite.
+func (o Options) SelectAnalyzers() ([]*Analyzer, error) {
+	selected := All
+	if len(o.Only) > 0 {
+		selected = nil
+		for _, name := range o.Only {
+			a := ByName(name)
+			if a == nil {
+				return nil, fmt.Errorf("ldlint: unknown analyzer %q", name)
+			}
+			selected = append(selected, a)
+		}
+	}
+	if len(o.Disable) > 0 {
+		drop := make(map[string]bool)
+		for _, name := range o.Disable {
+			if ByName(name) == nil {
+				return nil, fmt.Errorf("ldlint: unknown analyzer %q", name)
+			}
+			drop[name] = true
+		}
+		kept := make([]*Analyzer, 0, len(selected))
+		for _, a := range selected {
+			if !drop[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		selected = kept
+	}
+	return selected, nil
+}
+
+// Run lints every package under opts.Root with the selected analyzers
+// and returns all surviving diagnostics, grouped by package and sorted
+// by position. Packages that fail to load are reported as diagnostics
+// under the "ldlint" name rather than aborting the run.
+func Run(opts Options) ([]Diagnostic, error) {
+	analyzers, err := opts.SelectAnalyzers()
+	if err != nil {
+		return nil, err
+	}
+	loader, err := NewLoader(opts.Root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := WalkPackages(loader.ModuleDir)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			diags = append(diags, Diagnostic{Analyzer: "ldlint",
+				Pos: position(dir), Message: err.Error()})
+			continue
+		}
+		diags = append(diags, RunPackage(pkg, analyzers)...)
+	}
+	return diags, nil
+}
+
+// position fabricates a file position for package-level load errors.
+func position(dir string) token.Position {
+	return token.Position{Filename: filepath.Join(dir, "(package)")}
+}
+
+// Print writes diagnostics grouped by package directory.
+func Print(w io.Writer, diags []Diagnostic) {
+	lastDir := ""
+	for _, d := range diags {
+		dir := filepath.Dir(d.Pos.Filename)
+		if dir != lastDir {
+			fmt.Fprintf(w, "# %s\n", dir)
+			lastDir = dir
+		}
+		fmt.Fprintln(w, d.String())
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(w, "ldlint: %d issue(s)\n", n)
+	}
+}
+
+// Main is the ldlint entry point; it returns the process exit code
+// (0 clean, 1 diagnostics found, 2 usage or load failure).
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ldlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		only    = fs.String("only", "", "comma-separated analyzers to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated analyzers to skip")
+		root    = fs.String("C", ".", "directory to lint (module root is located from here)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, `usage: ldlint [flags] [./...]
+
+ldlint statically enforces this repository's performance and
+determinism contracts over every package in the module. It exits
+non-zero when any contract is violated.
+
+Suppress a finding with an explicit reason on the same line or the
+line above:
+
+	//ldlint:ignore <analyzer> <reason>
+
+Mark a function as a zero-allocation hot path with //ldlint:noalloc
+in its doc comment; opt a package into the determinism contract with
+//ldlint:deterministic.
+
+Flags:
+`)
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "\nAnalyzers:\n")
+		writeAnalyzerList(stderr)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		writeAnalyzerList(stdout)
+		return 0
+	}
+	for _, arg := range fs.Args() {
+		// Positional patterns exist for go-tool symmetry; the driver
+		// always walks the whole module, which is what every pattern in
+		// this repo ("./...") means.
+		if arg != "./..." && arg != "..." {
+			fmt.Fprintf(stderr, "ldlint: unsupported package pattern %q (only ./... )\n", arg)
+			return 2
+		}
+	}
+	opts := Options{Root: *root}
+	if *only != "" {
+		opts.Only = splitList(*only)
+	}
+	if *disable != "" {
+		opts.Disable = splitList(*disable)
+	}
+	diags, err := Run(opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "ldlint: %v\n", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	Print(stdout, diags)
+	return 1
+}
+
+func writeAnalyzerList(w io.Writer) {
+	names := make([]string, 0, len(All))
+	byName := make(map[string]*Analyzer, len(All))
+	for _, a := range All {
+		names = append(names, a.Name)
+		byName[a.Name] = a
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-13s %s\n", name, byName[name].Doc)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+// Package lint is ldlint's analyzer framework: a multi-pass static
+// analyzer built entirely on the stdlib toolchain (go/parser, go/ast,
+// go/types with the source importer — no x/tools dependency), encoding
+// the performance and determinism contracts the rest of this repository
+// states in prose.
+//
+// Dynamic guards (AllocsPerRun regression tests, seeded chaos
+// scenarios) only catch a contract violation on the exact path a test
+// exercises; the analyzers here check every function on every build.
+// The contracts enforced:
+//
+//   - noalloc: functions annotated //ldlint:noalloc must not contain
+//     allocation-prone constructs (fmt/errors.New calls, string
+//     concatenation, map/slice literals, make/new, mismatched append,
+//     interface-boxing conversions, closures capturing mutated
+//     variables).
+//   - determinism: seeded-impairment code (internal/netsim and
+//     packages carrying a //ldlint:deterministic directive) must not
+//     read the wall clock, use the global math/rand PRNG, or iterate
+//     maps (nondeterministic order).
+//   - poolput: sync.Pool.Put of a slice or other non-pointer value
+//     boxes it into an interface, allocating on every Put.
+//   - msgimmutable: trace.Entry.Message buffers are immutable once an
+//     entry is produced; no element writes, copy-overs, or appends
+//     through the field or an alias of it.
+//   - atomiccopy: by-value copies of structs containing sync or
+//     sync/atomic fields (params, range copies, assignments, interface
+//     boxing) beyond what go vet's copylocks reports.
+//
+// A diagnostic may be silenced with an explicit, reasoned suppression
+// on the same line or the line above:
+//
+//	//ldlint:ignore <analyzer> <reason>
+//
+// A suppression without a reason is itself a diagnostic: every
+// exemption from a contract must say why it is safe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a typechecked package.
+type Analyzer struct {
+	// Name is the identifier used by -only/-disable flags and in
+	// //ldlint:ignore suppressions.
+	Name string
+	// Doc is a one-line description shown by ldlint -list.
+	Doc string
+	// Run inspects the package and reports diagnostics via pass.Reportf.
+	Run func(*Pass)
+}
+
+// All lists every analyzer in the suite, in the order they run.
+var All = []*Analyzer{NoAlloc, Determinism, PoolPut, MsgImmutable, AtomicCopy}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one finding, anchored to a file:line:col position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Path  string // import path
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer string
+	out      *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		Analyzer: p.analyzer,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Directive prefixes recognized in comments.
+const (
+	directiveIgnore        = "ldlint:ignore"
+	directiveNoAlloc       = "ldlint:noalloc"
+	directiveDeterministic = "ldlint:deterministic"
+)
+
+// directiveText extracts the directive body from a comment line: for
+// "//ldlint:ignore noalloc reason" it returns "ignore noalloc reason",
+// true. Directives must start immediately after "//" (no space), the
+// convention Go tooling uses to distinguish directives from prose.
+func directiveText(c *ast.Comment) (string, bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, "//ldlint:") {
+		return "", false
+	}
+	return strings.TrimPrefix(text, "//ldlint:"), true
+}
+
+// hasDirective reports whether the comment group contains the given
+// directive (e.g. "ldlint:noalloc"), matching the full word.
+func hasDirective(g *ast.CommentGroup, directive string) bool {
+	if g == nil {
+		return false
+	}
+	want := strings.TrimPrefix(directive, "ldlint:")
+	for _, c := range g.List {
+		body, ok := directiveText(c)
+		if !ok {
+			continue
+		}
+		word, _, _ := strings.Cut(body, " ")
+		if word == want {
+			return true
+		}
+	}
+	return false
+}
+
+// fileHasDirective reports whether any comment in the file carries the
+// directive. Used for package-scope opt-ins like //ldlint:deterministic.
+func fileHasDirective(f *ast.File, directive string) bool {
+	for _, g := range f.Comments {
+		if hasDirective(g, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// suppression is one parsed //ldlint:ignore comment.
+type suppression struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+// collectSuppressions parses every //ldlint:ignore comment in the
+// package. Malformed suppressions (no analyzer, unknown analyzer, or a
+// missing reason) are reported as diagnostics under the "ldlint" name:
+// an exemption that does not say why it is safe is not an exemption.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer, out *[]Diagnostic) []*suppression {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var sups []*suppression
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				body, ok := directiveText(c)
+				if !ok || !strings.HasPrefix(body, "ignore") {
+					continue
+				}
+				rest := strings.TrimPrefix(body, "ignore")
+				if rest != "" && !strings.HasPrefix(rest, " ") {
+					continue // e.g. a hypothetical ldlint:ignorefoo
+				}
+				pos := fset.Position(c.Pos())
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if name == "" {
+					*out = append(*out, Diagnostic{Analyzer: "ldlint", Pos: pos,
+						Message: "ldlint:ignore needs an analyzer name and a reason"})
+					continue
+				}
+				if !known[name] && ByName(name) == nil {
+					*out = append(*out, Diagnostic{Analyzer: "ldlint", Pos: pos,
+						Message: fmt.Sprintf("ldlint:ignore of unknown analyzer %q", name)})
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					*out = append(*out, Diagnostic{Analyzer: "ldlint", Pos: pos,
+						Message: fmt.Sprintf("ldlint:ignore %s needs a reason", name)})
+					continue
+				}
+				sups = append(sups, &suppression{analyzer: name, reason: reason, pos: pos})
+			}
+		}
+	}
+	return sups
+}
+
+// applySuppressions filters diags: a suppression on line L of a file
+// silences that analyzer's diagnostics on line L (trailing comment) and
+// line L+1 (comment above the flagged statement).
+func applySuppressions(diags []Diagnostic, sups []*suppression) []Diagnostic {
+	if len(sups) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	byKey := make(map[key]*suppression, 2*len(sups))
+	for _, s := range sups {
+		byKey[key{s.pos.Filename, s.pos.Line, s.analyzer}] = s
+		byKey[key{s.pos.Filename, s.pos.Line + 1, s.analyzer}] = s
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if s, ok := byKey[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+			s.used = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// RunPackage runs the given analyzers over one loaded package and
+// returns its surviving diagnostics sorted by position.
+func RunPackage(p *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	pass := &Pass{
+		Fset:  p.Fset,
+		Path:  p.Path,
+		Files: p.Files,
+		Pkg:   p.Types,
+		Info:  p.Info,
+		out:   &diags,
+	}
+	for _, a := range analyzers {
+		pass.analyzer = a.Name
+		a.Run(pass)
+	}
+	sups := collectSuppressions(p.Fset, p.Files, analyzers, &diags)
+	diags = applySuppressions(diags, sups)
+	sortDiagnostics(diags)
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

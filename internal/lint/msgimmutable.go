@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MsgImmutable enforces the trace.Entry.Message immutability contract:
+// readers carve each message out of fresh memory, and every downstream
+// stage (the replay retransmission tracker above all) retains
+// references to that buffer instead of copying it. A single in-place
+// write corrupts an in-flight query for every aliasing holder.
+//
+// The analyzer flags, in every package:
+//
+//   - element writes through the field: e.Message[i] = b, including
+//     op-assign and ++/--;
+//   - writes through an alias: x := e.Message (or a reslice of it)
+//     followed by x[i] = b;
+//   - copy(dst, ...) where dst aliases a Message buffer;
+//   - append(msg, ...) on a Message-rooted slice: when spare capacity
+//     exists append writes into the shared backing array.
+//
+// Replacing the whole field (e.Message = freshBuf) is legal — that is
+// how producers and mutators publish a new immutable buffer. Alias
+// tracking is intra-function; reasoned //ldlint:ignore suppressions
+// cover code that provably owns a private buffer.
+var MsgImmutable = &Analyzer{
+	Name: "msgimmutable",
+	Doc:  "flag writes into trace.Entry.Message buffers (immutable once an entry is produced)",
+	Run:  runMsgImmutable,
+}
+
+// traceEntryPath/Field identify the protected field.
+const (
+	traceEntryPath  = "ldplayer/internal/trace"
+	traceEntryName  = "Entry"
+	traceEntryField = "Message"
+)
+
+func runMsgImmutable(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkMsgFunc(pass, fn.Body)
+			}
+		}
+	}
+}
+
+// checkMsgFunc runs the alias-and-write scan over one function body.
+func checkMsgFunc(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Info
+	tainted := make(map[types.Object]bool)
+
+	// isMsgRooted reports whether e reads (possibly a reslice of) a
+	// trace.Entry.Message buffer or a tainted alias of one.
+	var isMsgRooted func(e ast.Expr) bool
+	isMsgRooted = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return tainted[info.Uses[e]]
+		case *ast.SelectorExpr:
+			return isEntryMessageSel(info, e)
+		case *ast.SliceExpr:
+			return isMsgRooted(e.X)
+		case *ast.IndexExpr:
+			// msg[i] is a byte, not an alias; only slicing keeps aliasing.
+			return false
+		}
+		return false
+	}
+
+	// Two passes: aliases may be established after a textually earlier
+	// closure that writes through them.
+	for i := 0; i < 2; i++ {
+		ast.Inspect(body, func(n ast.Node) bool {
+			a, ok := n.(*ast.AssignStmt)
+			if !ok || len(a.Lhs) != len(a.Rhs) {
+				return true
+			}
+			for j, rhs := range a.Rhs {
+				if !isMsgRooted(rhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(a.Lhs[j]).(*ast.Ident); ok {
+					if obj := objOf(info, id); obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportMsgElemWrite(pass, lhs, isMsgRooted)
+			}
+		case *ast.IncDecStmt:
+			reportMsgElemWrite(pass, n.X, isMsgRooted)
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			b, ok := info.Uses[id].(*types.Builtin)
+			if !ok || len(n.Args) == 0 {
+				return true
+			}
+			switch b.Name() {
+			case "copy":
+				if len(n.Args) == 2 && isMsgRooted(n.Args[0]) {
+					pass.Reportf(n.Pos(), "copy into a trace.Entry.Message buffer; the buffer is immutable once the entry is produced")
+				}
+			case "append":
+				if isMsgRooted(n.Args[0]) {
+					pass.Reportf(n.Pos(), "append to a trace.Entry.Message buffer may write into the shared backing array; build a fresh buffer instead")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportMsgElemWrite flags lhs when it is an element write into a
+// Message-rooted buffer.
+func reportMsgElemWrite(pass *Pass, lhs ast.Expr, isMsgRooted func(ast.Expr) bool) {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	if isMsgRooted(ix.X) {
+		pass.Reportf(lhs.Pos(), "write into a trace.Entry.Message buffer; the buffer is immutable once the entry is produced (clone it first)")
+	}
+}
+
+// isEntryMessageSel reports whether sel is <trace.Entry value>.Message.
+func isEntryMessageSel(info *types.Info, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != traceEntryField {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return false
+	}
+	recv := selection.Recv()
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == traceEntryPath && obj.Name() == traceEntryName
+}
+
+// objOf resolves an identifier to its object in either Uses or Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolPut flags sync.Pool.Put calls whose argument is a slice or other
+// non-pointer-shaped value. Put takes `any`, so a non-pointer argument
+// is boxed into the interface — one heap allocation on *every* Put,
+// which silently turns a recycling fast path into an allocating one
+// (the failure mode the replay batch freelist works around with a
+// typed channel). Pool a pointer (*[]byte, *bytes.Buffer, *T) instead.
+var PoolPut = &Analyzer{
+	Name: "poolput",
+	Doc:  "flag sync.Pool.Put of slice or non-pointer values (boxing allocates on every Put)",
+	Run:  runPoolPut,
+}
+
+func runPoolPut(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Put" {
+				return true
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok || !isSyncPool(selection.Recv()) {
+				return true
+			}
+			argType := pass.Info.Types[call.Args[0]].Type
+			if argType == nil {
+				return true
+			}
+			switch argType.Underlying().(type) {
+			case *types.Interface:
+				// Already an interface: no further boxing at this call.
+			case *types.Pointer:
+				// The intended shape.
+			case *types.Slice:
+				pass.Reportf(call.Pos(), "sync.Pool.Put of slice %s boxes it, allocating on every Put; pool a *%s instead", argType, argType)
+			default:
+				if !isPointerShaped(argType) && !isZeroSized(argType) {
+					pass.Reportf(call.Pos(), "sync.Pool.Put of non-pointer %s boxes it, allocating on every Put; pool a pointer instead", argType)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSyncPool reports whether t is sync.Pool or *sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package lint
+
+// raceEnabled reports whether the test binary was built with the race
+// detector. The analyzers are single-goroutine, so race instrumentation
+// finds nothing here — it only makes whole-repo typechecking ~10x
+// slower and steals CPU from the suite's timing-sensitive tests.
+const raceEnabled = true

@@ -1,0 +1,19 @@
+// Package seeded contains deliberate contract violations. The driver
+// test asserts that ldlint run over this module exits non-zero and
+// reports every one of them.
+package seeded
+
+import "fmt"
+
+var sink string
+
+//ldlint:noalloc
+func hot(n int) {
+	sink = fmt.Sprint(n)
+}
+
+//ldlint:ignore noalloc
+func unreasoned() {}
+
+//ldlint:ignore nosuchanalyzer because reasons
+func unknown() {}

@@ -1,0 +1,62 @@
+// Package atomiccopy is the golden fixture for the atomiccopy analyzer.
+package atomiccopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	hits atomic.Int64
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(c counter) int64 { // want atomiccopy parameter passes
+	return c.hits.Load()
+}
+
+func (c counter) valueReceiver() int64 { // want atomiccopy receiver passes
+	return c.hits.Load()
+}
+
+func valueResult() counter { // want atomiccopy result passes
+	return counter{} // ok: fresh construction is not a copy
+}
+
+func rangeCopy(list []counter) int64 {
+	var total int64
+	for _, c := range list { // want atomiccopy range copies
+		total += c.hits.Load()
+	}
+	return total
+}
+
+func assignCopy(g *guarded) {
+	snapshot := *g // want atomiccopy assignment copies
+	_ = snapshot.n
+}
+
+func boxCopy(g *guarded, sink func(any)) {
+	sink(*g) // want atomiccopy argument boxes
+}
+
+func pointerParam(g *guarded) int { // ok: pointer passing shares the lock
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func indexCopy(list []counter) {
+	byIndex := &list[0] // ok: indexing through a pointer is not a copy
+	byIndex.hits.Add(1)
+}
+
+func suppressed(g *guarded) {
+	//ldlint:ignore atomiccopy fixture demonstrates a reasoned suppression
+	snap := *g
+	_ = snap.n
+}

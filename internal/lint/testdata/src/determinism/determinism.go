@@ -1,0 +1,50 @@
+// Package determinism is the golden fixture for the determinism
+// analyzer. The package lives outside internal/netsim, so the directive
+// below opts it into the deterministic-scope contract — which is itself
+// part of what this fixture tests.
+//
+//ldlint:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now()      // want determinism time.Now reads the wall clock
+	return time.Since(start) // want determinism time.Since reads the wall clock
+}
+
+func timers(f func()) *time.Timer {
+	return time.AfterFunc(time.Millisecond, f) // ok: timer scheduling is part of the delivery model
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want determinism rand.Intn uses the global math/rand PRNG
+}
+
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // ok: seeded per-instance constructors
+	return r.Float64()                  // ok: method on a seeded *rand.Rand
+}
+
+func mapOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want determinism map iteration order is nondeterministic
+		total += v
+	}
+	//ldlint:ignore determinism fixture demonstrates an order-independent aggregation
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceOrder(s []int) int {
+	total := 0
+	for _, v := range s { // ok: slice iteration order is fixed
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,23 @@
+// Package msgimmutable is the golden fixture for the msgimmutable
+// analyzer.
+package msgimmutable
+
+import "ldplayer/internal/trace"
+
+func writes(e *trace.Entry, b []byte) {
+	e.Message[0] = 0xFF // want msgimmutable write into a trace.Entry.Message buffer
+	alias := e.Message
+	alias[1] = 0            // want msgimmutable write into a trace.Entry.Message buffer
+	re := alias[2:]
+	re[0]++                 // want msgimmutable write into a trace.Entry.Message buffer
+	copy(alias, b)          // want msgimmutable copy into a trace.Entry.Message buffer
+	_ = append(alias, b...) // want msgimmutable append to a trace.Entry.Message buffer
+	e.Message = b           // ok: whole-field replacement publishes a fresh buffer
+	//ldlint:ignore msgimmutable fixture demonstrates a reasoned suppression
+	alias[3] = 0
+}
+
+func reads(e *trace.Entry, dst []byte) int {
+	n := copy(dst, e.Message) // ok: copying out of the buffer is a read
+	return n + int(e.Message[0])
+}

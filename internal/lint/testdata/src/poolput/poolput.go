@@ -1,0 +1,21 @@
+// Package poolput is the golden fixture for the poolput analyzer.
+package poolput
+
+import "sync"
+
+type big struct{ a, b, c int64 }
+
+var pool sync.Pool
+
+func puts(buf []byte, v big, p *big, val any) {
+	pool.Put(buf) // want poolput sync.Pool.Put of slice
+	pool.Put(v)   // want poolput sync.Pool.Put of non-pointer
+	pool.Put(p)   // ok: pointers are the intended pooled shape
+	pool.Put(val) // ok: already an interface, no further boxing here
+	//ldlint:ignore poolput fixture demonstrates a reasoned suppression
+	pool.Put(buf)
+}
+
+func ptrReceiver(pp *sync.Pool, buf []byte) {
+	pp.Put(buf) // want poolput sync.Pool.Put of slice
+}

@@ -230,6 +230,8 @@ func (b *UDPBatch) Cap() int { return len(b.recvHdrs) }
 
 // stageSeg fills control slot ctl with a UDP_SEGMENT cmsg of size seg
 // and attaches it to hd.
+//
+//ldlint:noalloc
 func stageSeg(hd *syscall.Msghdr, ctl *cmsgSeg, seg int) {
 	ctl.hdr.SetLen(cmsgLenU16)
 	ctl.hdr.Level = solUDP
@@ -246,6 +248,8 @@ func stageSeg(hd *syscall.Msghdr, ctl *cmsgSeg, seg int) {
 // sent counts the messages before the failing header and err describes
 // the failure. Send guarantees progress: sent < len(msgs) implies
 // err != nil.
+//
+//ldlint:noalloc
 func (b *UDPBatch) Send(msgs [][]byte) (int, error) {
 	total := 0
 	for total < len(msgs) {
@@ -307,6 +311,8 @@ func (b *UDPBatch) Send(msgs [][]byte) (int, error) {
 // Recv drains up to Cap() coalesced buffers in one recvmmsg call,
 // blocking until at least one arrives. Buffer i is Msg(i) with GRO
 // segment size SegSize(i); buffers are valid until the next Recv.
+//
+//ldlint:noalloc
 func (b *UDPBatch) Recv() (int, error) {
 	for i := range b.recvHdrs {
 		if b.names != nil {
@@ -353,6 +359,8 @@ func (b *UDPBatch) SegSize(i int) int { return b.segs[i] }
 // place via Msg) to their senders in one or more sendmmsg calls.
 // Coalesced buffers are re-segmented on the wire with their original GRO
 // segment size. Only valid when the UDPBatch was built withAddrs.
+//
+//ldlint:noalloc
 func (b *UDPBatch) Echo(n int) (int, error) {
 	for i := 0; i < n; i++ {
 		b.echoIovs[i].Base = &b.bufs[i][0]

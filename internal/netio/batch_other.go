@@ -43,6 +43,8 @@ func (b *UDPBatch) Cap() int { return len(b.bufs) }
 
 // Send transmits msgs with one Write per datagram. Progress contract as
 // on Linux: sent < len(msgs) implies err != nil.
+//
+//ldlint:noalloc
 func (b *UDPBatch) Send(msgs [][]byte) (int, error) {
 	for i, m := range msgs {
 		if _, err := b.conn.Write(m); err != nil {
@@ -79,6 +81,8 @@ func (b *UDPBatch) Msg(i int) []byte { return b.bufs[i][:b.lens[i]] }
 func (b *UDPBatch) SegSize(i int) int { return 0 }
 
 // Echo sends back the first n received datagrams to their senders.
+//
+//ldlint:noalloc
 func (b *UDPBatch) Echo(n int) (int, error) {
 	for i := 0; i < n; i++ {
 		if _, err := b.conn.WriteToUDP(b.bufs[i][:b.lens[i]], b.addrs[i]); err != nil {

@@ -95,6 +95,7 @@ func (g *Gateway) Close() {
 	g.udp.Close()
 	g.tcpLn.Close()
 	g.mu.Lock()
+	//ldlint:ignore determinism close-all teardown; order is irrelevant and no fault decision is taken
 	for _, c := range g.tcpConns {
 		c.conn.Close()
 	}

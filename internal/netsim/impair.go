@@ -16,6 +16,11 @@ import (
 // given seed and a given offered-load sequence reproduce the exact same
 // per-packet fate sequence (see TestImpairmentDeterministic).
 //
+// The determinism contract is enforced by ldlint's determinism analyzer
+// over all of internal/netsim (and any package opting in with a
+// //ldlint:deterministic directive): no wall-clock reads, no global
+// math/rand, no map-iteration-order-dependent logic.
+//
 // The zero value is a perfect link (no impairment).
 type Impairment struct {
 	// Drop is the probability a datagram is silently discarded.

@@ -240,6 +240,7 @@ func (n *Network) ImpairStats() ImpairStats {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	var s ImpairStats
+	//ldlint:ignore determinism stat aggregation is commutative; iteration order never feeds the fault sequence
 	for _, ip := range n.impairers {
 		s = s.add(ip.stats())
 	}

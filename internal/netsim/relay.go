@@ -78,6 +78,7 @@ func (r *UDPRelay) Close() error {
 	}
 	r.conn.Close()
 	r.mu.Lock()
+	//ldlint:ignore determinism close-all teardown; order is irrelevant and no fault decision is taken
 	for _, s := range r.sessions {
 		s.upstream.Close()
 	}

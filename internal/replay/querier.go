@@ -88,6 +88,8 @@ func (q *querier) run(ctx context.Context) {
 // submitted via batched sends; stream entries go out inline. Per-socket
 // grouping keeps same-source queries in order (a source always maps to
 // one socket).
+//
+//ldlint:noalloc
 func (q *querier) sendBatch(batch []trace.Entry) {
 	for i := range batch {
 		e := &batch[i]
@@ -139,6 +141,8 @@ func (q *querier) sendBatch(batch []trace.Entry) {
 
 // accountSend settles a successful transmission: counters, the
 // scheduling-error sample, and the OnSend callback.
+//
+//ldlint:noalloc
 func (q *querier) accountSend(e *trace.Entry, at time.Time) {
 	q.en.sent.Add(1)
 	var schedErr time.Duration
@@ -269,6 +273,8 @@ func (q *querier) getUDP(src netip.Addr) (*udpSocket, error) {
 
 // trackUDP registers a just-sent query in its pending shard and, when
 // retransmission is enabled, arms its retry slot on the timing wheel.
+//
+//ldlint:noalloc
 func (q *querier) trackUDP(sock *udpSocket, msg []byte) {
 	if len(msg) < 2 {
 		return
@@ -303,6 +309,8 @@ func (q *querier) trackUDP(sock *udpSocket, msg []byte) {
 // retransmitUDP fires when a retry slot expires: re-send a still-pending
 // query with a doubled timeout, or give up once the budget is spent.
 // Stale slots (answered, superseded, or closed since arming) no-op.
+//
+//ldlint:noalloc
 func (q *querier) retransmitUDP(sock *udpSocket, id uint16, seq uint32) {
 	sh := sock.shard(id)
 	sh.mu.Lock()
@@ -335,6 +343,8 @@ func (q *querier) retransmitUDP(sock *udpSocket, id uint16, seq uint32) {
 // whether the response is fresh (true) or a duplicate of an already
 // answered query (false). Unknown IDs count as fresh: traces replayed
 // without tracking context (e.g. ID reuse races) keep legacy accounting.
+//
+//ldlint:noalloc
 func (sock *udpSocket) markAnswered(id uint16) bool {
 	sh := sock.shard(id)
 	sh.mu.Lock()
@@ -353,6 +363,8 @@ func (sock *udpSocket) markAnswered(id uint16) bool {
 
 // rememberAnswered records id in the bounded answered ring; callers hold
 // sh.mu.
+//
+//ldlint:noalloc
 func (sh *pendShard) rememberAnswered(id uint16) {
 	if sh.answeredLen == shardRingSize {
 		evict := sh.answeredRing[sh.answeredN]
@@ -395,6 +407,8 @@ func (q *querier) readUDP(sock *udpSocket) {
 }
 
 // settleResponse accounts one received response datagram.
+//
+//ldlint:noalloc
 func (q *querier) settleResponse(sock *udpSocket, buf []byte) {
 	if len(buf) >= 2 {
 		id := uint16(buf[0])<<8 | uint16(buf[1])
@@ -406,7 +420,7 @@ func (q *querier) settleResponse(sock *udpSocket, buf []byte) {
 	q.en.responses.Add(1)
 	q.recordRTT(&sock.lastSend)
 	if q.en.cfg.OnResponse != nil {
-		msg := make([]byte, len(buf))
+		msg := make([]byte, len(buf)) //ldlint:ignore noalloc OnResponse callback owns its copy; only paid when a sink is installed
 		copy(msg, buf)
 		q.en.cfg.OnResponse(msg, time.Now())
 	}

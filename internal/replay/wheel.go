@@ -53,6 +53,7 @@ const (
 // slotList is an intrusive FIFO of wheel items.
 type slotList struct{ head, tail *wheelItem }
 
+//ldlint:noalloc
 func (l *slotList) push(it *wheelItem) {
 	it.next = nil
 	if l.tail == nil {
@@ -138,6 +139,8 @@ func (w *wheel) horizon() time.Duration {
 
 // tickOf maps a deadline to its tick number, rounding up so releases are
 // never early.
+//
+//ldlint:noalloc
 func (w *wheel) tickOf(due time.Time) int64 {
 	d := due.Sub(w.start)
 	if d <= 0 {
@@ -154,9 +157,11 @@ const itemChunk = 256
 
 // newItem pops the freelist, refilling it a chunk at a time; callers
 // hold w.mu.
+//
+//ldlint:noalloc
 func (w *wheel) newItem() *wheelItem {
 	if w.free == nil {
-		chunk := make([]wheelItem, itemChunk)
+		chunk := make([]wheelItem, itemChunk) //ldlint:ignore noalloc amortized slab refill, one make per itemChunk items
 		for i := range chunk {
 			chunk[i].next = w.free
 			w.free = &chunk[i]
@@ -170,6 +175,8 @@ func (w *wheel) newItem() *wheelItem {
 
 // recycle pushes items back on the freelist, dropping entry references;
 // callers hold w.mu.
+//
+//ldlint:noalloc
 func (w *wheel) recycle(it *wheelItem) {
 	*it = wheelItem{next: w.free}
 	w.free = it
@@ -178,6 +185,8 @@ func (w *wheel) recycle(it *wheelItem) {
 // insert files it at dueTick (clamped to the current tick) and wakes the
 // release loop if this item is due before its current sleep target;
 // callers hold w.mu.
+//
+//ldlint:noalloc
 func (w *wheel) insert(it *wheelItem) {
 	if it.dueTick < w.cur {
 		it.dueTick = w.cur
@@ -201,6 +210,8 @@ func (w *wheel) insert(it *wheelItem) {
 
 // scheduleEntry bins a paced trace entry for release to querier qidx at
 // due.
+//
+//ldlint:noalloc
 func (w *wheel) scheduleEntry(due time.Time, qidx int32, e trace.Entry) {
 	w.paced.Add(1)
 	w.mu.Lock()
@@ -214,6 +225,8 @@ func (w *wheel) scheduleEntry(due time.Time, qidx int32, e trace.Entry) {
 }
 
 // scheduleRetrans arms a retransmission deadline for (sock, id, seq).
+//
+//ldlint:noalloc
 func (w *wheel) scheduleRetrans(delay time.Duration, q *querier, sock *udpSocket, id uint16, seq uint32) {
 	w.mu.Lock()
 	it := w.newItem()
@@ -366,6 +379,8 @@ func isStopped(ch chan struct{}) bool {
 // advance processes every tick up to now: due items are collected in
 // tick order under the lock, then delivered (paced bursts) and fired
 // (retransmissions) outside it.
+//
+//ldlint:noalloc
 func (w *wheel) advance(now time.Time) {
 	w.mu.Lock()
 	target := int64(now.Sub(w.start) / w.tick)
@@ -405,11 +420,10 @@ func (w *wheel) advance(now time.Time) {
 	for it := due.head; it != nil; it = it.next {
 		switch it.kind {
 		case kindEntry:
-			b := w.scratch[it.qidx]
-			if b == nil {
-				b = getBatch()
+			if w.scratch[it.qidx] == nil {
+				w.scratch[it.qidx] = getBatch()
 			}
-			w.scratch[it.qidx] = append(b, it.entry)
+			w.scratch[it.qidx] = append(w.scratch[it.qidx], it.entry)
 			released++
 		case kindRetrans:
 			it.q.retransmitUDP(it.sock, it.id, it.seq)
