@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench-smoke bench-replay bench-replay-smoke bench obs-smoke fuzz-smoke
+.PHONY: check vet lint build test race bench-smoke bench-replay bench-replay-smoke bench-server bench-server-smoke bench obs-smoke fuzz-smoke
 
-check: vet lint build race bench-smoke bench-replay-smoke obs-smoke fuzz-smoke
+check: vet lint build race bench-smoke bench-replay-smoke bench-server-smoke obs-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +57,16 @@ bench-replay-smoke:
 # Full replay benchmark: appends a labeled run to BENCH_replay.json.
 bench-replay:
 	$(GO) run ./cmd/ldplayer bench -label "$${LABEL:-dev}"
+
+# Server-datapath smoke: drives a live meta-DNS-server over loopback in
+# all three shapes (per-datagram, batched, batched+GSO/GRO) at reduced
+# scale and validates the JSON, without touching BENCH_server.json.
+bench-server-smoke:
+	$(GO) run ./cmd/metadns bench -smoke >/dev/null && echo "bench-server-smoke: ok"
+
+# Full server benchmark: appends a labeled run to BENCH_server.json.
+bench-server:
+	$(GO) run ./cmd/metadns bench -label "$${LABEL:-dev}"
 
 # Full benchmark sweep (regenerates the paper's tables and figures).
 bench:

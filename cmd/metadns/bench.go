@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+
+	"ldplayer/internal/authserver/bench"
+)
+
+// cmdBench runs the loopback server benchmark — single-datagram baseline
+// vs the batched sendmmsg/recvmmsg + GSO/GRO datapath — and records the
+// labeled results in BENCH_server.json.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	label := fs.String("label", "dev", "trajectory label for this run (e.g. baseline, batched-datapath)")
+	out := fs.String("out", "BENCH_server.json", "trajectory file to append to")
+	smoke := fs.Bool("smoke", false, "short run: validate JSON output, write nothing")
+	scale := fs.Float64("scale", 1, "scale factor for the suite's query counts")
+	fs.Parse(args)
+
+	sc := *scale
+	if *smoke {
+		sc = 0.02 // ~4k queries per shape, a second or two of work
+	}
+	results, err := bench.Suite(sc)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		off := "no offload"
+		if r.Offload {
+			off = "GSO/GRO"
+		}
+		if !r.Batched {
+			off = "per-datagram"
+		}
+		fmt.Printf("%-20s %-12s: %.0f q/s served, %.2f%% loss, %.1f allocs/query (%d sent, %d responses)\n",
+			r.Name, off, r.AchievedQPS, r.LossPct, r.AllocsPerQuery, r.Sent, r.Responses)
+	}
+
+	if *smoke {
+		rep := bench.NewReport()
+		rep.Append("smoke", results)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := bench.Validate(data); err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		fmt.Println("bench smoke: JSON output validates")
+		return nil
+	}
+
+	rep, err := bench.LoadReport(*out)
+	if err != nil {
+		return err
+	}
+	rep.Append(*label, results)
+	if err := rep.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %q in %s\n", *label, *out)
+	return nil
+}

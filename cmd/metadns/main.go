@@ -37,6 +37,13 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		if err := cmdBench(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "metadns bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var zoneFlags, viewFlags multiFlag
 	flag.Var(&zoneFlags, "zone", "NAME=FILE zone to load (repeatable); NAME 'root' means '.'")
 	flag.Var(&viewFlags, "view", "ADDR=NAME[,NAME...] split-horizon view matching source ADDR (repeatable)")
@@ -48,15 +55,33 @@ func main() {
 	obsListen := flag.String("obs-listen", "", "observability HTTP address serving /metrics, /metrics.json, /trace and /debug/pprof (empty = disabled)")
 	obsSample := flag.Int("obs-sample", authserver.DefaultObsSampleEvery, "trace and time 1 in N queries when -obs-listen is set")
 	impair := flag.String("impair", "", "fault-inject the UDP listener, e.g. 'drop=0.2,jitter=5ms,seed=1'")
+	workers := flag.Int("udp-workers", 4, "UDP worker (and with -reuseport, socket) count")
+	batch := flag.Int("udp-batch", authserver.DefaultUDPBatchSize, "datagrams per recvmmsg/sendmmsg batch on the batched datapath; 0 = per-datagram loop")
+	noOffload := flag.Bool("no-offload", false, "disable UDP GSO/GRO coalescing on the batched datapath")
+	reusePort := flag.Bool("reuseport", true, "one SO_REUSEPORT UDP socket per worker where supported")
 	flag.Parse()
 
-	if err := run(zoneFlags, viewFlags, *udp, *tcp, *tlsAddr, *tlsHost, *idle, *obsListen, *obsSample, *impair); err != nil {
+	srvOpts := serverOpts{
+		workers:   *workers,
+		batch:     *batch,
+		noOffload: *noOffload,
+		reusePort: *reusePort,
+	}
+	if err := run(zoneFlags, viewFlags, *udp, *tcp, *tlsAddr, *tlsHost, *idle, *obsListen, *obsSample, *impair, srvOpts); err != nil {
 		fmt.Fprintln(os.Stderr, "metadns:", err)
 		os.Exit(1)
 	}
 }
 
-func run(zoneFlags, viewFlags []string, udp, tcp, tlsAddr, tlsHost string, idle time.Duration, obsListen string, obsSample int, impair string) error {
+// serverOpts carries the UDP datapath shape from flags to run.
+type serverOpts struct {
+	workers   int
+	batch     int
+	noOffload bool
+	reusePort bool
+}
+
+func run(zoneFlags, viewFlags []string, udp, tcp, tlsAddr, tlsHost string, idle time.Duration, obsListen string, obsSample int, impair string, srvOpts serverOpts) error {
 	if len(zoneFlags) == 0 {
 		return fmt.Errorf("at least one -zone is required")
 	}
@@ -138,7 +163,15 @@ func run(zoneFlags, viewFlags []string, udp, tcp, tlsAddr, tlsHost string, idle 
 		fmt.Println("observability on http://" + osrv.Addr().String() + "/metrics")
 	}
 
-	srv := &authserver.Server{Engine: engine, IdleTimeout: idle}
+	srv := &authserver.Server{
+		Engine:      engine,
+		IdleTimeout: idle,
+		UDPWorkers:  srvOpts.workers,
+		ReusePort:   srvOpts.reusePort,
+		Batch:       srvOpts.batch > 0,
+		BatchSize:   srvOpts.batch,
+		NoOffload:   srvOpts.noOffload,
+	}
 	if tlsAddr != "" {
 		serverTLS, _, err := authserver.SelfSignedTLSConfig(tlsHost)
 		if err != nil {

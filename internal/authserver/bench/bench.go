@@ -1,0 +1,318 @@
+// Package bench is the server-datapath benchmark harness: a loopback
+// self-test that drives a real authserver.Server over UDP with a
+// credit-windowed blaster client and reports the achieved service rate.
+// `metadns bench` runs it and appends the results to BENCH_server.json,
+// recording the single-datagram baseline next to the batched
+// (sendmmsg/recvmmsg + GSO/GRO) datapath so the speedup is measured, not
+// asserted.
+package bench
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"runtime"
+	"time"
+
+	"ldplayer/internal/authserver"
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/netio"
+	"ldplayer/internal/zone"
+)
+
+// Config is one benchmark run's shape.
+type Config struct {
+	// Name labels the run in the report (e.g. "single-datagram",
+	// "batched").
+	Name string
+	// Queries is the total number of queries the client sends.
+	Queries int
+	// Clients is the number of blaster goroutines, each with its own
+	// connected socket (default 1: on small machines extra clients just
+	// contend with the server for cores).
+	Clients int
+	// Names is the number of distinct qnames the trace cycles through.
+	// All are fixed-width, so every query — and every cached response —
+	// is the same size: the GSO-coalescing sweet spot (default 64).
+	Names int
+	// Window is the per-client in-flight credit: the client stops
+	// sending until responses catch up, so the server's socket buffer
+	// never overflows and the measurement is a service rate, not a blind
+	// blast (default 512).
+	Window int
+	// SendBatch is the number of queries per client Send call (default 64).
+	SendBatch int
+	// Workers is the server's UDP worker count (default 2).
+	Workers int
+	// Batch selects the server's batched datapath; BatchSize and
+	// NoOffload pass through to the Server.
+	Batch     bool
+	BatchSize int
+	NoOffload bool
+	// RecvTimeout bounds each client receive while queries are in
+	// flight, so a lost datagram costs one timeout, not the run
+	// (default 100ms).
+	RecvTimeout time.Duration
+}
+
+// Result is one benchmark run's measurements.
+type Result struct {
+	Name          string `json:"name"`
+	Queries       int    `json:"queries"`
+	Clients       int    `json:"clients"`
+	ServerWorkers int    `json:"server_workers"`
+	Batched       bool   `json:"batched"`
+	Offload       bool   `json:"offload"`
+
+	AchievedQPS    float64 `json:"achieved_qps"`
+	Sent           int64   `json:"sent"`
+	Responses      int64   `json:"responses"`
+	LossPct        float64 `json:"loss_pct"`
+	DurationMS     float64 `json:"duration_ms"`
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+}
+
+// benchZone builds bench.example. with names fixed-width A records.
+func benchZone(names int) (*zone.Zone, error) {
+	z := zone.New("bench.example.")
+	add := func(rr dnswire.RR) error { return z.Add(rr) }
+	if err := add(dnswire.RR{Name: "bench.example.", Class: dnswire.ClassINET, TTL: 60, Data: dnswire.SOA{
+		MName: "ns.bench.example.", RName: "root.bench.example.", Serial: 1,
+		Refresh: 1, Retry: 1, Expire: 1, Minimum: 1}}); err != nil {
+		return nil, err
+	}
+	if err := add(dnswire.RR{Name: "bench.example.", Class: dnswire.ClassINET, TTL: 60,
+		Data: dnswire.NS{Host: "ns.bench.example."}}); err != nil {
+		return nil, err
+	}
+	for i := 0; i < names; i++ {
+		rr := dnswire.RR{Name: qname(i), Class: dnswire.ClassINET, TTL: 300,
+			Data: dnswire.A{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i%250 + 1)})}}
+		if err := add(rr); err != nil {
+			return nil, err
+		}
+	}
+	return z, nil
+}
+
+// qname is fixed-width so all queries (and responses) are equal size.
+func qname(i int) string { return fmt.Sprintf("q%04d.bench.example.", i) }
+
+// makeRing pre-packs a reusable ring of queries cycling over the name
+// set. IDs vary, sizes do not.
+func makeRing(ringLen, names int) ([][]byte, error) {
+	ring := make([][]byte, ringLen)
+	for i := range ring {
+		wire, err := dnswire.NewQuery(uint16(i), qname(i%names), dnswire.TypeA).Pack(nil)
+		if err != nil {
+			return nil, err
+		}
+		ring[i] = wire
+	}
+	return ring, nil
+}
+
+// blast runs one client's credit-windowed send/receive loop and returns
+// sent/received counts plus the measurement window edges.
+func blast(conn *net.UDPConn, ring [][]byte, cfg Config) (sent, recvd int64, first, last time.Time, err error) {
+	b, err := netio.NewUDPBatch(conn, cfg.SendBatch, 32, 64<<10, false)
+	if err != nil {
+		return 0, 0, first, last, err
+	}
+	inflight, qi := 0, 0
+	for int(sent) < cfg.Queries || inflight > 0 {
+		for int(sent) < cfg.Queries && inflight < cfg.Window {
+			k := cfg.SendBatch
+			if rem := cfg.Queries - int(sent); k > rem {
+				k = rem
+			}
+			if room := cfg.Window - inflight; k > room {
+				k = room
+			}
+			if wrap := len(ring) - qi; k > wrap {
+				k = wrap
+			}
+			if first.IsZero() {
+				first = time.Now()
+			}
+			n, serr := b.Send(ring[qi : qi+k])
+			sent += int64(n)
+			inflight += n
+			qi = (qi + n) % len(ring)
+			if serr != nil {
+				return sent, recvd, first, last, serr
+			}
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(cfg.RecvTimeout))
+		n, rerr := b.Recv()
+		if rerr != nil {
+			// Timeout: the outstanding credits are lost datagrams; write
+			// them off and keep going (or finish if all were sent).
+			if int(sent) >= cfg.Queries {
+				break
+			}
+			inflight = 0
+			continue
+		}
+		for i := 0; i < n; i++ {
+			m := b.Msg(i)
+			segs := 1
+			if seg := b.SegSize(i); seg > 0 && seg < len(m) {
+				segs = (len(m) + seg - 1) / seg
+			}
+			recvd += int64(segs)
+			inflight -= segs
+		}
+		if inflight < 0 {
+			inflight = 0
+		}
+		last = time.Now()
+	}
+	return sent, recvd, first, last, nil
+}
+
+// Run executes one benchmark run: start a server in the requested
+// datapath shape, blast it over loopback, and report the service rate
+// measured from first send to last response.
+func Run(cfg Config) (Result, error) {
+	if cfg.Queries <= 0 {
+		cfg.Queries = 200000
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Names <= 0 {
+		cfg.Names = 64
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 512
+	}
+	if cfg.SendBatch <= 0 {
+		cfg.SendBatch = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.RecvTimeout <= 0 {
+		cfg.RecvTimeout = 100 * time.Millisecond
+	}
+
+	z, err := benchZone(cfg.Names)
+	if err != nil {
+		return Result{}, err
+	}
+	e := authserver.NewEngine()
+	if err := e.AddView(&authserver.View{Name: "default", Zones: []*zone.Zone{z}}); err != nil {
+		return Result{}, err
+	}
+	srv := &authserver.Server{
+		Engine:     e,
+		UDPWorkers: cfg.Workers,
+		ReusePort:  cfg.Workers > 1,
+		Batch:      cfg.Batch,
+		BatchSize:  cfg.BatchSize,
+		NoOffload:  cfg.NoOffload,
+	}
+	if err := srv.Start("127.0.0.1:0", "", ""); err != nil {
+		return Result{}, err
+	}
+	defer srv.Close()
+
+	ring, err := makeRing(1024, cfg.Names)
+	if err != nil {
+		return Result{}, err
+	}
+
+	type clientStats struct {
+		sent, recvd int64
+		first, last time.Time
+		err         error
+	}
+	stats := make([]clientStats, cfg.Clients)
+	per := cfg.Queries / cfg.Clients
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	done := make(chan int, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		go func(c int) {
+			defer func() { done <- c }()
+			conn, err := net.DialUDP("udp", nil, srv.UDPAddr())
+			if err != nil {
+				stats[c].err = err
+				return
+			}
+			defer conn.Close()
+			// A deep receive buffer absorbs response bursts that land
+			// while the client is inside a send syscall; best-effort.
+			_ = conn.SetReadBuffer(4 << 20)
+			ccfg := cfg
+			ccfg.Queries = per
+			stats[c].sent, stats[c].recvd, stats[c].first, stats[c].last, stats[c].err =
+				blast(conn, ring, ccfg)
+		}(c)
+	}
+	for range stats {
+		<-done
+	}
+	runtime.ReadMemStats(&after)
+
+	res := Result{
+		Name:          cfg.Name,
+		Queries:       cfg.Queries,
+		Clients:       cfg.Clients,
+		ServerWorkers: cfg.Workers,
+		Batched:       cfg.Batch,
+		Offload:       cfg.Batch && !cfg.NoOffload && netio.BatchSyscalls,
+	}
+	var first, last time.Time
+	for _, st := range stats {
+		if st.err != nil {
+			return res, st.err
+		}
+		res.Sent += st.sent
+		res.Responses += st.recvd
+		if first.IsZero() || (!st.first.IsZero() && st.first.Before(first)) {
+			first = st.first
+		}
+		if st.last.After(last) {
+			last = st.last
+		}
+	}
+	if res.Responses == 0 || last.IsZero() || !last.After(first) {
+		return res, fmt.Errorf("bench %s: no responses measured", cfg.Name)
+	}
+	dur := last.Sub(first)
+	res.AchievedQPS = float64(res.Responses) / dur.Seconds()
+	res.DurationMS = float64(dur) / float64(time.Millisecond)
+	res.LossPct = 100 * float64(res.Sent-res.Responses) / float64(res.Sent)
+	res.AllocsPerQuery = float64(after.Mallocs-before.Mallocs) / float64(res.Sent)
+	return res, nil
+}
+
+// Suite is the standard before/after trajectory: the pre-PR
+// single-datagram baseline, the batched datapath, and batched with
+// offloads disabled (isolating sendmmsg/recvmmsg from GSO/GRO). scale <
+// 1 shrinks the query counts for smoke runs.
+func Suite(scale float64) ([]Result, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(200000 * scale)
+	runs := []Config{
+		{Name: "single-datagram", Queries: n, Batch: false},
+		{Name: "batched-no-offload", Queries: n, Batch: true, NoOffload: true},
+		{Name: "batched", Queries: n, Batch: true},
+	}
+	out := make([]Result, 0, len(runs))
+	for _, c := range runs {
+		r, err := Run(c)
+		if err != nil {
+			return out, fmt.Errorf("bench %s: %w", c.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

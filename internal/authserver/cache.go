@@ -149,36 +149,42 @@ func newRespCache() *respCache {
 	return &respCache{m: make(map[string]*cacheEntry)}
 }
 
-// get returns a caller-owned response for key, patched with query's ID,
-// RD bit, and question bytes, or nil on miss (with rcode for the span).
-// It charges the engine's response counters exactly as the slow path
-// would have.
+// get returns the cached entry for key, or nil on miss. Entries are
+// immutable once stored, so the caller may read ent.wire lock-free.
 //
 //ldlint:noalloc
-func (c *respCache) get(key, query []byte, qnameLen int, e *Engine) ([]byte, dnswire.Rcode) {
+func (c *respCache) get(key []byte) *cacheEntry {
 	c.mu.RLock()
 	ent := c.m[string(key)]
 	c.mu.RUnlock()
-	if ent == nil {
-		return nil, 0
-	}
-	out := make([]byte, len(ent.wire)) //ldlint:ignore noalloc caller-owned copy is the contract's one allocation per response
-	copy(out, ent.wire)
-	// Patch the ID, echo the client's RD flag, and echo the question
-	// region byte-for-byte so 0x20-style mixed-case names round-trip.
+	return ent
+}
+
+// appendCached appends ent's packed response to dst, patched with query's
+// ID, RD bit, and question bytes (preserving the client's 0x20 label
+// case), and charges st's response counters exactly as the slow path
+// would have. With a nil dst the append is the contract's one allocation
+// per response; the batch path passes a reusable slab and allocates
+// nothing at steady state.
+//
+//ldlint:noalloc
+func appendCached(st *coreStats, dst []byte, ent *cacheEntry, query []byte, qnameLen int) []byte {
+	base := len(dst)
+	dst = append(dst, ent.wire...)
+	out := dst[base:]
 	out[0], out[1] = query[0], query[1]
 	out[2] = out[2]&^0x01 | query[2]&0x01
 	copy(out[12:12+qnameLen+4], query[12:12+qnameLen+4])
-	e.responses.Add(1)
-	e.respByRcode[int(ent.rcode)&0xF].Add(1)
-	e.respBytes.Add(int64(len(out)))
+	st.responses.Add(1)
+	st.respByRcode[int(ent.rcode)&0xF].Add(1)
+	st.respBytes.Add(int64(len(out)))
 	if ent.truncated {
-		e.truncated.Add(1)
+		st.truncated.Add(1)
 	}
 	if ent.refused {
-		e.refused.Add(1)
+		st.refused.Add(1)
 	}
-	return out, ent.rcode
+	return dst
 }
 
 // put stores a copy of out under key, evicting an arbitrary entry when

@@ -139,14 +139,14 @@ func (rt *routing) route(src netip.Addr) *viewRoute {
 // B-Root traffic (heavy-tailed repeat questions) gets near-total hits.
 const DefaultResponseCacheCap = 8192
 
-// Engine answers DNS queries from a set of views. It is safe for
-// concurrent use; views may even be added while serving.
-type Engine struct {
-	addMu    sync.Mutex // serializes AddView / cache-cap changes
-	routing  atomic.Pointer[routing]
-	cacheCap atomic.Int64
-
-	// Stats
+// coreStats is one full set of per-query counters. The engine embeds one
+// instance charged by the shared Respond path (UDP fallback, TCP, TLS,
+// netsim); every EngineShard owns a private instance charged by its
+// batch path. Shard instances live on their own cache lines and are only
+// ever written by their owning worker goroutine, so the batched hot path
+// performs no cross-core counter contention; readers (Stats, obs scrape)
+// sum the engine instance and every shard instance.
+type coreStats struct {
 	queries     atomic.Int64
 	responses   atomic.Int64
 	truncated   atomic.Int64
@@ -163,6 +163,25 @@ type Engine struct {
 	// never formats a label.
 	qByTransport [3]atomic.Int64
 	respByRcode  [16]atomic.Int64
+}
+
+// Engine answers DNS queries from a set of views. It is safe for
+// concurrent use; views may even be added while serving.
+type Engine struct {
+	addMu    sync.Mutex // serializes AddView / cache-cap / shard changes
+	routing  atomic.Pointer[routing]
+	cacheCap atomic.Int64
+	// cacheGen invalidates shard-local caches: shards compare it to their
+	// snapshot at batch boundaries and clear on mismatch.
+	cacheGen atomic.Uint64
+
+	// coreStats is the shared-path counter set; see the type comment.
+	coreStats
+
+	// shards is the copy-on-write list of batch-path shards (read at
+	// Stats/scrape time, swapped under addMu by NewShard).
+	shards atomic.Pointer[[]*EngineShard]
+
 	routingSwaps atomic.Int64
 
 	// obsState enables sampled latency/tracing when non-nil; obsReg
@@ -193,6 +212,7 @@ func NewEngine() *Engine {
 	e := &Engine{}
 	e.cacheCap.Store(DefaultResponseCacheCap)
 	e.routing.Store(&routing{bySource: make(map[netip.Addr]*viewRoute)})
+	e.shards.Store(&[]*EngineShard{})
 	return e
 }
 
@@ -214,6 +234,9 @@ func (e *Engine) SetResponseCacheCap(n int) {
 	for c := range seen {
 		c.clear()
 	}
+	// Shard-local caches are owned by their worker goroutines; bumping the
+	// generation makes each shard clear its map at its next batch boundary.
+	e.cacheGen.Add(1)
 }
 
 // AddView registers v. Views with no Sources become the default view; a
@@ -278,20 +301,25 @@ func (e *Engine) Instrument(reg *obs.Registry, tracer *obs.Tracer, sampleEvery i
 		idx := int(t)
 		reg.CounterFunc("metadns_queries_total", obs.LabelValue("transport", t.String()),
 			"queries received by arrival transport",
-			func() int64 { return e.qByTransport[idx].Load() })
+			func() int64 { return e.sumCounter(func(cs *coreStats) *atomic.Int64 { return &cs.qByTransport[idx] }) })
 	}
 	for _, rc := range []dnswire.Rcode{dnswire.RcodeNoError, dnswire.RcodeFormErr,
 		dnswire.RcodeServFail, dnswire.RcodeNXDomain, dnswire.RcodeNotImp, dnswire.RcodeRefused} {
 		idx := int(rc) & 0xF
 		reg.CounterFunc("metadns_responses_total", obs.LabelValue("rcode", rc.String()),
 			"responses sent by rcode",
-			func() int64 { return e.respByRcode[idx].Load() })
+			func() int64 { return e.sumCounter(func(cs *coreStats) *atomic.Int64 { return &cs.respByRcode[idx] }) })
 	}
-	reg.CounterFunc("metadns_query_bytes_total", "", "query bytes received", e.queryBytes.Load)
-	reg.CounterFunc("metadns_response_bytes_total", "", "response bytes sent", e.respBytes.Load)
-	reg.CounterFunc("metadns_truncated_total", "", "UDP responses truncated", e.truncated.Load)
-	reg.CounterFunc("metadns_cache_hits_total", "", "packed-response cache hits", e.cacheHits.Load)
-	reg.CounterFunc("metadns_cache_misses_total", "", "packed-response cache misses", e.cacheMisses.Load)
+	reg.CounterFunc("metadns_query_bytes_total", "", "query bytes received",
+		func() int64 { return e.sumCounter(func(cs *coreStats) *atomic.Int64 { return &cs.queryBytes }) })
+	reg.CounterFunc("metadns_response_bytes_total", "", "response bytes sent",
+		func() int64 { return e.sumCounter(func(cs *coreStats) *atomic.Int64 { return &cs.respBytes }) })
+	reg.CounterFunc("metadns_truncated_total", "", "UDP responses truncated",
+		func() int64 { return e.sumCounter(func(cs *coreStats) *atomic.Int64 { return &cs.truncated }) })
+	reg.CounterFunc("metadns_cache_hits_total", "", "packed-response cache hits",
+		func() int64 { return e.sumCounter(func(cs *coreStats) *atomic.Int64 { return &cs.cacheHits }) })
+	reg.CounterFunc("metadns_cache_misses_total", "", "packed-response cache misses",
+		func() int64 { return e.sumCounter(func(cs *coreStats) *atomic.Int64 { return &cs.cacheMisses }) })
 	reg.CounterFunc("metadns_cache_evictions_total", "", "packed-response cache evictions",
 		func() int64 { return e.CacheStats().Evictions })
 	reg.GaugeFunc("metadns_cache_entries", "", "packed responses currently cached",
@@ -345,18 +373,36 @@ type Stats struct {
 	ResponseBytes int64
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters, summed across the
+// shared path and every batch shard.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		Queries:       e.queries.Load(),
-		Responses:     e.responses.Load(),
-		Truncated:     e.truncated.Load(),
-		FormErrs:      e.formErrs.Load(),
-		Refused:       e.refused.Load(),
-		NotImpl:       e.notImpl.Load(),
-		QueryBytes:    e.queryBytes.Load(),
-		ResponseBytes: e.respBytes.Load(),
+	var s Stats
+	e.eachStats(func(cs *coreStats) {
+		s.Queries += cs.queries.Load()
+		s.Responses += cs.responses.Load()
+		s.Truncated += cs.truncated.Load()
+		s.FormErrs += cs.formErrs.Load()
+		s.Refused += cs.refused.Load()
+		s.NotImpl += cs.notImpl.Load()
+		s.QueryBytes += cs.queryBytes.Load()
+		s.ResponseBytes += cs.respBytes.Load()
+	})
+	return s
+}
+
+// eachStats visits the shared-path counter set and every shard's.
+func (e *Engine) eachStats(f func(*coreStats)) {
+	f(&e.coreStats)
+	for _, sh := range *e.shards.Load() {
+		f(&sh.stats)
 	}
+}
+
+// sumCounter folds one counter across the shared path and all shards.
+func (e *Engine) sumCounter(get func(*coreStats) *atomic.Int64) int64 {
+	var n int64
+	e.eachStats(func(cs *coreStats) { n += get(cs).Load() })
+	return n
 }
 
 // CacheStats is a snapshot of the packed-response cache counters.
@@ -368,9 +414,13 @@ type CacheStats struct {
 }
 
 // CacheStats returns hit/miss counters and the current entry and eviction
-// counts across every view's response cache.
+// counts across every view's response cache and every shard-local cache.
 func (e *Engine) CacheStats() CacheStats {
-	st := CacheStats{Hits: e.cacheHits.Load(), Misses: e.cacheMisses.Load()}
+	var st CacheStats
+	e.eachStats(func(cs *coreStats) {
+		st.Hits += cs.cacheHits.Load()
+		st.Misses += cs.cacheMisses.Load()
+	})
 	rt := e.routing.Load()
 	seen := make(map[*respCache]struct{})
 	for _, vr := range rt.bySource {
@@ -382,6 +432,10 @@ func (e *Engine) CacheStats() CacheStats {
 	for c := range seen {
 		st.Entries += int64(c.len())
 		st.Evictions += c.evictions.Load()
+	}
+	for _, sh := range *e.shards.Load() {
+		st.Entries += sh.cacheEntries.Load()
+		st.Evictions += sh.cacheEvictions.Load()
 	}
 	return st
 }
@@ -432,12 +486,12 @@ func (e *Engine) Respond(query []byte, src netip.Addr, transport Transport) ([]b
 
 	// Sampled observability: the query counter gates; unsampled queries
 	// pay nothing further (span methods are nil-safe no-ops).
-	st := e.obsState.Load()
+	ob := e.obsState.Load()
 	var sp *obs.Span
 	var t0 time.Time
-	if st != nil && qn&st.mask == 0 {
+	if ob != nil && qn&ob.mask == 0 {
 		t0 = time.Now()
-		sp = st.tracer.Begin("query")
+		sp = ob.tracer.Begin("query")
 		if sp != nil {
 			sp.Transport = transport.String()
 		}
@@ -461,40 +515,41 @@ func (e *Engine) Respond(query []byte, src netip.Addr, transport Transport) ([]b
 			cacheable = true
 			sc.qnameLen = qnameLen
 			setSpanQName(sp, query[12:12+qnameLen])
-			if out, rcode := vr.cache.get(sc.key, query, qnameLen, e); out != nil {
+			if ent := vr.cache.get(sc.key); ent != nil {
 				e.cacheHits.Add(1)
+				out := appendCached(&e.coreStats, nil, ent, query, qnameLen)
 				if sp != nil {
 					sp.Detail = "cache_hit"
-					sp.Rcode = int(rcode)
+					sp.Rcode = int(ent.rcode)
 				}
 				sp.Mark("cache_hit")
-				e.finishSample(st, sp, t0)
+				e.finishSample(ob, sp, t0)
 				return out, nil
 			}
 			e.cacheMisses.Add(1)
 		}
 	}
 
-	out, meta, err := e.respondSlow(sc, query, vr, transport, sp)
+	out, meta, err := e.respondSlow(&e.coreStats, sc, nil, query, vr, transport, sp)
 	if err == nil && cacheable && meta.cacheable {
 		vr.cache.put(sc.key, out, sc.qnameLen, meta, int(e.cacheCap.Load()))
 	}
 	if sp != nil {
 		sp.Rcode = int(meta.rcode)
 	}
-	e.finishSample(st, sp, t0)
+	e.finishSample(ob, sp, t0)
 	return out, err
 }
 
 // finishSample records the sampled latency and publishes the span.
 //
 //ldlint:noalloc
-func (e *Engine) finishSample(st *engineObs, sp *obs.Span, t0 time.Time) {
-	if st == nil || t0.IsZero() {
+func (e *Engine) finishSample(ob *engineObs, sp *obs.Span, t0 time.Time) {
+	if ob == nil || t0.IsZero() {
 		return
 	}
-	st.latency.Record(time.Since(t0).Nanoseconds())
-	st.tracer.Finish(sp)
+	ob.latency.Record(time.Since(t0).Nanoseconds())
+	ob.tracer.Finish(sp)
 }
 
 // setSpanQName converts a wire-form qname (length-prefixed labels) to
@@ -526,31 +581,33 @@ func setSpanQName(sp *obs.Span, wire []byte) {
 	sp.SetNameBytes(buf[:n])
 }
 
-// respondSlow is the full parse → route → lookup → pack path. sp may be
-// nil (unsampled).
+// respondSlow is the full parse → route → lookup → pack path, appending
+// the response to dst (nil dst yields a fresh caller-owned slice). st is
+// the counter set to charge — the engine's own on the shared path, a
+// shard's on the batch path. sp may be nil (unsampled).
 //
 //ldlint:noalloc
-func (e *Engine) respondSlow(sc *scratch, query []byte, vr *viewRoute, transport Transport, sp *obs.Span) ([]byte, respMeta, error) {
+func (e *Engine) respondSlow(st *coreStats, sc *scratch, dst, query []byte, vr *viewRoute, transport Transport, sp *obs.Span) ([]byte, respMeta, error) {
 	q := &sc.q
 	if err := q.Unpack(query); err != nil {
 		if len(query) >= 12 {
-			e.formErrs.Add(1)
-			out, err := e.errorResponse(sc, query, dnswire.RcodeFormErr)
+			st.formErrs.Add(1)
+			out, err := errorResponse(st, sc, dst, query, dnswire.RcodeFormErr)
 			return out, respMeta{rcode: dnswire.RcodeFormErr}, err
 		}
-		return nil, respMeta{}, errUndecodable(err)
+		return dst, respMeta{}, errUndecodable(err)
 	}
 	sp.Mark("parse")
 	if q.Header.Opcode != dnswire.OpcodeQuery {
 		// NOTIFY/UPDATE/IQUERY are out of scope for an authoritative
 		// replay target; answer NOTIMP like NSD does.
-		e.notImpl.Add(1)
-		out, err := e.errorResponse(sc, query, dnswire.RcodeNotImp)
+		st.notImpl.Add(1)
+		out, err := errorResponse(st, sc, dst, query, dnswire.RcodeNotImp)
 		return out, respMeta{rcode: dnswire.RcodeNotImp}, err
 	}
 	if q.Header.QR || len(q.Question) != 1 {
-		e.formErrs.Add(1)
-		out, err := e.errorResponse(sc, query, dnswire.RcodeFormErr)
+		st.formErrs.Add(1)
+		out, err := errorResponse(st, sc, dst, query, dnswire.RcodeFormErr)
 		return out, respMeta{rcode: dnswire.RcodeFormErr}, err
 	}
 
@@ -576,10 +633,10 @@ func (e *Engine) respondSlow(sc *scratch, query []byte, vr *viewRoute, transport
 		z = vr.zoneFor(question.Name)
 	}
 	if z == nil {
-		e.refused.Add(1)
+		st.refused.Add(1)
 		meta.refused = true
 		resp.Header.Rcode = dnswire.RcodeRefused
-		out, err := e.pack(sc, resp, transport, udpLimit, &meta, sp)
+		out, err := packResponse(st, sc, dst, resp, transport, udpLimit, &meta, sp)
 		return out, meta, err
 	}
 
@@ -606,11 +663,11 @@ func (e *Engine) respondSlow(sc *scratch, query []byte, vr *viewRoute, transport
 		resp.Authority = res.Authority
 		resp.Additional = res.Additional
 	case zone.OutOfZone:
-		e.refused.Add(1)
+		st.refused.Add(1)
 		meta.refused = true
 		resp.Header.Rcode = dnswire.RcodeRefused
 	}
-	out, err := e.pack(sc, resp, transport, udpLimit, &meta, sp)
+	out, err := packResponse(st, sc, dst, resp, transport, udpLimit, &meta, sp)
 	return out, meta, err
 }
 
@@ -622,19 +679,23 @@ func errUndecodable(err error) error {
 	return fmt.Errorf("authserver: undecodable query: %w", err)
 }
 
-// pack encodes resp into the scratch buffer, applying UDP truncation when
-// necessary, and returns a caller-owned copy — the response's one
-// intended allocation.
+// packResponse encodes resp into the scratch buffer, applying UDP
+// truncation when necessary, and appends the encoding to dst. With a nil
+// dst the append is the response's one intended allocation (the shared
+// path's caller-owned copy); the batch path passes its reusable slab and
+// allocates nothing at steady state. Truncated responses shrink to the
+// question + OPT, which also drops them out of any GSO run their
+// full-size siblings form (unequal sizes never coalesce).
 //
 //ldlint:noalloc
-func (e *Engine) pack(sc *scratch, resp *dnswire.Message, transport Transport, udpLimit int, meta *respMeta, sp *obs.Span) ([]byte, error) {
+func packResponse(st *coreStats, sc *scratch, dst []byte, resp *dnswire.Message, transport Transport, udpLimit int, meta *respMeta, sp *obs.Span) ([]byte, error) {
 	wire, err := resp.Pack(sc.buf[:0])
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	sc.buf = wire[:0]
 	if transport == UDP && len(wire) > udpLimit {
-		e.truncated.Add(1)
+		st.truncated.Add(1)
 		meta.truncated = true
 		resp.Header.TC = true
 		// RFC 2181 §9: truncate to an empty answer; the client retries
@@ -643,25 +704,23 @@ func (e *Engine) pack(sc *scratch, resp *dnswire.Message, transport Transport, u
 		resp.Authority = nil
 		resp.Additional = nil
 		if wire, err = resp.Pack(sc.buf[:0]); err != nil {
-			return nil, err
+			return dst, err
 		}
 		sc.buf = wire[:0]
 	}
 	meta.rcode = resp.Header.Rcode
-	e.responses.Add(1)
-	e.respByRcode[int(resp.Header.Rcode)&0xF].Add(1)
-	e.respBytes.Add(int64(len(wire)))
+	st.responses.Add(1)
+	st.respByRcode[int(resp.Header.Rcode)&0xF].Add(1)
+	st.respBytes.Add(int64(len(wire)))
 	sp.Mark("pack")
-	out := make([]byte, len(wire)) //ldlint:ignore noalloc caller-owned copy is the contract's one allocation per response
-	copy(out, wire)
-	return out, nil
+	return append(dst, wire...), nil
 }
 
 // errorResponse builds a minimal response with rcode from a raw query
-// whose header (at least) was parseable.
+// whose header (at least) was parseable, appending it to dst.
 //
 //ldlint:noalloc
-func (e *Engine) errorResponse(sc *scratch, query []byte, rcode dnswire.Rcode) ([]byte, error) {
+func errorResponse(st *coreStats, sc *scratch, dst, query []byte, rcode dnswire.Rcode) ([]byte, error) {
 	resp := &sc.resp
 	resp.Reset()
 	resp.Header.ID = uint16(query[0])<<8 | uint16(query[1])
@@ -669,13 +728,11 @@ func (e *Engine) errorResponse(sc *scratch, query []byte, rcode dnswire.Rcode) (
 	resp.Header.Rcode = rcode
 	wire, err := resp.Pack(sc.buf[:0])
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	sc.buf = wire[:0]
-	e.responses.Add(1)
-	e.respByRcode[int(rcode)&0xF].Add(1)
-	e.respBytes.Add(int64(len(wire)))
-	out := make([]byte, len(wire)) //ldlint:ignore noalloc caller-owned copy is the contract's one allocation per response
-	copy(out, wire)
-	return out, nil
+	st.responses.Add(1)
+	st.respByRcode[int(rcode)&0xF].Add(1)
+	st.respBytes.Add(int64(len(wire)))
+	return append(dst, wire...), nil
 }

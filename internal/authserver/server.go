@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ldplayer/internal/netio"
 )
 
 // Server runs an Engine behind live UDP, TCP, and (optionally) TLS
@@ -34,6 +36,19 @@ type Server struct {
 	// workers contending on one socket's receive queue. Silently falls
 	// back to a single shared socket on platforms without SO_REUSEPORT.
 	ReusePort bool
+	// Batch enables the batched UDP datapath on platforms with real
+	// sendmmsg/recvmmsg: each worker drains up to BatchSize datagrams per
+	// recvmmsg (GRO-coalesced where the kernel supports it), answers them
+	// through a private engine shard, and replies with one sendmmsg,
+	// coalescing equal-size same-peer responses into GSO super-datagrams.
+	// On other platforms (or when false) the per-datagram loop serves.
+	Batch bool
+	// BatchSize is the per-worker receive batch width (default
+	// DefaultUDPBatchSize, clamped to netio.MaxBatch).
+	BatchSize int
+	// NoOffload disables UDP GSO/GRO on the batched datapath, keeping
+	// plain per-datagram sendmmsg/recvmmsg. For A/B measurement.
+	NoOffload bool
 
 	udpConns []*net.UDPConn
 	tcpLn    net.Listener
@@ -72,9 +87,16 @@ func (s *Server) Start(udpAddr, tcpAddr, tlsAddr string) error {
 		if err := s.listenUDP(udpAddr); err != nil {
 			return err
 		}
-		for i := 0; i < s.UDPWorkers; i++ {
-			s.wg.Add(1)
-			go s.serveUDP(s.udpConns[i%len(s.udpConns)])
+		if s.Batch && netio.BatchSyscalls {
+			if err := s.startUDPBatch(); err != nil {
+				s.Close()
+				return err
+			}
+		} else {
+			for i := 0; i < s.UDPWorkers; i++ {
+				s.wg.Add(1)
+				go s.serveUDP(s.udpConns[i%len(s.udpConns)])
+			}
 		}
 	}
 	if tcpAddr != "" {

@@ -1,0 +1,203 @@
+package authserver
+
+import (
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"ldplayer/internal/obs"
+)
+
+// EngineShard is one batch-path worker's private slice of the engine: a
+// shard-local packed-response cache (a plain map, no mutex — the owning
+// goroutine is its only reader and writer), a private coreStats counter
+// set, and a private scratch. The batched UDP datapath pairs one shard
+// with each SO_REUSEPORT worker socket so the receive→respond→send hot
+// path touches no cross-shard mutable state: no shared cache lock, no
+// contended counter cache lines, no sync.Pool traffic. Shared *read-only*
+// state (the routing snapshot, the cache capacity, the obs sampling
+// state) is still loaded atomically from the engine, which costs nothing
+// under contention-free reads.
+//
+// Concurrency contract: AppendRespond and EndBatch must be called from a
+// single goroutine (the worker that owns the shard). Stats readers only
+// touch the shard's atomic counters, never the cache map, so Engine.Stats
+// and obs scrapes stay race-free while the shard serves.
+type EngineShard struct {
+	e *Engine
+
+	// sc is the shard-owned scratch: unlike the shared path there is no
+	// pool round-trip per query.
+	sc scratch
+
+	// cache is the shard-local packed-response cache. Keys and entries
+	// have the same shape as the shared respCache; the map itself is
+	// confined to the owning goroutine.
+	cache map[string]*cacheEntry
+	// gen is the cache-generation snapshot; EndBatch clears the map when
+	// the engine bumps cacheGen (cap change / disablement).
+	gen uint64
+
+	// cacheEntries/cacheEvictions mirror the map's size and eviction
+	// count for CacheStats readers, which must not touch the map itself.
+	cacheEntries   atomic.Int64
+	cacheEvictions atomic.Int64
+
+	// stats is the shard-private counter set, summed into Engine.Stats.
+	stats coreStats
+
+	// Run-length batched per-view accounting: consecutive queries routed
+	// to the same view accumulate locally and flush with one atomic add
+	// on view change or batch end, so the (shared) per-view counter is
+	// touched ~once per batch instead of once per query.
+	pendVR *viewRoute
+	pendN  int64
+}
+
+// NewShard registers and returns a new batch-path shard.
+func (e *Engine) NewShard() *EngineShard {
+	sh := &EngineShard{
+		e:     e,
+		cache: make(map[string]*cacheEntry),
+		gen:   e.cacheGen.Load(),
+	}
+	sh.sc.key = make([]byte, 0, 280)
+	sh.sc.buf = make([]byte, 0, 2048)
+	e.addMu.Lock()
+	cur := *e.shards.Load()
+	next := make([]*EngineShard, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = sh
+	e.shards.Store(&next)
+	e.addMu.Unlock()
+	return sh
+}
+
+// AppendRespond answers the wire-format query arriving from src over
+// transport, appending the response to dst and returning the extended
+// slice. A response was produced iff the result is longer than dst; on
+// error (or a drop) dst is returned unchanged. The caller owns dst and
+// typically reuses one slab across a whole receive batch, so the
+// cache-hit steady state allocates nothing.
+//
+//ldlint:noalloc
+func (sh *EngineShard) AppendRespond(dst, query []byte, src netip.Addr, transport Transport) ([]byte, error) {
+	e := sh.e
+	st := &sh.stats
+	qn := uint64(st.queries.Add(1))
+	st.queryBytes.Add(int64(len(query)))
+	if t := int(transport); t >= 0 && t < len(st.qByTransport) {
+		st.qByTransport[t].Add(1)
+	}
+
+	// Sampled observability: the shard's own query counter gates, so each
+	// shard samples 1 in N of its own traffic.
+	ob := e.obsState.Load()
+	var sp *obs.Span
+	var t0 time.Time
+	if ob != nil && qn&ob.mask == 0 {
+		t0 = time.Now()
+		sp = ob.tracer.Begin("query")
+		if sp != nil {
+			sp.Transport = transport.String()
+		}
+	}
+
+	vr := e.routing.Load().route(src)
+	if vr != nil {
+		if vr == sh.pendVR {
+			sh.pendN++
+		} else {
+			sh.flushViewCount()
+			sh.pendVR = vr
+			sh.pendN = 1
+		}
+		if sp != nil {
+			sp.View = vr.view.Name
+		}
+	}
+	sp.Mark("view")
+
+	sc := &sh.sc
+	cacheable := false
+	if vr != nil && e.cacheCap.Load() > 0 {
+		if qnameLen, ok := buildCacheKey(sc, query, transport); ok {
+			cacheable = true
+			sc.qnameLen = qnameLen
+			setSpanQName(sp, query[12:12+qnameLen])
+			if ent := sh.cache[string(sc.key)]; ent != nil {
+				st.cacheHits.Add(1)
+				dst = appendCached(st, dst, ent, query, qnameLen)
+				if sp != nil {
+					sp.Detail = "cache_hit"
+					sp.Rcode = int(ent.rcode)
+				}
+				sp.Mark("cache_hit")
+				e.finishSample(ob, sp, t0)
+				return dst, nil
+			}
+			st.cacheMisses.Add(1)
+		}
+	}
+
+	out, meta, err := e.respondSlow(st, sc, dst, query, vr, transport, sp)
+	if err == nil && cacheable && meta.cacheable && len(out) > len(dst) {
+		sh.cachePut(sc.key, out[len(dst):], sc.qnameLen, meta, int(e.cacheCap.Load()))
+	}
+	if sp != nil {
+		sp.Rcode = int(meta.rcode)
+	}
+	e.finishSample(ob, sp, t0)
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}
+
+// EndBatch flushes the pending per-view count and applies any cache
+// invalidation. Call it once per receive batch, after the batch's last
+// AppendRespond.
+//
+//ldlint:noalloc
+func (sh *EngineShard) EndBatch() {
+	sh.flushViewCount()
+	if g := sh.e.cacheGen.Load(); g != sh.gen {
+		sh.gen = g
+		clear(sh.cache)
+		sh.cacheEntries.Store(0)
+	}
+}
+
+// flushViewCount publishes the accumulated run of same-view queries.
+//
+//ldlint:noalloc
+func (sh *EngineShard) flushViewCount() {
+	if sh.pendVR != nil && sh.pendN > 0 {
+		sh.pendVR.queries.Add(sh.pendN)
+	}
+	sh.pendVR = nil
+	sh.pendN = 0
+}
+
+// cachePut stores a copy of resp in the shard-local cache under key,
+// evicting an arbitrary entry at capacity. Mirrors respCache.put but
+// needs no lock: the owning goroutine is the only mutator.
+func (sh *EngineShard) cachePut(key, resp []byte, qnameLen int, meta respMeta, capacity int) {
+	if capacity <= 0 || len(resp) < 12+qnameLen+4 {
+		return
+	}
+	wire := make([]byte, len(resp))
+	copy(wire, resp)
+	wire[0], wire[1] = 0, 0
+	if _, exists := sh.cache[string(key)]; !exists {
+		for len(sh.cache) >= capacity {
+			for k := range sh.cache {
+				delete(sh.cache, k)
+				break
+			}
+			sh.cacheEvictions.Add(1)
+		}
+	}
+	sh.cache[string(key)] = &cacheEntry{wire: wire, truncated: meta.truncated, refused: meta.refused, rcode: meta.rcode}
+	sh.cacheEntries.Store(int64(len(sh.cache)))
+}

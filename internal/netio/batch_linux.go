@@ -4,6 +4,7 @@ package netio
 
 import (
 	"net"
+	"net/netip"
 	"runtime"
 	"syscall"
 	"unsafe"
@@ -86,6 +87,12 @@ type UDPBatch struct {
 	echoHdrs []mmsghdr
 	echoCtl  []cmsgSeg
 
+	// reply staging (withAddrs only): arbitrary response payloads queued
+	// against received-buffer indices, flushed by SendStaged. Grown by
+	// append and reused across batches.
+	stageMsgs [][]byte
+	stageIdx  []int
+
 	// Prebuilt RawConn callbacks with their in/out parameters staged in
 	// the fields below: a literal closure passed to rc.Read/rc.Write
 	// escapes and costs one heap allocation per syscall batch, which at
@@ -114,7 +121,15 @@ const sockaddrStorage = 28
 // accept coalesced buffers — size receive buffers for up to 64 segments
 // per buffer when responses may arrive coalesced.
 func NewUDPBatch(c *net.UDPConn, sendN, recvN, bufSize int, withAddrs bool) (*UDPBatch, error) {
-	sendN, n, bufSize := clampBatch(sendN, recvN, bufSize)
+	return NewUDPBatchConfig(c, BatchConfig{SendMsgs: sendN, RecvMsgs: recvN, BufSize: bufSize, Addrs: withAddrs})
+}
+
+// NewUDPBatchConfig builds batched I/O state for c from cfg; see
+// NewUDPBatch for the base contract. cfg.NoOffload skips the GSO/GRO
+// probes entirely, pinning the socket to plain per-datagram batching.
+func NewUDPBatchConfig(c *net.UDPConn, cfg BatchConfig) (*UDPBatch, error) {
+	sendN, n, bufSize := clampBatch(cfg.SendMsgs, cfg.RecvMsgs, cfg.BufSize)
+	withAddrs := cfg.Addrs
 	rc, err := c.SyscallConn()
 	if err != nil {
 		return nil, err
@@ -135,16 +150,18 @@ func NewUDPBatch(c *net.UDPConn, sendN, recvN, bufSize int, withAddrs bool) (*UD
 	// Probe segmentation offload support: setting a zero segment size is
 	// a no-op on kernels that know the option and ENOPROTOOPT on ones
 	// that don't. GRO is enabled for the socket's lifetime.
-	ctlErr := rc.Control(func(fd uintptr) {
-		if syscall.SetsockoptInt(int(fd), solUDP, udpSegment, 0) == nil {
-			b.gso = true
+	if !cfg.NoOffload {
+		ctlErr := rc.Control(func(fd uintptr) {
+			if syscall.SetsockoptInt(int(fd), solUDP, udpSegment, 0) == nil {
+				b.gso = true
+			}
+			if syscall.SetsockoptInt(int(fd), solUDP, udpGRO, 1) == nil {
+				b.gro = true
+			}
+		})
+		if ctlErr != nil {
+			return nil, ctlErr
 		}
-		if syscall.SetsockoptInt(int(fd), solUDP, udpGRO, 1) == nil {
-			b.gro = true
-		}
-	})
-	if ctlErr != nil {
-		return nil, ctlErr
 	}
 	slab := make([]byte, n*bufSize)
 	b.bufs = make([][]byte, n)
@@ -279,6 +296,10 @@ func (b *UDPBatch) Send(msgs [][]byte) (int, error) {
 			hd := &b.sendHdrs[h].hdr
 			hd.Iov = &b.sendIovs[iov]
 			hd.Iovlen = uint64(run)
+			// SendStaged shares these headers and sets peer addresses;
+			// the connected-socket path must not inherit one.
+			hd.Name = nil
+			hd.Namelen = 0
 			if run > 1 {
 				stageSeg(hd, &b.sendCtl[h], sz)
 			} else {
@@ -383,4 +404,120 @@ func (b *UDPBatch) Echo(n int) (int, error) {
 		err = b.echoErr
 	}
 	return b.echoDone, err
+}
+
+// PeerAddr decodes the sender address of received buffer i from the raw
+// sockaddr recvmmsg wrote. Only valid when the UDPBatch was built with
+// addresses, between a Recv and the next. IPv4-mapped IPv6 senders are
+// unmapped so the result compares equal to a plain IPv4 address.
+//
+//ldlint:noalloc
+func (b *UDPBatch) PeerAddr(i int) netip.AddrPort {
+	sa := b.names[i]
+	// sa_family_t is host-endian; both supported GOARCHes are
+	// little-endian. The port that follows is big-endian per sockaddr_in.
+	switch uint16(sa[0]) | uint16(sa[1])<<8 {
+	case syscall.AF_INET:
+		port := uint16(sa[2])<<8 | uint16(sa[3])
+		return netip.AddrPortFrom(netip.AddrFrom4([4]byte(sa[4:8])), port)
+	case syscall.AF_INET6:
+		port := uint16(sa[2])<<8 | uint16(sa[3])
+		return netip.AddrPortFrom(netip.AddrFrom16([16]byte(sa[8:24])).Unmap(), port)
+	}
+	return netip.AddrPort{}
+}
+
+// Stage queues msg as a reply to the sender of received buffer i. msg
+// must stay immutable until SendStaged returns; it typically points into
+// a caller-owned slab reused per batch. Only valid when the UDPBatch was
+// built with addresses, between a Recv and the next.
+//
+//ldlint:noalloc
+func (b *UDPBatch) Stage(i int, msg []byte) {
+	b.stageMsgs = append(b.stageMsgs, msg)
+	b.stageIdx = append(b.stageIdx, i)
+}
+
+// SendStaged transmits every staged reply in one or more sendmmsg calls
+// and resets the staging queue. Consecutive equal-size replies to the
+// same received buffer (therefore the same peer) coalesce into GSO
+// super-datagrams when the kernel supports UDP_SEGMENT — the natural
+// case on a loopback bench, where GRO hands the server a run of
+// same-peer queries whose equal-size responses stage back to back. A
+// reply whose size differs from its neighbours (e.g. a truncated
+// response among full answers) never joins a run: GSO segments must be
+// equal-sized, so it ships as its own plain datagram, never clipped.
+// Returns the number of replies fully submitted; sent < staged implies
+// err != nil. SendStaged shares send state with Send — serialize them.
+//
+//ldlint:noalloc
+func (b *UDPBatch) SendStaged() (int, error) {
+	total := 0
+	for total < len(b.stageMsgs) {
+		h, iov, mi := 0, 0, total
+		for mi < len(b.stageMsgs) && h < len(b.sendHdrs) && iov < len(b.sendIovs) {
+			sz := len(b.stageMsgs[mi])
+			idx := b.stageIdx[mi]
+			run := 1
+			if b.gso && sz > 0 {
+				maxRun := gsoMaxBytes / sz
+				if maxRun > gsoMaxSegs {
+					maxRun = gsoMaxSegs
+				}
+				for mi+run < len(b.stageMsgs) && run < maxRun && iov+run < len(b.sendIovs) &&
+					len(b.stageMsgs[mi+run]) == sz && b.stageIdx[mi+run] == idx {
+					run++
+				}
+			}
+			for k := 0; k < run; k++ {
+				m := b.stageMsgs[mi+k]
+				if len(m) > 0 {
+					b.sendIovs[iov+k].Base = &m[0]
+				} else {
+					b.sendIovs[iov+k].Base = nil
+				}
+				b.sendIovs[iov+k].SetLen(len(m))
+			}
+			hd := &b.sendHdrs[h].hdr
+			hd.Iov = &b.sendIovs[iov]
+			hd.Iovlen = uint64(run)
+			hd.Name = &b.names[idx][0]
+			hd.Namelen = b.recvHdrs[idx].hdr.Namelen
+			if run > 1 {
+				stageSeg(hd, &b.sendCtl[h], sz)
+			} else {
+				hd.Control = nil
+				hd.SetControllen(0)
+			}
+			b.sendRuns[h] = run
+			h++
+			iov += run
+			mi += run
+		}
+		b.sendChunk = h
+		b.sendDone = 0
+		b.sendErr = nil
+		err := b.rc.Write(b.sendFn)
+		runtime.KeepAlive(b)
+		for i := 0; i < b.sendDone; i++ {
+			total += b.sendRuns[i]
+		}
+		if err == nil {
+			err = b.sendErr
+		}
+		if err != nil {
+			b.resetStage()
+			return total, err
+		}
+	}
+	b.resetStage()
+	return total, nil
+}
+
+// resetStage clears the staging queue for the next batch.
+//
+//ldlint:noalloc
+func (b *UDPBatch) resetStage() {
+	b.stageMsgs = b.stageMsgs[:0]
+	b.stageIdx = b.stageIdx[:0]
 }

@@ -4,6 +4,7 @@ package netio
 
 import (
 	"net"
+	"net/netip"
 )
 
 // BatchSyscalls reports whether this build uses real sendmmsg/recvmmsg.
@@ -16,21 +17,30 @@ type UDPBatch struct {
 	conn  *net.UDPConn
 	bufs  [][]byte
 	lens  []int
-	addrs []*net.UDPAddr
+	addrs []netip.AddrPort
 	peers bool
+
+	stageMsgs [][]byte
+	stageIdx  []int
 }
 
 // NewUDPBatch builds batched I/O state for c; see the Linux variant for
 // the contract. The fallback sends with a loop, so sendN only bounds the
 // progress-check chunking and receive state is sized by recvN.
 func NewUDPBatch(c *net.UDPConn, sendN, recvN, bufSize int, withAddrs bool) (*UDPBatch, error) {
-	_, n, bufSize := clampBatch(sendN, recvN, bufSize)
+	return NewUDPBatchConfig(c, BatchConfig{SendMsgs: sendN, RecvMsgs: recvN, BufSize: bufSize, Addrs: withAddrs})
+}
+
+// NewUDPBatchConfig builds batched I/O state for c from cfg. The
+// fallback never coalesces, so cfg.NoOffload changes nothing.
+func NewUDPBatchConfig(c *net.UDPConn, cfg BatchConfig) (*UDPBatch, error) {
+	_, n, bufSize := clampBatch(cfg.SendMsgs, cfg.RecvMsgs, cfg.BufSize)
 	b := &UDPBatch{
 		conn:  c,
 		bufs:  make([][]byte, n),
 		lens:  make([]int, n),
-		addrs: make([]*net.UDPAddr, n),
-		peers: withAddrs,
+		addrs: make([]netip.AddrPort, n),
+		peers: cfg.Addrs,
 	}
 	for i := range b.bufs {
 		b.bufs[i] = make([]byte, bufSize)
@@ -62,7 +72,7 @@ func (b *UDPBatch) Recv() (int, error) {
 		err error
 	)
 	if b.peers {
-		n, b.addrs[0], err = b.conn.ReadFromUDP(b.bufs[0])
+		n, b.addrs[0], err = b.conn.ReadFromUDPAddrPort(b.bufs[0])
 	} else {
 		n, err = b.conn.Read(b.bufs[0])
 	}
@@ -80,14 +90,50 @@ func (b *UDPBatch) Msg(i int) []byte { return b.bufs[i][:b.lens[i]] }
 // portable fallback never coalesces, so it is always 0.
 func (b *UDPBatch) SegSize(i int) int { return 0 }
 
+// PeerAddr returns the sender address of received datagram i. Only valid
+// when the UDPBatch was built with addresses, between a Recv and the
+// next.
+//
+//ldlint:noalloc
+func (b *UDPBatch) PeerAddr(i int) netip.AddrPort {
+	a := b.addrs[i]
+	return netip.AddrPortFrom(a.Addr().Unmap(), a.Port())
+}
+
 // Echo sends back the first n received datagrams to their senders.
 //
 //ldlint:noalloc
 func (b *UDPBatch) Echo(n int) (int, error) {
 	for i := 0; i < n; i++ {
-		if _, err := b.conn.WriteToUDP(b.bufs[i][:b.lens[i]], b.addrs[i]); err != nil {
+		if _, err := b.conn.WriteToUDPAddrPort(b.bufs[i][:b.lens[i]], b.addrs[i]); err != nil {
 			return i, err
 		}
 	}
+	return n, nil
+}
+
+// Stage queues msg as a reply to the sender of received datagram i.
+//
+//ldlint:noalloc
+func (b *UDPBatch) Stage(i int, msg []byte) {
+	b.stageMsgs = append(b.stageMsgs, msg)
+	b.stageIdx = append(b.stageIdx, i)
+}
+
+// SendStaged transmits every staged reply, one write per datagram, and
+// resets the staging queue. Progress contract as on Linux.
+//
+//ldlint:noalloc
+func (b *UDPBatch) SendStaged() (int, error) {
+	for i, m := range b.stageMsgs {
+		if _, err := b.conn.WriteToUDPAddrPort(m, b.addrs[b.stageIdx[i]]); err != nil {
+			b.stageMsgs = b.stageMsgs[:0]
+			b.stageIdx = b.stageIdx[:0]
+			return i, err
+		}
+	}
+	n := len(b.stageMsgs)
+	b.stageMsgs = b.stageMsgs[:0]
+	b.stageIdx = b.stageIdx[:0]
 	return n, nil
 }

@@ -19,6 +19,25 @@ package netio
 // constructors clamp to it.
 const MaxBatch = 1024
 
+// BatchConfig shapes a UDPBatch. The zero value of each field selects
+// the same defaults as NewUDPBatch.
+type BatchConfig struct {
+	// SendMsgs and RecvMsgs bound the messages staged per send call and
+	// the buffers filled per receive call.
+	SendMsgs int
+	RecvMsgs int
+	// BufSize is the per-receive-buffer size. Size for up to 64 GRO
+	// segments per buffer when peers may send coalesced.
+	BufSize int
+	// Addrs enables peer-address capture (required for Echo, PeerAddr,
+	// and Stage/SendStaged on unconnected sockets).
+	Addrs bool
+	// NoOffload disables UDP GSO send coalescing and GRO receive even
+	// when the kernel supports them, degrading to plain per-datagram
+	// sendmmsg/recvmmsg. For A/B measurement and fault isolation.
+	NoOffload bool
+}
+
 // clampBatch normalizes a requested batch shape. Send and receive
 // capacities are independent so a sender can batch wide without paying
 // for receive buffers it will never fill.
