@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench-smoke bench-replay bench-replay-smoke bench-server bench-server-smoke bench obs-smoke fuzz-smoke
+.PHONY: check vet lint build test race bench-smoke bench-replay bench-replay-smoke bench-server bench-server-smoke bench-qlog bench-qlog-smoke bench obs-smoke qlog-smoke fuzz-smoke
 
-check: vet lint build race bench-smoke bench-replay-smoke bench-server-smoke obs-smoke fuzz-smoke
+check: vet lint build race bench-smoke bench-replay-smoke bench-server-smoke bench-qlog-smoke obs-smoke qlog-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,22 @@ bench-smoke:
 # both sides and /trace must carry query-lifecycle spans.
 obs-smoke:
 	$(GO) test -run TestObsSmoke -count=1 ./internal/obs/
+
+# End-to-end telemetry check: a live batched server with a qlog pipeline
+# attached streams one event per query into a binary capture whose
+# fields, cache-hit flags, and counts must match the traffic exactly.
+qlog-smoke:
+	$(GO) test -run TestQlogSmoke -count=1 ./internal/qlog/
+
+# One-second qlog pipeline smoke: enqueue, transform, file- and
+# TCP-export at reduced scale, validating the JSON it would record
+# without touching BENCH_qlog.json.
+bench-qlog-smoke:
+	$(GO) run ./cmd/ldplayer qlog-bench -smoke >/dev/null && echo "bench-qlog-smoke: ok"
+
+# Full qlog pipeline benchmark: appends a labeled run to BENCH_qlog.json.
+bench-qlog:
+	$(GO) run ./cmd/ldplayer qlog-bench -label "$${LABEL:-dev}"
 
 # Short fuzz budget over the DNS wire codec: hostile decode must never
 # panic and decode→encode must reach a byte-identical fixed point.

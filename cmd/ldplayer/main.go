@@ -30,6 +30,8 @@ import (
 	"ldplayer/internal/netsim"
 	"ldplayer/internal/obs"
 	"ldplayer/internal/pcap"
+	"ldplayer/internal/qlog"
+	qbench "ldplayer/internal/qlog/bench"
 	"ldplayer/internal/replay"
 	"ldplayer/internal/replay/bench"
 	"ldplayer/internal/trace"
@@ -53,6 +55,8 @@ func main() {
 		err = cmdReplay(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "qlog-bench":
+		err = cmdQlogBench(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
 	case "demo":
@@ -68,12 +72,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ldplayer <gen|stats|mutate|replay|bench|experiment|demo> [flags]
+	fmt.Fprintln(os.Stderr, `usage: ldplayer <gen|stats|mutate|replay|bench|qlog-bench|experiment|demo> [flags]
   gen        -kind broot|rec|syn -out FILE synthesize a Table-1 trace family
   stats      -in FILE                      print Table-1 style statistics
   mutate     -in FILE -out FILE [flags]    rewrite a trace (protocol, DO, tags)
   replay     -in FILE -udp HOST:PORT ...   replay against live servers
   bench      -label NAME [-out FILE]       loopback replay self-benchmark
+  qlog-bench -label NAME [-out FILE]       telemetry pipeline self-benchmark
   experiment -name NAME                    regenerate a paper figure/table
   demo                                     end-to-end self-contained demo`)
 }
@@ -101,6 +106,8 @@ func openTrace(path string) (trace.Reader, func() error, error) {
 		return r, f.Close, nil
 	case strings.HasSuffix(path, ".txt"):
 		return trace.NewTextReader(f), f.Close, nil
+	case strings.HasSuffix(path, ".qlog"):
+		return qlog.NewEntryReader(f), f.Close, nil
 	default:
 		return trace.NewBinaryReader(f), f.Close, nil
 	}
@@ -298,6 +305,11 @@ func cmdReplay(args []string) error {
 	impair := fs.String("impair", "", "fault-inject the UDP path, e.g. 'drop=0.2,dup=0.05,jitter=5ms,seed=1'")
 	clients := fs.String("clients", "", "comma-separated ldclient addresses: act as remote controller (Figure 5)")
 	obsListen := fs.String("obs-listen", "", "observability HTTP address serving /metrics, /metrics.json and /debug/pprof (empty = disabled)")
+	qlogFile := fs.String("qlog", "", "stream per-send telemetry to this binary qlog file (empty = disabled)")
+	qlogTCP := fs.String("qlog-tcp", "", "stream per-send telemetry to this TCP collector address (empty = disabled)")
+	qlogSample := fs.Int("qlog-sample", 1, "export 1 in N telemetry events")
+	qlogAnon := fs.String("qlog-anon", "", "anonymize exported qnames with this keyed-hash secret (empty = off)")
+	qlogRing := fs.Int("qlog-ring", 0, "telemetry ring capacity per producer (0 = default)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("replay: -in is required")
@@ -340,6 +352,20 @@ func cmdReplay(args []string) error {
 		udpTarget = relay.Addr().String()
 		fmt.Printf("impairing UDP path to %s: %s\n", *udp, imp)
 	}
+	qopts := qlog.Options{
+		File:     *qlogFile,
+		TCP:      *qlogTCP,
+		Sample:   *qlogSample,
+		AnonKey:  *qlogAnon,
+		RingSize: *qlogRing,
+	}
+	var qpipe *qlog.Pipeline
+	if qopts.Enabled() {
+		var qerr error
+		if qpipe, qerr = qlog.NewFromOptions(qopts); qerr != nil {
+			return qerr
+		}
+	}
 	en, err := replay.New(replay.Config{
 		Distributors:           *distributors,
 		QueriersPerDistributor: *queriers,
@@ -349,6 +375,7 @@ func cmdReplay(args []string) error {
 		UDPRetries:             *udpRetries,
 		UDPRetryTimeout:        *udpRetryTimeout,
 		FastMode:               *fast,
+		Qlog:                   qpipe,
 	})
 	if err != nil {
 		return err
@@ -356,6 +383,9 @@ func cmdReplay(args []string) error {
 	if *obsListen != "" {
 		reg := obs.NewRegistry()
 		en.Instrument(reg)
+		if qpipe != nil {
+			qpipe.Instrument(reg)
+		}
 		osrv, oerr := obs.Serve(*obsListen, reg, nil)
 		if oerr != nil {
 			return oerr
@@ -364,6 +394,14 @@ func cmdReplay(args []string) error {
 		fmt.Println("observability on http://" + osrv.Addr().String() + "/metrics")
 	}
 	st, err := en.Replay(context.Background(), r)
+	if qpipe != nil {
+		if cerr := qpipe.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "ldplayer: qlog:", cerr)
+		}
+		qst := qpipe.Stats()
+		fmt.Printf("qlog: %d events captured, %d shed (ring), %d filtered, %d exported, %d sink-dropped\n",
+			qst.Published, qst.RingDrops, qst.TransformDrops, qst.SinkWritten, qst.SinkDropped)
+	}
 	if err != nil {
 		return err
 	}
@@ -427,6 +465,58 @@ func cmdBench(args []string) error {
 	}
 
 	rep, err := bench.LoadReport(*out)
+	if err != nil {
+		return err
+	}
+	rep.Append(*label, results)
+	if err := rep.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %q in %s\n", *label, *out)
+	return nil
+}
+
+// cmdQlogBench runs the telemetry-pipeline self-benchmark and records
+// the results in a BENCH_qlog.json trajectory file. -smoke runs a
+// scaled-down suite, validates the JSON it would write, and prints it to
+// stdout without touching the trajectory file (the CI gate).
+func cmdQlogBench(args []string) error {
+	fs := flag.NewFlagSet("qlog-bench", flag.ExitOnError)
+	label := fs.String("label", "dev", "trajectory label for this run")
+	out := fs.String("out", "BENCH_qlog.json", "trajectory file to append to")
+	smoke := fs.Bool("smoke", false, "short run: validate JSON output, write nothing")
+	scale := fs.Float64("scale", 1, "scale factor for per-case duration")
+	fs.Parse(args)
+
+	sc := *scale
+	if *smoke {
+		sc = 0.08 // ~0.5s of work
+	}
+	results, err := qbench.Suite(sc)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-14s sink=%-7s producers=%d: %.2fM enq/s, %.2fM export/s (%.1f MB/s), %d shed\n",
+			r.Name, r.Sink, r.Producers, r.ProducePerSec/1e6, r.ExportPerSec/1e6, r.MBPerSec, r.RingDrops)
+	}
+
+	if *smoke {
+		rep := qbench.NewReport()
+		rep.Append("smoke", results)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := qbench.Validate(data); err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		fmt.Println("qlog-bench smoke: JSON output validates")
+		return nil
+	}
+
+	rep, err := qbench.LoadReport(*out)
 	if err != nil {
 		return err
 	}

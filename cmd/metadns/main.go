@@ -27,6 +27,7 @@ import (
 	"ldplayer/internal/dnswire"
 	"ldplayer/internal/netsim"
 	"ldplayer/internal/obs"
+	"ldplayer/internal/qlog"
 	"ldplayer/internal/zone"
 )
 
@@ -59,6 +60,14 @@ func main() {
 	batch := flag.Int("udp-batch", authserver.DefaultUDPBatchSize, "datagrams per recvmmsg/sendmmsg batch on the batched datapath; 0 = per-datagram loop")
 	noOffload := flag.Bool("no-offload", false, "disable UDP GSO/GRO coalescing on the batched datapath")
 	reusePort := flag.Bool("reuseport", true, "one SO_REUSEPORT UDP socket per worker where supported")
+	qlogFile := flag.String("qlog", "", "stream per-query telemetry to this rotating binary qlog file (empty = disabled)")
+	qlogTCP := flag.String("qlog-tcp", "", "stream per-query telemetry to this TCP collector address (empty = disabled)")
+	qlogRotate := flag.Int("qlog-rotate-mb", 256, "rotate the -qlog file after this many MiB (0 = never)")
+	qlogSample := flag.Int("qlog-sample", 1, "export 1 in N telemetry events")
+	qlogSuffix := flag.String("qlog-suffix", "", "comma-separated qname suffix keep-list for telemetry export (empty = all)")
+	qlogAnon := flag.String("qlog-anon", "", "anonymize exported qnames with this keyed-hash secret (empty = off)")
+	qlogSlow := flag.Duration("qlog-slow", 0, "tag exported events with sampled latency above this as slow (0 = off)")
+	qlogRing := flag.Int("qlog-ring", 0, "telemetry ring capacity per producer (0 = default)")
 	flag.Parse()
 
 	srvOpts := serverOpts{
@@ -67,7 +76,17 @@ func main() {
 		noOffload: *noOffload,
 		reusePort: *reusePort,
 	}
-	if err := run(zoneFlags, viewFlags, *udp, *tcp, *tlsAddr, *tlsHost, *idle, *obsListen, *obsSample, *impair, srvOpts); err != nil {
+	qopts := qlog.Options{
+		File:         *qlogFile,
+		FileRotateMB: *qlogRotate,
+		TCP:          *qlogTCP,
+		Sample:       *qlogSample,
+		Suffixes:     *qlogSuffix,
+		AnonKey:      *qlogAnon,
+		Slow:         *qlogSlow,
+		RingSize:     *qlogRing,
+	}
+	if err := run(zoneFlags, viewFlags, *udp, *tcp, *tlsAddr, *tlsHost, *idle, *obsListen, *obsSample, *impair, qopts, srvOpts); err != nil {
 		fmt.Fprintln(os.Stderr, "metadns:", err)
 		os.Exit(1)
 	}
@@ -81,7 +100,7 @@ type serverOpts struct {
 	reusePort bool
 }
 
-func run(zoneFlags, viewFlags []string, udp, tcp, tlsAddr, tlsHost string, idle time.Duration, obsListen string, obsSample int, impair string, srvOpts serverOpts) error {
+func run(zoneFlags, viewFlags []string, udp, tcp, tlsAddr, tlsHost string, idle time.Duration, obsListen string, obsSample int, impair string, qopts qlog.Options, srvOpts serverOpts) error {
 	if len(zoneFlags) == 0 {
 		return fmt.Errorf("at least one -zone is required")
 	}
@@ -146,12 +165,42 @@ func run(zoneFlags, viewFlags []string, udp, tcp, tlsAddr, tlsHost string, idle 
 		}
 	}
 
+	// The qlog pipeline attaches before Server.Start so batch shards bind
+	// their producers at creation; its defer is registered before the
+	// server's, so (LIFO) the pipeline drains after the listeners stop.
+	var qpipe *qlog.Pipeline
+	if qopts.Enabled() {
+		var err error
+		qpipe, err = qlog.NewFromOptions(qopts)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := qpipe.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "metadns: qlog:", err)
+			}
+			qst := qpipe.Stats()
+			fmt.Printf("qlog: %d events captured, %d shed (ring), %d filtered, %d exported, %d sink-dropped\n",
+				qst.Published, qst.RingDrops, qst.TransformDrops, qst.SinkWritten, qst.SinkDropped)
+		}()
+		engine.SetQlog(qpipe)
+		if qopts.File != "" {
+			fmt.Println("qlog telemetry to file", qopts.File)
+		}
+		if qopts.TCP != "" {
+			fmt.Println("qlog telemetry to tcp", qopts.TCP)
+		}
+	}
+
 	if obsListen != "" {
 		reg := obs.NewRegistry()
 		// The engine gates which queries trace (1 in -obs-sample), so the
 		// tracer itself keeps every span it is handed.
 		tracer := obs.NewTracer(1024, 1)
 		engine.Instrument(reg, tracer, obsSample)
+		if qpipe != nil {
+			qpipe.Instrument(reg)
+		}
 		osrv, err := obs.Serve(obsListen, reg, tracer)
 		if err != nil {
 			return err

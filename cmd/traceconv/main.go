@@ -1,14 +1,17 @@
 // Command traceconv converts between LDplayer's trace formats (Figure 3):
 // pcap network captures, editable plain text, and the length-prefixed
-// binary stream of internal messages used for fast replay.
+// binary stream of internal messages used for fast replay. Query-log
+// telemetry captures (.qlog, from metadns -qlog or a TCP collector) read
+// as traces too, so a live capture converts straight into replay input.
 //
 // Usage:
 //
 //	traceconv -in capture.pcap -out queries.txt     # pcap  -> text
 //	traceconv -in queries.txt  -out queries.bin     # text  -> binary
 //	traceconv -in queries.bin  -out queries.pcap    # binary -> pcap
+//	traceconv -in server.qlog  -out queries.bin     # qlog  -> binary
 //
-// Formats are selected by extension (.pcap/.txt/.bin).
+// Formats are selected by extension (.pcap/.txt/.bin/.qlog input).
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"strings"
 
 	"ldplayer/internal/pcap"
+	"ldplayer/internal/qlog"
 	"ldplayer/internal/trace"
 )
 
@@ -56,6 +60,8 @@ func run(in, out string, queriesOnly bool) error {
 		}
 	case strings.HasSuffix(in, ".txt"):
 		r = trace.NewTextReader(inF)
+	case strings.HasSuffix(in, ".qlog"):
+		r = qlog.NewEntryReader(inF)
 	default:
 		r = trace.NewBinaryReader(inF)
 	}

@@ -29,6 +29,7 @@ import (
 
 	"ldplayer/internal/dnswire"
 	"ldplayer/internal/obs"
+	"ldplayer/internal/qlog"
 	"ldplayer/internal/zone"
 )
 
@@ -189,6 +190,10 @@ type Engine struct {
 	// views added after Instrument.
 	obsState atomic.Pointer[engineObs]
 	obsReg   *obs.Registry
+
+	// qlogSt enables per-query telemetry events when non-nil; see
+	// SetQlog in qlog.go.
+	qlogSt atomic.Pointer[engineQlog]
 }
 
 // engineObs is the sampled-observability state installed by Instrument.
@@ -509,10 +514,13 @@ func (e *Engine) Respond(query []byte, src netip.Addr, transport Transport) ([]b
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)
 
+	qs := e.qlogSt.Load()
 	cacheable := false
+	qlen := 0
 	if vr != nil && e.cacheCap.Load() > 0 {
 		if qnameLen, ok := buildCacheKey(sc, query, transport); ok {
 			cacheable = true
+			qlen = qnameLen
 			sc.qnameLen = qnameLen
 			setSpanQName(sp, query[12:12+qnameLen])
 			if ent := vr.cache.get(sc.key); ent != nil {
@@ -524,6 +532,9 @@ func (e *Engine) Respond(query []byte, src netip.Addr, transport Transport) ([]b
 				}
 				sp.Mark("cache_hit")
 				e.finishSample(ob, sp, t0)
+				if qs != nil {
+					e.qlogEmitShared(qs, query, src, transport, vr, qnameLen, ent.rcode, qlog.FlagCacheHit, t0)
+				}
 				return out, nil
 			}
 			e.cacheMisses.Add(1)
@@ -538,6 +549,13 @@ func (e *Engine) Respond(query []byte, src netip.Addr, transport Transport) ([]b
 		sp.Rcode = int(meta.rcode)
 	}
 	e.finishSample(ob, sp, t0)
+	if qs != nil {
+		var flags uint8
+		if err != nil || out == nil {
+			flags = qlog.FlagDropped
+		}
+		e.qlogEmitShared(qs, query, src, transport, vr, qlen, meta.rcode, flags, t0)
+	}
 	return out, err
 }
 

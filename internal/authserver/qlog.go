@@ -1,0 +1,116 @@
+package authserver
+
+import (
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/qlog"
+)
+
+// Query-log emit points. Each served query — batch path or shared path —
+// publishes exactly one event, so the pipeline's accounting invariant
+// (events + ring drops == engine queries) holds by construction. Batch
+// shards own SPSC producers (one worker goroutine each); the shared
+// Respond path (per-datagram UDP fallback, TCP, TLS, netsim adapters) is
+// multi-goroutine and goes through one mutex-guarded producer. Emitting
+// is stores into a ring slot — no syscall, no block, no allocation — and
+// a full ring sheds the event, never the response.
+
+// engineQlog is the telemetry state installed by SetQlog.
+type engineQlog struct {
+	pipe   *qlog.Pipeline
+	shared *qlog.LockedProducer
+}
+
+// SetQlog attaches (or, with nil, detaches for future shards) the
+// query-log pipeline. Call before Server.Start: batch shards bind their
+// producer at NewShard and never re-check, keeping the per-query path
+// free of an extra atomic load.
+func (e *Engine) SetQlog(p *qlog.Pipeline) {
+	e.addMu.Lock()
+	defer e.addMu.Unlock()
+	if p == nil {
+		e.qlogSt.Store(nil)
+		return
+	}
+	e.qlogSt.Store(&engineQlog{pipe: p, shared: p.SharedProducer()})
+}
+
+// BeginBatch stamps the receive time shared by every event the next
+// receive batch emits. One clock read per recvmmsg return bounds the
+// timestamp error by the batch's service time (tens of microseconds at
+// full load) and keeps time.Now off the per-query path.
+//
+//ldlint:noalloc
+func (sh *EngineShard) BeginBatch() {
+	if sh.qlog != nil {
+		sh.qlogNow = time.Now().UnixNano()
+	}
+}
+
+// qlogEmit publishes one event for a batch-path query. Flags carries the
+// caller-known bits (cache hit, dropped).
+//
+//ldlint:noalloc
+func (sh *EngineShard) qlogEmit(query []byte, src netip.Addr, transport Transport, vr *viewRoute, qnameLen int, rcode dnswire.Rcode, flags uint8, t0 time.Time) {
+	p := sh.qlog
+	if p == nil {
+		return
+	}
+	ev := p.Reserve()
+	if ev == nil {
+		return
+	}
+	fillQueryEvent(ev, sh.qlogNow, query, src, transport, vr, qnameLen, rcode, flags, t0)
+	p.Commit()
+}
+
+// qlogEmitShared publishes one event for a shared-path query through the
+// locked producer. qs is non-nil (the caller gates).
+//
+//ldlint:noalloc
+func (e *Engine) qlogEmitShared(qs *engineQlog, query []byte, src netip.Addr, transport Transport, vr *viewRoute, qnameLen int, rcode dnswire.Rcode, flags uint8, t0 time.Time) {
+	ev := qs.shared.Reserve()
+	if ev == nil {
+		return
+	}
+	fillQueryEvent(ev, time.Now().UnixNano(), query, src, transport, vr, qnameLen, rcode, flags, t0)
+	qs.shared.Commit()
+}
+
+// fillQueryEvent fills a reserved ring slot from the raw query wire.
+// qnameLen, when the cache path already parsed it, is the question name
+// length including the root terminator; 0 makes this helper scan the
+// wire itself (refused/FORMERR/cache-off paths). Latency is recorded
+// only for queries the obs sampler timed (t0 set); the rest carry -1.
+//
+//ldlint:noalloc
+func fillQueryEvent(ev *qlog.Event, now int64, query []byte, src netip.Addr, transport Transport, vr *viewRoute, qnameLen int, rcode dnswire.Rcode, flags uint8, t0 time.Time) {
+	ev.Time = now
+	ev.Latency = -1
+	if !t0.IsZero() {
+		ev.Latency = time.Since(t0).Nanoseconds()
+	}
+	ev.Peer = src
+	ev.View = ""
+	if vr != nil {
+		ev.View = vr.view.Name
+	}
+	ev.ID = 0
+	if len(query) >= 2 {
+		ev.ID = uint16(query[0])<<8 | uint16(query[1])
+	}
+	if qnameLen == 0 {
+		qnameLen = qlog.WireQNameLen(query)
+	}
+	ev.QType, ev.QClass, ev.QNameLen = 0, 0, 0
+	if qnameLen > 0 && 12+qnameLen+4 <= len(query) && qnameLen <= len(ev.QName) {
+		ev.QNameLen = uint8(copy(ev.QName[:], query[12:12+qnameLen]))
+		ev.QType = uint16(query[12+qnameLen])<<8 | uint16(query[12+qnameLen+1])
+		ev.QClass = uint16(query[12+qnameLen+2])<<8 | uint16(query[12+qnameLen+3])
+	}
+	ev.Rcode = uint8(rcode)
+	ev.Transport = uint8(transport)
+	ev.Flags = flags
+}

@@ -1,0 +1,184 @@
+package authserver
+
+import (
+	"testing"
+	"time"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/qlog"
+)
+
+func qlogEngine(t *testing.T) (*Engine, *qlog.Pipeline) {
+	t.Helper()
+	e := hierarchyEngine(t)
+	p := qlog.New(qlog.Config{Sinks: []qlog.Sink{qlog.NewDiscardSink()}})
+	p.Start()
+	e.SetQlog(p)
+	t.Cleanup(func() { p.Close() })
+	return e, p
+}
+
+// TestShardAppendRespondAllocsQlog pins the batch cache-hit path at the
+// same ≤1 allocation budget as without telemetry: the qlog emit is field
+// stores into a reserved ring slot, nothing more.
+func TestShardAppendRespondAllocsQlog(t *testing.T) {
+	e, p := qlogEngine(t)
+	sh := e.NewShard()
+	sh.BeginBatch()
+	wire, err := dnswire.NewQuery(9, "www.example.com.", dnswire.TypeA).Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab := make([]byte, 0, 4096)
+	if _, err := sh.AppendRespond(slab, wire, exNSAddr, UDP); err != nil {
+		t.Fatal(err)
+	}
+	sh.EndBatch()
+	allocs := testing.AllocsPerRun(1000, func() {
+		out, err := sh.AppendRespond(slab[:0], wire, exNSAddr, UDP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) == 0 {
+			t.Fatal("empty response")
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("shard cache-hit allocs/op with qlog = %.2f, want ≤ 1", allocs)
+	}
+	if st := p.Stats(); st.Published+st.RingDrops < 1000 {
+		t.Fatalf("qlog recorded %d+%d events; emit path not exercised", st.Published, st.RingDrops)
+	}
+}
+
+// TestRespondCachedAllocsQlog pins the shared-path cache hit with
+// telemetry at its usual ≤1 allocation (the caller-owned response copy).
+func TestRespondCachedAllocsQlog(t *testing.T) {
+	e, p := qlogEngine(t)
+	wire, err := dnswire.NewQuery(1, "www.example.com.", dnswire.TypeA).Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := e.Respond(wire, exNSAddr, UDP); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("cached Respond allocs/op with qlog = %.2f, want ≤ 1", allocs)
+	}
+	if st := p.Stats(); st.Published+st.RingDrops < 1000 {
+		t.Fatalf("qlog recorded %d+%d events; emit path not exercised", st.Published, st.RingDrops)
+	}
+}
+
+// TestQlogStalledPipelineNeverBlocksServing wedges the collector (never
+// started) behind a tiny ring and proves the serving path at full tilt
+// neither blocks nor loses accounting: every query is answered, every
+// event is either published or counted shed, and the whole burst clears
+// in datapath time, not collector time.
+func TestQlogStalledPipelineNeverBlocksServing(t *testing.T) {
+	const queries = 5000
+	e := hierarchyEngine(t)
+	p := qlog.New(qlog.Config{RingSize: 64, Sinks: []qlog.Sink{qlog.NewDiscardSink()}})
+	// Deliberately not started: the worst stall a sink can cause.
+	e.SetQlog(p)
+	sh := e.NewShard()
+	wire, err := dnswire.NewQuery(3, "www.example.com.", dnswire.TypeA).Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab := make([]byte, 0, 4096)
+	start := time.Now()
+	sh.BeginBatch()
+	for i := 0; i < queries; i++ {
+		out, err := sh.AppendRespond(slab[:0], wire, exNSAddr, UDP)
+		if err != nil || len(out) == 0 {
+			t.Fatalf("query %d: err=%v len=%d", i, err, len(out))
+		}
+	}
+	sh.EndBatch()
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Errorf("%d queries with a stalled pipeline took %v; emit blocked", queries, elapsed)
+	}
+	st := p.Stats()
+	if st.Published+st.RingDrops != queries {
+		t.Errorf("published %d + shed %d != %d queries", st.Published, st.RingDrops, queries)
+	}
+	if st.RingDrops == 0 {
+		t.Error("64-slot ring with no collector shed nothing; test is vacuous")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQlogEventFields spot-checks what the emit path records on the
+// shared path: identity, question, flags, and the events==queries
+// invariant across hit, miss, and refused exits.
+func TestQlogEventFields(t *testing.T) {
+	e := hierarchyEngine(t)
+	var got []qlog.Event
+	sink := &captureSink{into: &got}
+	p := qlog.New(qlog.Config{Sinks: []qlog.Sink{sink}})
+	e.SetQlog(p) // never started: Close drains inline, deterministically
+
+	wire, err := dnswire.NewQuery(77, "www.example.com.", dnswire.TypeA).Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Respond(wire, exNSAddr, UDP); err != nil { // miss
+		t.Fatal(err)
+	}
+	if _, err := e.Respond(wire, exNSAddr, TCP); err != nil { // TCP: separate cache key
+		t.Fatal(err)
+	}
+	if _, err := e.Respond(wire, exNSAddr, UDP); err != nil { // hit
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("captured %d events, want 3", len(got))
+	}
+	wantView := e.ViewFor(exNSAddr).Name
+	for i, ev := range got {
+		if ev.Peer != exNSAddr {
+			t.Errorf("event %d: peer %v", i, ev.Peer)
+		}
+		if ev.ID != 77 || ev.QType != uint16(dnswire.TypeA) || ev.QNameString() != "www.example.com." {
+			t.Errorf("event %d: question %d %d %q", i, ev.ID, ev.QType, ev.QNameString())
+		}
+		if ev.View != wantView {
+			t.Errorf("event %d: view %q, want %q", i, ev.View, wantView)
+		}
+	}
+	if got[0].Flags&qlog.FlagCacheHit != 0 {
+		t.Error("first query flagged as cache hit")
+	}
+	if got[1].Transport != uint8(TCP) {
+		t.Errorf("second event transport %d, want TCP", got[1].Transport)
+	}
+	if got[2].Flags&qlog.FlagCacheHit == 0 {
+		t.Error("repeat query not flagged as cache hit")
+	}
+}
+
+// captureSink stores events for assertions.
+type captureSink struct {
+	into    *[]qlog.Event
+	written int64
+}
+
+func (s *captureSink) Name() string { return "capture" }
+func (s *captureSink) WriteBatch(evs []qlog.Event) {
+	*s.into = append(*s.into, evs...)
+	s.written += int64(len(evs))
+}
+func (s *captureSink) Stats() qlog.SinkStats { return qlog.SinkStats{Written: s.written} }
+func (s *captureSink) Close() error          { return nil }

@@ -67,6 +67,7 @@ func (s *Server) serveUDPBatch(b *netio.UDPBatch, sh *EngineShard) {
 		if err != nil {
 			return // socket closed
 		}
+		sh.BeginBatch()
 		slab = s.respondBatch(b, sh, slab[:0], n)
 		sh.EndBatch()
 		// Send errors are per-batch UDP best-effort, like the fallback

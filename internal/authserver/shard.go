@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ldplayer/internal/obs"
+	"ldplayer/internal/qlog"
 )
 
 // EngineShard is one batch-path worker's private slice of the engine: a
@@ -52,6 +53,11 @@ type EngineShard struct {
 	// touched ~once per batch instead of once per query.
 	pendVR *viewRoute
 	pendN  int64
+
+	// qlog is the shard's SPSC telemetry producer (nil when telemetry is
+	// off); qlogNow is the batch-wide receive timestamp BeginBatch stamps.
+	qlog    *qlog.Producer
+	qlogNow int64
 }
 
 // NewShard registers and returns a new batch-path shard.
@@ -64,6 +70,9 @@ func (e *Engine) NewShard() *EngineShard {
 	sh.sc.key = make([]byte, 0, 280)
 	sh.sc.buf = make([]byte, 0, 2048)
 	e.addMu.Lock()
+	if qs := e.qlogSt.Load(); qs != nil {
+		sh.qlog = qs.pipe.Producer()
+	}
 	cur := *e.shards.Load()
 	next := make([]*EngineShard, len(cur)+1)
 	copy(next, cur)
@@ -120,9 +129,11 @@ func (sh *EngineShard) AppendRespond(dst, query []byte, src netip.Addr, transpor
 
 	sc := &sh.sc
 	cacheable := false
+	qlen := 0
 	if vr != nil && e.cacheCap.Load() > 0 {
 		if qnameLen, ok := buildCacheKey(sc, query, transport); ok {
 			cacheable = true
+			qlen = qnameLen
 			sc.qnameLen = qnameLen
 			setSpanQName(sp, query[12:12+qnameLen])
 			if ent := sh.cache[string(sc.key)]; ent != nil {
@@ -134,6 +145,7 @@ func (sh *EngineShard) AppendRespond(dst, query []byte, src netip.Addr, transpor
 				}
 				sp.Mark("cache_hit")
 				e.finishSample(ob, sp, t0)
+				sh.qlogEmit(query, src, transport, vr, qnameLen, ent.rcode, qlog.FlagCacheHit, t0)
 				return dst, nil
 			}
 			st.cacheMisses.Add(1)
@@ -149,8 +161,14 @@ func (sh *EngineShard) AppendRespond(dst, query []byte, src netip.Addr, transpor
 	}
 	e.finishSample(ob, sp, t0)
 	if err != nil {
+		sh.qlogEmit(query, src, transport, vr, qlen, meta.rcode, qlog.FlagDropped, t0)
 		return dst, err
 	}
+	var flags uint8
+	if len(out) == len(dst) {
+		flags = qlog.FlagDropped
+	}
+	sh.qlogEmit(query, src, transport, vr, qlen, meta.rcode, flags, t0)
 	return out, nil
 }
 

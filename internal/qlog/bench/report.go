@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Report is the on-disk shape of BENCH_qlog.json: an append-only
+// trajectory of labeled suite runs, mirroring the replay bench so
+// pipeline changes keep their before/after numbers in one file.
+type Report struct {
+	Bench  string        `json:"bench"`
+	GOOS   string        `json:"goos"`
+	GOARCH string        `json:"goarch"`
+	CPUs   int           `json:"cpus"`
+	Runs   []RecordedRun `json:"runs"`
+}
+
+// RecordedRun is one labeled suite execution.
+type RecordedRun struct {
+	Label   string   `json:"label"`
+	Date    string   `json:"date"`
+	Results []Result `json:"results"`
+}
+
+// NewReport creates an empty report stamped with the host shape.
+func NewReport() *Report {
+	return &Report{
+		Bench:  "qlog-export",
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+	}
+}
+
+// LoadReport reads path, returning an empty report when the file does
+// not exist yet.
+func LoadReport(path string) (*Report, error) {
+	rep := NewReport()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return rep, nil
+		}
+		return nil, err
+	}
+	if len(data) == 0 {
+		return rep, nil
+	}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("qlog bench: parsing %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Append records one labeled suite.
+func (r *Report) Append(label string, results []Result) {
+	r.Runs = append(r.Runs, RecordedRun{
+		Label:   label,
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Results: results,
+	})
+}
+
+// Save writes the report to path, validating that the output parses back.
+func (r *Report) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := Validate(data); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Validate sanity-checks serialized report JSON: it must parse and every
+// result must have produced and exported events. The bench-qlog-smoke CI
+// gate calls this on the output of a short run.
+func Validate(data []byte) error {
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("qlog bench: report does not parse: %w", err)
+	}
+	if len(rep.Runs) == 0 {
+		return fmt.Errorf("qlog bench: report has no runs")
+	}
+	for _, run := range rep.Runs {
+		if len(run.Results) == 0 {
+			return fmt.Errorf("qlog bench: run %q has no results", run.Label)
+		}
+		for _, res := range run.Results {
+			if res.Produced <= 0 {
+				return fmt.Errorf("qlog bench: run %q case %q produced nothing", run.Label, res.Name)
+			}
+			if res.ExportPerSec <= 0 {
+				return fmt.Errorf("qlog bench: run %q case %q exported nothing", run.Label, res.Name)
+			}
+		}
+	}
+	return nil
+}

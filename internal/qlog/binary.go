@@ -1,0 +1,218 @@
+package qlog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+)
+
+// The qlog binary stream mirrors internal/trace's framing discipline
+// (§2.5's "length pre-pended so the reader carves without parsing"): an
+// 8-byte magic, then length-prefixed records. Events are small, so the
+// length prefix is uint16. Layout per record (big endian):
+//
+//	uint16  payload length (everything after this field)
+//	int64   time, unix nanoseconds
+//	int64   latency, nanoseconds (-1 = not timed)
+//	uint8   peer family: 0 (none), 4, or 16
+//	[n]byte peer address
+//	uint16  DNS message ID
+//	uint16  qtype
+//	uint16  qclass
+//	uint8   rcode
+//	uint8   transport
+//	uint8   flags
+//	uint8   view length, then view bytes
+//	uint8   qname length, then wire-form qname
+//
+// The same format crosses the TCP sink verbatim, so one Reader decodes a
+// rotated file and a live stream alike.
+
+var qlogMagic = [8]byte{'L', 'D', 'Q', 'L', 'O', 'G', '0', '1'}
+
+// maxRecord bounds one marshalled event: fixed fields + address + view +
+// qname. Views are short strings; 255 is already generous.
+const maxRecord = 8 + 8 + 1 + 16 + 2 + 2 + 2 + 1 + 1 + 1 + 1 + 255 + 1 + MaxQName
+
+// MarshalEvent appends ev's record payload (no length prefix) to dst.
+func MarshalEvent(dst []byte, ev *Event) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(ev.Time))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(ev.Latency))
+	switch {
+	case ev.Peer.Is4():
+		a := ev.Peer.As4()
+		dst = append(dst, 4)
+		dst = append(dst, a[:]...)
+	case ev.Peer.Is6():
+		a := ev.Peer.As16()
+		dst = append(dst, 16)
+		dst = append(dst, a[:]...)
+	default:
+		dst = append(dst, 0)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, ev.ID)
+	dst = binary.BigEndian.AppendUint16(dst, ev.QType)
+	dst = binary.BigEndian.AppendUint16(dst, ev.QClass)
+	dst = append(dst, ev.Rcode, ev.Transport, ev.Flags)
+	view := ev.View
+	if len(view) > 255 {
+		view = view[:255]
+	}
+	dst = append(dst, uint8(len(view)))
+	dst = append(dst, view...)
+	dst = append(dst, ev.QNameLen)
+	dst = append(dst, ev.QName[:ev.QNameLen]...)
+	return dst
+}
+
+// UnmarshalEvent decodes one record payload into ev. The view string is
+// copied out of buf, so buf may be reused.
+func UnmarshalEvent(buf []byte, ev *Event) error {
+	bad := func() error { return fmt.Errorf("qlog: truncated event record (%d bytes)", len(buf)) }
+	if len(buf) < 8+8+1 {
+		return bad()
+	}
+	ev.Time = int64(binary.BigEndian.Uint64(buf))
+	ev.Latency = int64(binary.BigEndian.Uint64(buf[8:]))
+	fam := buf[16]
+	off := 17
+	switch fam {
+	case 0:
+		ev.Peer = netip.Addr{}
+	case 4:
+		if len(buf) < off+4 {
+			return bad()
+		}
+		ev.Peer = netip.AddrFrom4([4]byte(buf[off : off+4]))
+		off += 4
+	case 16:
+		if len(buf) < off+16 {
+			return bad()
+		}
+		ev.Peer = netip.AddrFrom16([16]byte(buf[off : off+16]))
+		off += 16
+	default:
+		return fmt.Errorf("qlog: bad peer family %d", fam)
+	}
+	if len(buf) < off+2+2+2+1+1+1+1 {
+		return bad()
+	}
+	ev.ID = binary.BigEndian.Uint16(buf[off:])
+	ev.QType = binary.BigEndian.Uint16(buf[off+2:])
+	ev.QClass = binary.BigEndian.Uint16(buf[off+4:])
+	ev.Rcode = buf[off+6]
+	ev.Transport = buf[off+7]
+	ev.Flags = buf[off+8]
+	off += 9
+	vlen := int(buf[off])
+	off++
+	if len(buf) < off+vlen+1 {
+		return bad()
+	}
+	ev.View = string(buf[off : off+vlen])
+	off += vlen
+	qlen := int(buf[off])
+	off++
+	if qlen > MaxQName || len(buf) < off+qlen {
+		return bad()
+	}
+	ev.QNameLen = uint8(copy(ev.QName[:], buf[off:off+qlen]))
+	return nil
+}
+
+// Writer writes the qlog binary stream. It buffers; call Flush (or let
+// the owning sink's Close do it) before handing the underlying stream
+// off. BytesWritten tracks post-buffer payload size for rotation.
+type Writer struct {
+	w         *bufio.Writer
+	wroteHead bool
+	scratch   []byte
+	bytes     int64
+}
+
+// NewWriter creates a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 256*1024)}
+}
+
+// Write appends one event record (writing the stream magic first when
+// needed).
+func (w *Writer) Write(ev *Event) error {
+	if !w.wroteHead {
+		if _, err := w.w.Write(qlogMagic[:]); err != nil {
+			return err
+		}
+		w.bytes += int64(len(qlogMagic))
+		w.wroteHead = true
+	}
+	w.scratch = MarshalEvent(w.scratch[:0], ev)
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(w.scratch)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(w.scratch); err != nil {
+		return err
+	}
+	w.bytes += int64(2 + len(w.scratch))
+	return nil
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// BytesWritten is the total stream size produced so far (including
+// bytes still in the buffer).
+func (w *Writer) BytesWritten() int64 { return w.bytes }
+
+// Reader reads the qlog binary stream (file or TCP capture).
+type Reader struct {
+	r        *bufio.Reader
+	readHead bool
+	buf      []byte
+}
+
+// NewReader creates a Reader on r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 256*1024)}
+}
+
+// Next decodes the next event into ev. It returns io.EOF at a clean end
+// of stream and io.ErrUnexpectedEOF when the stream stops mid-record (a
+// killed TCP connection, a crash mid-write).
+func (r *Reader) Next(ev *Event) error {
+	if !r.readHead {
+		var magic [8]byte
+		if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+			if err == io.EOF {
+				return io.EOF
+			}
+			return fmt.Errorf("qlog: reading magic: %w", err)
+		}
+		if magic != qlogMagic {
+			return fmt.Errorf("qlog: bad magic %q", magic[:])
+		}
+		r.readHead = true
+	}
+	var hdr [2]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return io.ErrUnexpectedEOF
+	}
+	n := int(binary.BigEndian.Uint16(hdr[:]))
+	if n > maxRecord {
+		return fmt.Errorf("qlog: record of %d bytes exceeds limit", n)
+	}
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	buf := r.buf[:n]
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return io.ErrUnexpectedEOF
+	}
+	return UnmarshalEvent(buf, ev)
+}

@@ -1,0 +1,98 @@
+package qlog
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	events := []Event{
+		{Time: 1234567890123456789, Latency: 42000, Peer: netip.MustParseAddr("198.18.0.7"),
+			View: "root", ID: 7, QType: 1, QClass: 1, Rcode: 0, Transport: 0, Flags: FlagCacheHit},
+		{Time: 2, Latency: -1, Peer: netip.MustParseAddr("2001:db8::9"),
+			View: "", ID: 65535, QType: 28, QClass: 1, Rcode: 3, Transport: 2, Flags: FlagDropped | FlagSlow},
+		{Time: 3, Latency: -1}, // no peer, no view, no qname
+	}
+	w, _ := nameToWire("www.example.com")
+	events[0].SetQName(w)
+	w2, _ := nameToWire("x.org")
+	events[1].SetQName(w2)
+
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	for i := range events {
+		if err := bw.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := bw.BytesWritten(); got != int64(buf.Len()) {
+		t.Errorf("BytesWritten = %d, stream is %d", got, buf.Len())
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	var ev Event
+	for i := range events {
+		if err := r.Next(&ev); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		want := events[i]
+		if ev.Time != want.Time || ev.Latency != want.Latency || ev.Peer != want.Peer ||
+			ev.View != want.View || ev.ID != want.ID || ev.QType != want.QType ||
+			ev.QClass != want.QClass || ev.Rcode != want.Rcode ||
+			ev.Transport != want.Transport || ev.Flags != want.Flags ||
+			ev.QNameLen != want.QNameLen ||
+			!bytes.Equal(ev.QName[:ev.QNameLen], want.QName[:want.QNameLen]) {
+			t.Errorf("event %d: round trip mismatch\n got %+v\nwant %+v", i, ev, want)
+		}
+	}
+	if err := r.Next(&ev); err != io.EOF {
+		t.Fatalf("after last event: %v, want io.EOF", err)
+	}
+}
+
+func TestReaderTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	ev := Event{Time: 1}
+	w, _ := nameToWire("a.example.com")
+	ev.SetQName(w)
+	for i := 0; i < 3; i++ {
+		if err := bw.Write(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bw.Flush()
+
+	// Cut mid-record: the reader must deliver the whole records and then
+	// report the tear as ErrUnexpectedEOF, not EOF.
+	cut := buf.Bytes()[:buf.Len()-5]
+	r := NewReader(bytes.NewReader(cut))
+	var out Event
+	n := 0
+	var err error
+	for {
+		if err = r.Next(&out); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("decoded %d whole records, want 2", n)
+	}
+	if err != io.ErrUnexpectedEOF {
+		t.Errorf("tear reported as %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("NOTQLOG0xxxx")))
+	var ev Event
+	if err := r.Next(&ev); err == nil || err == io.EOF {
+		t.Fatalf("bad magic: %v, want parse error", err)
+	}
+}

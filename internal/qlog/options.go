@@ -1,0 +1,81 @@
+package qlog
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Options is the flag-level description of a pipeline, shared by the
+// metadns and ldplayer -qlog-* flags so both binaries configure
+// telemetry identically.
+type Options struct {
+	// File streams events to this path as a rotating binary qlog file
+	// ("" = no file sink).
+	File string
+	// FileRotateMB rotates the file after this many MiB (0 = never).
+	FileRotateMB int
+	// FileKeep bounds how many rotated files are retained (0 = default).
+	FileKeep int
+	// TCP streams events to this collector address ("" = no TCP sink).
+	TCP string
+	// TCPTimeout is the per-batch write deadline (0 = default).
+	TCPTimeout time.Duration
+	// Sample keeps 1 in N events (<= 1 keeps all).
+	Sample int
+	// Suffixes, when non-empty, is a comma-separated keep-list of qname
+	// suffixes.
+	Suffixes string
+	// AnonKey, when non-empty, anonymizes qnames with this keyed hash.
+	AnonKey string
+	// Slow tags events with sampled latency above this threshold (0
+	// disables the latency tag; suspicious-qname tagging runs whenever
+	// any tagging is on).
+	Slow time.Duration
+	// Tag enables the slow/suspicious tagger even when Slow is 0.
+	Tag bool
+	// RingSize overrides the per-producer ring capacity (0 = default).
+	RingSize int
+}
+
+// Enabled reports whether any sink is configured.
+func (o Options) Enabled() bool { return o.File != "" || o.TCP != "" }
+
+// NewFromOptions builds and starts a pipeline from o. Transformer order
+// is fixed: sample → suffix filter → tag → anonymize, so tagging and
+// filtering see real qnames and only the export is pseudonymous.
+func NewFromOptions(o Options) (*Pipeline, error) {
+	if !o.Enabled() {
+		return nil, fmt.Errorf("qlog: no sink configured (need a file or TCP address)")
+	}
+	cfg := Config{RingSize: o.RingSize}
+	if o.Sample > 1 {
+		cfg.Transformers = append(cfg.Transformers, NewSampler(o.Sample))
+	}
+	if o.Suffixes != "" {
+		f, err := NewSuffixFilter(strings.Split(o.Suffixes, ",")...)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Transformers = append(cfg.Transformers, f)
+	}
+	if o.Slow > 0 || o.Tag {
+		cfg.Transformers = append(cfg.Transformers, NewTagger(o.Slow))
+	}
+	if o.AnonKey != "" {
+		cfg.Transformers = append(cfg.Transformers, NewAnonymizer(o.AnonKey))
+	}
+	if o.File != "" {
+		fs, err := NewFileSink(o.File, int64(o.FileRotateMB)<<20, o.FileKeep)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Sinks = append(cfg.Sinks, fs)
+	}
+	if o.TCP != "" {
+		cfg.Sinks = append(cfg.Sinks, NewTCPSink(o.TCP, o.TCPTimeout))
+	}
+	p := New(cfg)
+	p.Start()
+	return p, nil
+}

@@ -1,0 +1,239 @@
+package qlog
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Transformer rewrites or filters events on the collector goroutine.
+// Transform may mutate ev in place; returning false drops the event
+// (counted against the transformer by the pipeline). Transformers are
+// called from exactly one goroutine, so they may keep plain state.
+type Transformer interface {
+	Name() string
+	Transform(ev *Event) bool
+}
+
+// Sampler keeps 1 in every N events (the first of each stride, so a
+// short capture is never empty). N <= 1 keeps everything.
+type Sampler struct {
+	every uint64
+	n     uint64
+}
+
+// NewSampler creates a 1-in-every sampler.
+func NewSampler(every int) *Sampler {
+	if every < 1 {
+		every = 1
+	}
+	return &Sampler{every: uint64(every)}
+}
+
+// Name implements Transformer.
+func (s *Sampler) Name() string { return "sample" }
+
+// Transform implements Transformer.
+func (s *Sampler) Transform(ev *Event) bool {
+	k := s.n
+	s.n++
+	return k%s.every == 0
+}
+
+// SuffixFilter keeps only events whose qname falls under one of the
+// configured domain suffixes (matching at label boundaries, case-
+// insensitively, the zone-cut sense of "under"). Events with no recorded
+// qname are dropped: a keep-list that cannot be checked is not satisfied.
+type SuffixFilter struct {
+	sufs [][]byte // wire-form, lowercased, terminator included
+}
+
+// NewSuffixFilter builds a keep-filter from presentation-form suffixes
+// ("example.com", "com.", "." for everything).
+func NewSuffixFilter(suffixes ...string) (*SuffixFilter, error) {
+	f := &SuffixFilter{}
+	for _, s := range suffixes {
+		w, err := nameToWire(s)
+		if err != nil {
+			return nil, err
+		}
+		f.sufs = append(f.sufs, w)
+	}
+	if len(f.sufs) == 0 {
+		return nil, fmt.Errorf("qlog: suffix filter needs at least one suffix")
+	}
+	return f, nil
+}
+
+// Name implements Transformer.
+func (f *SuffixFilter) Name() string { return "suffix" }
+
+// Transform implements Transformer.
+func (f *SuffixFilter) Transform(ev *Event) bool {
+	q := ev.QName[:ev.QNameLen]
+	if len(q) == 0 {
+		return false
+	}
+	for off := 0; off < len(q); {
+		rest := q[off:]
+		for _, s := range f.sufs {
+			if len(rest) == len(s) && wireEqualFold(rest, s) {
+				return true
+			}
+		}
+		l := int(q[off])
+		if l == 0 || off+1+l > len(q) {
+			break
+		}
+		off += 1 + l
+	}
+	return false
+}
+
+// Anonymizer replaces every label left of the final (TLD) label with one
+// 16-hex-digit label: a keyed FNV-1a hash of the lowercased original
+// labels. The same name hashes to the same pseudonym — per-name
+// statistics (cache behavior, popularity skew) survive — but without the
+// key the original qname does not. The TLD stays visible so zone-level
+// aggregation still works.
+type Anonymizer struct {
+	key uint64
+}
+
+// NewAnonymizer derives the hash key from secret.
+func NewAnonymizer(secret string) *Anonymizer {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(secret); i++ {
+		h ^= uint64(secret[i])
+		h *= fnvPrime
+	}
+	return &Anonymizer{key: h}
+}
+
+// Name implements Transformer.
+func (a *Anonymizer) Name() string { return "anonymize" }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Transform implements Transformer.
+func (a *Anonymizer) Transform(ev *Event) bool {
+	q := ev.QName[:ev.QNameLen]
+	// Locate the final label; single-label (TLD-only) and root names have
+	// nothing to hide.
+	lastOff := -1
+	for off := 0; off < len(q); {
+		l := int(q[off])
+		if l == 0 {
+			break
+		}
+		if off+1+l > len(q) {
+			return true // malformed; pass through untouched
+		}
+		lastOff = off
+		off += 1 + l
+	}
+	if lastOff <= 0 {
+		return true
+	}
+	h := a.key
+	for _, b := range q[:lastOff] {
+		h ^= uint64(lowerByte(b))
+		h *= fnvPrime
+	}
+	var out [MaxQName]byte
+	out[0] = 16
+	const hexdig = "0123456789abcdef"
+	for i := 0; i < 16; i++ {
+		out[1+i] = hexdig[(h>>uint(60-4*i))&0xF]
+	}
+	n := 17 + copy(out[17:], q[lastOff:])
+	copy(ev.QName[:], out[:n])
+	ev.QNameLen = uint8(n)
+	return true
+}
+
+// Tagger sets FlagSlow on events whose sampled latency exceeds slow
+// (when slow > 0) and FlagSuspicious on qnames with tunnel-ish shape:
+// any label longer than 32 bytes, or more than 16 labels.
+type Tagger struct {
+	slow int64 // ns; 0 disables the latency tag
+}
+
+// NewTagger creates a Tagger with the given slow-query threshold.
+func NewTagger(slow time.Duration) *Tagger {
+	return &Tagger{slow: slow.Nanoseconds()}
+}
+
+// Name implements Transformer.
+func (t *Tagger) Name() string { return "tag" }
+
+// Suspicion heuristics: DNS tunnels and exfiltration encode payloads in
+// qnames, which shows up as very long labels and deep label stacks.
+const (
+	suspiciousLabelLen = 32
+	suspiciousLabels   = 16
+)
+
+// Transform implements Transformer.
+func (t *Tagger) Transform(ev *Event) bool {
+	if t.slow > 0 && ev.Latency >= t.slow {
+		ev.Flags |= FlagSlow
+	}
+	q := ev.QName[:ev.QNameLen]
+	labels := 0
+	for off := 0; off < len(q); {
+		l := int(q[off])
+		if l == 0 || off+1+l > len(q) {
+			break
+		}
+		labels++
+		if l > suspiciousLabelLen || labels > suspiciousLabels {
+			ev.Flags |= FlagSuspicious
+			break
+		}
+		off += 1 + l
+	}
+	return true
+}
+
+// nameToWire converts a presentation-form domain name to lowercased wire
+// form with the root terminator.
+func nameToWire(name string) ([]byte, error) {
+	name = strings.TrimSuffix(strings.ToLower(strings.TrimSpace(name)), ".")
+	if name == "" {
+		return []byte{0}, nil
+	}
+	var w []byte
+	for _, label := range strings.Split(name, ".") {
+		if len(label) == 0 || len(label) > 63 {
+			return nil, fmt.Errorf("qlog: bad label %q in %q", label, name)
+		}
+		w = append(w, byte(len(label)))
+		w = append(w, label...)
+	}
+	w = append(w, 0)
+	if len(w) > MaxQName {
+		return nil, fmt.Errorf("qlog: name %q exceeds %d wire bytes", name, MaxQName)
+	}
+	return w, nil
+}
+
+// wireEqualFold compares wire-form names ASCII-case-insensitively.
+func wireEqualFold(a, b []byte) bool {
+	for i := range a {
+		if lowerByte(a[i]) != lowerByte(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func lowerByte(b byte) byte {
+	if 'A' <= b && b <= 'Z' {
+		return b + 'a' - 'A'
+	}
+	return b
+}

@@ -1,0 +1,171 @@
+package qlog
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkEvent(t *testing.T, name string) Event {
+	t.Helper()
+	var ev Event
+	if name != "" {
+		w, err := nameToWire(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.SetQName(w)
+	}
+	return ev
+}
+
+func TestSampler(t *testing.T) {
+	s := NewSampler(4)
+	kept := 0
+	for i := 0; i < 100; i++ {
+		var ev Event
+		if s.Transform(&ev) {
+			kept++
+		}
+	}
+	if kept != 25 {
+		t.Errorf("1-in-4 sampler kept %d of 100", kept)
+	}
+	all := NewSampler(0)
+	var ev Event
+	if !all.Transform(&ev) {
+		t.Error("sampler with every<=1 must keep everything")
+	}
+}
+
+func TestSuffixFilter(t *testing.T) {
+	f, err := NewSuffixFilter("example.com", "ORG.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		keep bool
+	}{
+		{"www.example.com.", true},
+		{"Example.COM.", true},
+		{"a.b.c.example.com.", true},
+		{"wwwexample.com.", false}, // not at a label boundary
+		{"example.org.", true},
+		{"example.net.", false},
+		{"", false}, // no qname recorded → cannot satisfy the keep-list
+	} {
+		ev := mkEvent(t, tc.name)
+		if got := f.Transform(&ev); got != tc.keep {
+			t.Errorf("suffix filter %q = %v, want %v", tc.name, got, tc.keep)
+		}
+	}
+	if _, err := NewSuffixFilter(); err == nil {
+		t.Error("empty suffix list must be rejected")
+	}
+}
+
+func TestAnonymizer(t *testing.T) {
+	a := NewAnonymizer("secret")
+	ev1 := mkEvent(t, "www.example.com.")
+	ev2 := mkEvent(t, "WWW.EXAMPLE.com.")
+	ev3 := mkEvent(t, "mail.example.com.")
+	for _, ev := range []*Event{&ev1, &ev2, &ev3} {
+		if !a.Transform(ev) {
+			t.Fatal("anonymizer must never drop")
+		}
+	}
+	n1, n2, n3 := ev1.QNameString(), ev2.QNameString(), ev3.QNameString()
+	if n1 != n2 {
+		t.Errorf("case-insensitive names hash apart: %q vs %q", n1, n2)
+	}
+	if n1 == n3 {
+		t.Errorf("distinct names collide: %q", n1)
+	}
+	if !strings.HasSuffix(n1, ".com.") {
+		t.Errorf("TLD not preserved: %q", n1)
+	}
+	if strings.Contains(n1, "www") || strings.Contains(n1, "example") {
+		t.Errorf("original labels leak: %q", n1)
+	}
+	// A different key must produce a different pseudonym.
+	b := NewAnonymizer("other")
+	ev4 := mkEvent(t, "www.example.com.")
+	b.Transform(&ev4)
+	if ev4.QNameString() == n1 {
+		t.Error("pseudonym independent of key")
+	}
+	// TLD-only and empty names pass through untouched.
+	ev5 := mkEvent(t, "com.")
+	a.Transform(&ev5)
+	if ev5.QNameString() != "com." {
+		t.Errorf("TLD-only name rewritten to %q", ev5.QNameString())
+	}
+}
+
+func TestTagger(t *testing.T) {
+	tg := NewTagger(time.Millisecond)
+	ev := mkEvent(t, "www.example.com.")
+	ev.Latency = 2 * time.Millisecond.Nanoseconds()
+	tg.Transform(&ev)
+	if ev.Flags&FlagSlow == 0 {
+		t.Error("2ms latency not tagged slow at 1ms threshold")
+	}
+	fast := mkEvent(t, "www.example.com.")
+	fast.Latency = -1
+	tg.Transform(&fast)
+	if fast.Flags&FlagSlow != 0 {
+		t.Error("untimed event tagged slow")
+	}
+	tunnel := mkEvent(t, strings.Repeat("a", 40)+".example.com.")
+	tg.Transform(&tunnel)
+	if tunnel.Flags&FlagSuspicious == 0 {
+		t.Error("40-byte label not tagged suspicious")
+	}
+	deep := mkEvent(t, strings.TrimSuffix(strings.Repeat("x.", 20), ".")+".")
+	tg.Transform(&deep)
+	if deep.Flags&FlagSuspicious == 0 {
+		t.Error("20-label name not tagged suspicious")
+	}
+	if ev.Flags&FlagSuspicious != 0 {
+		t.Error("ordinary name tagged suspicious")
+	}
+	// slow=0 disables the latency tag but keeps shape tagging.
+	off := NewTagger(0)
+	lat := mkEvent(t, "www.example.com.")
+	lat.Latency = time.Second.Nanoseconds()
+	off.Transform(&lat)
+	if lat.Flags&FlagSlow != 0 {
+		t.Error("latency tagged with slow=0")
+	}
+}
+
+func TestWireQNameLen(t *testing.T) {
+	wire, err := nameToWire("www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 12)
+	msg[5] = 1 // QDCOUNT=1
+	msg = append(msg, wire...)
+	msg = append(msg, 0, 1, 0, 1) // qtype qclass
+	if got := WireQNameLen(msg); got != len(wire) {
+		t.Errorf("WireQNameLen = %d, want %d", got, len(wire))
+	}
+	// Truncated (missing qclass byte).
+	if got := WireQNameLen(msg[:len(msg)-1]); got != 0 {
+		t.Errorf("truncated question: got %d, want 0", got)
+	}
+	// QDCOUNT=0.
+	none := make([]byte, 64)
+	if got := WireQNameLen(none); got != 0 {
+		t.Errorf("QDCOUNT=0: got %d, want 0", got)
+	}
+	// Compression pointer in the name.
+	comp := make([]byte, 12)
+	comp[5] = 1
+	comp = append(comp, 0xC0, 0x0C, 0, 1, 0, 1)
+	if got := WireQNameLen(comp); got != 0 {
+		t.Errorf("compressed name: got %d, want 0", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"ldplayer/internal/authserver"
 	"ldplayer/internal/netio"
+	"ldplayer/internal/qlog"
 	"ldplayer/internal/trace"
 )
 
@@ -51,6 +52,11 @@ type querier struct {
 	// io tracks socket reader and idle goroutines; they exit when
 	// closeSockets runs after the drain grace period.
 	io sync.WaitGroup
+
+	// qlog is this querier's SPSC telemetry producer (nil when off).
+	// SPSC holds because a querier's sends run on exactly one goroutine
+	// per run: the wheel goroutine (paced) or the querier's own (fast).
+	qlog *qlog.Producer
 }
 
 // streamKey identifies an emulated TCP or TLS query source. The original
@@ -62,13 +68,17 @@ type streamKey struct {
 }
 
 func newQuerier(en *Engine, name string) *querier {
-	return &querier{
+	q := &querier{
 		en:   en,
 		name: name,
 		in:   make(chan []trace.Entry, 16),
 		udp:  make(map[netip.Addr]*udpSocket),
 		conn: make(map[streamKey]*streamConn),
 	}
+	if en.cfg.Qlog != nil {
+		q.qlog = en.cfg.Qlog.Producer()
+	}
+	return q
 }
 
 func (q *querier) setSync(sp *syncPoint) { q.sp.Store(sp) }
@@ -155,6 +165,38 @@ func (q *querier) accountSend(e *trace.Entry, at time.Time) {
 	if q.en.cfg.OnSend != nil {
 		q.en.cfg.OnSend(e, at, schedErr)
 	}
+	if q.qlog != nil {
+		if ev := q.qlog.Reserve(); ev != nil {
+			fillSendEvent(ev, e, at)
+			q.qlog.Commit()
+		}
+	}
+}
+
+// fillSendEvent records one transmitted query: the send timestamp, the
+// emulated source (so a round-tripped capture preserves source
+// stickiness), and the question decoded from the query wire. Latency is
+// unknowable at send time.
+//
+//ldlint:noalloc
+func fillSendEvent(ev *qlog.Event, e *trace.Entry, at time.Time) {
+	ev.Time = at.UnixNano()
+	ev.Latency = -1
+	ev.Peer = e.Src.Addr()
+	ev.View = ""
+	ev.ID = 0
+	if len(e.Message) >= 2 {
+		ev.ID = uint16(e.Message[0])<<8 | uint16(e.Message[1])
+	}
+	ev.QType, ev.QClass, ev.QNameLen = 0, 0, 0
+	if qlen := qlog.WireQNameLen(e.Message); qlen > 0 && qlen <= len(ev.QName) {
+		ev.QNameLen = uint8(copy(ev.QName[:], e.Message[12:12+qlen]))
+		ev.QType = uint16(e.Message[12+qlen])<<8 | uint16(e.Message[12+qlen+1])
+		ev.QClass = uint16(e.Message[12+qlen+2])<<8 | uint16(e.Message[12+qlen+3])
+	}
+	ev.Rcode = 0
+	ev.Transport = uint8(e.Protocol)
+	ev.Flags = qlog.FlagClientSend
 }
 
 func (q *querier) fail(e *trace.Entry, err error) {

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"ldplayer/internal/obs"
+	"ldplayer/internal/qlog"
 	"ldplayer/internal/trace"
 )
 
@@ -109,6 +110,11 @@ type Config struct {
 	// DrainTimeout bounds the wait for outstanding responses after the
 	// last query is sent. Default 500ms.
 	DrainTimeout time.Duration
+
+	// Qlog, if set, streams one telemetry event per transmitted query
+	// into this pipeline (client-side view of the same event stream the
+	// server emits). Each querier gets its own SPSC producer.
+	Qlog *qlog.Pipeline
 
 	// OnSend, if set, observes every transmitted query with the actual
 	// send time and the scheduling error versus the ideal trace time.
