@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench-smoke bench-replay bench-replay-smoke bench-server bench-server-smoke bench-qlog bench-qlog-smoke bench obs-smoke qlog-smoke fuzz-smoke
+.PHONY: check vet lint build test race bench-smoke bench-replay bench-replay-smoke bench-server bench-server-smoke bench-qlog bench-qlog-smoke bench obs-smoke qlog-smoke sim-smoke fuzz-smoke
 
-check: vet lint build race bench-smoke bench-replay-smoke bench-server-smoke bench-qlog-smoke obs-smoke qlog-smoke fuzz-smoke
+check: vet lint build race bench-smoke bench-replay-smoke bench-server-smoke bench-qlog-smoke obs-smoke qlog-smoke sim-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +57,23 @@ bench-qlog-smoke:
 # Full qlog pipeline benchmark: appends a labeled run to BENCH_qlog.json.
 bench-qlog:
 	$(GO) run ./cmd/ldplayer qlog-bench -label "$${LABEL:-dev}"
+
+# Virtual-time simulation smoke: a seeded chaos scenario under SimClock
+# must replay bit-identically (event log and counters), and the
+# TTL×RTT what-if sweep must simulate ≥100× faster than wall time.
+# Wall-time record for `go test ./internal/netsim/... ./internal/experiments/...`:
+# before the virtual clock (PR 7 tree) the time-dependent slice spent
+# netsim 1.3s + chaostest 3.5s + experiments 145.4s; after, the
+# converted chaos scenarios run in ~1.0s (real sleeps and drain windows
+# eliminated) and the new sweep simulates ~16 virtual minutes in ~0.3s —
+# the remaining experiments time is compute-bound figure generation,
+# not sleeps. The target prints its own wall time for comparison.
+sim-smoke:
+	@start=$$(date +%s%N); \
+	$(GO) test -run 'TestSimScenarioSeedBitReproducible|TestSimScenarioBlackholeTerminates' -count=1 ./internal/netsim/chaostest/ && \
+	$(GO) test -run 'TestVirtualWhatIfSweep' -count=1 ./internal/experiments/ || exit 1; \
+	end=$$(date +%s%N); \
+	echo "sim-smoke: ok in $$(( (end - start) / 1000000 )) ms wall (baseline before vclock: ~150 s for the netsim+experiments slice)"
 
 # Short fuzz budget over the DNS wire codec: hostile decode must never
 # panic and decode→encode must reach a byte-identical fixed point.

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/authserver"
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/hierarchy"
+	"ldplayer/internal/resolver"
+	"ldplayer/internal/traceg"
+	"ldplayer/internal/vclock"
+)
+
+// Virtual-time what-if sweeps: the LDplayer premise is that controlled
+// parameter scans (TTL policy, link RTT, retry timers) over real traffic
+// are how operators answer "what would change if…" questions — but at
+// real-time replay a day-long trace costs a day per cell. Under a
+// SimClock the resolver's timeouts, the exchange round-trips, and the
+// trace's pacing all run in simulated time, so a sweep cell costs CPU
+// proportional to its event count, not its duration, and every cell is
+// exactly reproducible for a given seed.
+
+// VirtualSweepConfig parameterizes a TTL×RTT what-if scan over a
+// generated recursive trace.
+type VirtualSweepConfig struct {
+	// TTLCaps are the cache-TTL policies to scan: every RRset TTL in
+	// upstream responses is clamped to this many seconds before caching,
+	// emulating an operator-imposed cache ceiling. Zero means uncapped.
+	TTLCaps []uint32
+	// RTTs are the virtual client↔hierarchy round-trip times to scan.
+	RTTs []time.Duration
+	// Zones is the number of distinct SLD zones in the workload
+	// (default 25).
+	Zones int
+	// Duration is the virtual trace length (default 2 minutes).
+	Duration time.Duration
+	// MeanInterArrival paces the stub trace (default 50 ms).
+	MeanInterArrival time.Duration
+	Seed             int64
+}
+
+// VirtualCell is one (TTL cap, RTT) point of the sweep.
+type VirtualCell struct {
+	TTLCap uint32
+	RTT    time.Duration
+	// Queries is the stub queries issued; Failures the resolutions that
+	// errored (iteration loops, no servers).
+	Queries  int
+	Failures int
+	// Upstream, CacheHits, CacheMisses expose the cache interplay the
+	// TTL policy controls.
+	Upstream    int64
+	CacheHits   int64
+	CacheMisses int64
+	// VirtualElapsed is the simulated duration of the cell's run.
+	VirtualElapsed time.Duration
+}
+
+// String renders the cell.
+func (c VirtualCell) String() string {
+	return fmt.Sprintf("ttl_cap=%-5ds rtt=%-6v queries=%-5d upstream=%-6d cache=%d/%d hit/miss virtual=%v",
+		c.TTLCap, c.RTT, c.Queries, c.Upstream, c.CacheHits, c.CacheMisses, c.VirtualElapsed.Round(time.Millisecond))
+}
+
+// VirtualSweepResult is the full scan plus its time accounting: the
+// compression ratio VirtualTotal/WallTotal is the headline number.
+type VirtualSweepResult struct {
+	Cells []VirtualCell
+	// VirtualTotal sums simulated time across cells; WallTotal is the
+	// real time the whole sweep took.
+	VirtualTotal time.Duration
+	WallTotal    time.Duration
+}
+
+// Compression returns simulated seconds per wall second.
+func (r *VirtualSweepResult) Compression() float64 {
+	if r.WallTotal <= 0 {
+		return 0
+	}
+	return r.VirtualTotal.Seconds() / r.WallTotal.Seconds()
+}
+
+// String renders the sweep summary.
+func (r *VirtualSweepResult) String() string {
+	return fmt.Sprintf("%d cells: %v simulated in %v wall (%.0fx)",
+		len(r.Cells), r.VirtualTotal.Round(time.Second), r.WallTotal.Round(time.Millisecond), r.Compression())
+}
+
+// virtualExchanger adds a virtual round-trip to every upstream exchange
+// and clamps response TTLs to the cell's cache policy. The Sleep keeps
+// the exchange inside the SimClock's idle barrier, so simulated time
+// pays for each exchange exactly once.
+type virtualExchanger struct {
+	inner  resolver.Exchanger
+	clk    vclock.Clock
+	rtt    time.Duration
+	ttlCap uint32
+}
+
+// Exchange implements resolver.Exchanger.
+func (v *virtualExchanger) Exchange(ctx context.Context, server netip.AddrPort, q *dnswire.Message) (*dnswire.Message, error) {
+	v.clk.Sleep(v.rtt)
+	resp, err := v.inner.Exchange(ctx, server, q)
+	if err != nil || v.ttlCap == 0 {
+		return resp, err
+	}
+	for _, sec := range [][]dnswire.RR{resp.Answer, resp.Authority, resp.Additional} {
+		for i := range sec {
+			if sec[i].TTL > v.ttlCap {
+				sec[i].TTL = v.ttlCap
+			}
+		}
+	}
+	return resp, nil
+}
+
+// VirtualWhatIf runs the TTL×RTT sweep: each cell replays the same
+// seeded recursive trace through a fresh resolver under its own
+// SimClock, with one virtual client issuing the stub queries at their
+// trace offsets.
+func VirtualWhatIf(cfg VirtualSweepConfig) (*VirtualSweepResult, error) {
+	if len(cfg.TTLCaps) == 0 {
+		cfg.TTLCaps = []uint32{0}
+	}
+	if len(cfg.RTTs) == 0 {
+		cfg.RTTs = []time.Duration{time.Millisecond}
+	}
+	if cfg.Zones <= 0 {
+		cfg.Zones = 25
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Minute
+	}
+	if cfg.MeanInterArrival <= 0 {
+		cfg.MeanInterArrival = 50 * time.Millisecond
+	}
+
+	wallStart := time.Now()
+
+	// One hierarchy and engine serve every cell: the engine is stateless
+	// across queries, so cells differ only in clock, cache, and policy.
+	probe, err := traceg.Recursive(traceg.RecursiveConfig{
+		Duration:         cfg.Duration,
+		MeanInterArrival: cfg.MeanInterArrival,
+		Zones:            cfg.Zones,
+		Seed:             cfg.Seed,
+		Start:            time.Unix(0, 0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	h, err := hierarchy.Build(probe.Zones(), hierarchy.Options{})
+	if err != nil {
+		return nil, err
+	}
+	engine := authserver.NewEngine()
+	for _, v := range h.Views() {
+		if err := engine.AddView(v); err != nil {
+			return nil, err
+		}
+	}
+	roots := h.NSAddrs["."]
+	if len(roots) > 3 {
+		roots = roots[:3]
+	}
+
+	out := &VirtualSweepResult{}
+	for _, ttlCap := range cfg.TTLCaps {
+		for _, rtt := range cfg.RTTs {
+			cell, err := runVirtualCell(cfg, engine, roots, ttlCap, rtt)
+			if err != nil {
+				return nil, err
+			}
+			out.Cells = append(out.Cells, *cell)
+			out.VirtualTotal += cell.VirtualElapsed
+		}
+	}
+	out.WallTotal = time.Since(wallStart)
+	return out, nil
+}
+
+// runVirtualCell replays the trace once under a fresh SimClock.
+func runVirtualCell(cfg VirtualSweepConfig, engine *authserver.Engine, roots []netip.Addr, ttlCap uint32, rtt time.Duration) (*VirtualCell, error) {
+	clk := vclock.NewSim(time.Time{})
+	gen, err := traceg.Recursive(traceg.RecursiveConfig{
+		Duration:         cfg.Duration,
+		MeanInterArrival: cfg.MeanInterArrival,
+		Zones:            cfg.Zones,
+		Seed:             cfg.Seed,
+		Start:            clk.Now(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := resolver.New(resolver.Config{
+		Roots:     roots,
+		Exchanger: &virtualExchanger{inner: &engineExchanger{engine: engine}, clk: clk, rtt: rtt, ttlCap: ttlCap},
+		Clock:     clk,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	cell := &VirtualCell{TTLCap: ttlCap, RTT: rtt}
+	start := clk.Now()
+	var runErr error
+	// A single virtual client walks the trace in order: sleep to each
+	// entry's offset, then resolve it synchronously. Sequential issue
+	// keeps the rng draw order — and therefore every counter — identical
+	// across runs.
+	clk.Go(func() {
+		for {
+			e, err := gen.Next()
+			if err != nil {
+				if err != io.EOF {
+					runErr = err
+				}
+				return
+			}
+			if d := e.Time.Sub(clk.Now()); d > 0 {
+				clk.Sleep(d)
+			}
+			var q dnswire.Message
+			if err := q.Unpack(e.Message); err != nil || len(q.Question) == 0 {
+				continue
+			}
+			cell.Queries++
+			ans, err := res.Resolve(context.Background(), q.Question[0].Name, q.Question[0].Type)
+			if err != nil || ans.Rcode == dnswire.RcodeServFail {
+				cell.Failures++
+			}
+		}
+	})
+	end := clk.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	cell.Upstream = res.QueriesSent()
+	cell.CacheHits, cell.CacheMisses = res.Cache().HitsMisses()
+	cell.VirtualElapsed = end.Sub(start)
+	return cell, nil
+}

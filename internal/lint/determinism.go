@@ -14,9 +14,13 @@ import (
 // forbids:
 //
 //   - time.Now and time.Since: wall-clock reads leak real time into
-//     simulated behaviour (timer *scheduling* via time.AfterFunc is
-//     part of the delivery model and stays legal — it affects arrival
-//     order, which the contract already parameterizes);
+//     simulated behaviour;
+//   - wall-clock timer scheduling (time.AfterFunc, time.Sleep,
+//     time.NewTimer, time.Tick): since the virtual-clock netsim, all
+//     delivery and retry timing must flow through an injected
+//     vclock.Clock, so a SimClock can run it in simulated time —
+//     clock.AfterFunc / clock.Sleep are interface method calls and
+//     stay legal;
 //   - the global math/rand PRNG (rand.Intn, rand.Float64, ...): it is
 //     shared, unseeded state; constructors (rand.New, rand.NewSource,
 //     rand.NewZipf) for per-impairer seeded PRNGs are the sanctioned
@@ -30,7 +34,7 @@ import (
 // with a //ldlint:deterministic directive comment.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid wall-clock reads, global math/rand, and map iteration in seeded-fault-model packages",
+	Doc:  "forbid wall-clock reads and timers, global math/rand, and map iteration in seeded-fault-model packages",
 	Run:  runDeterminism,
 }
 
@@ -74,6 +78,8 @@ func runDeterminism(pass *Pass) {
 				switch {
 				case pkgPath == "time" && (name == "Now" || name == "Since" || name == "Until"):
 					pass.Reportf(n.Pos(), "time.%s reads the wall clock in deterministic fault-model code", name)
+				case pkgPath == "time" && (name == "AfterFunc" || name == "Sleep" || name == "NewTimer" || name == "Tick"):
+					pass.Reportf(n.Pos(), "time.%s schedules on the wall clock; thread an injected vclock.Clock and call its %s so simulated time can drive it", name, name)
 				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[name]:
 					pass.Reportf(n.Pos(), "rand.%s uses the global math/rand PRNG; draw from a seeded per-impairer *rand.Rand instead", name)
 				}

@@ -17,7 +17,32 @@ func clocks() time.Duration {
 }
 
 func timers(f func()) *time.Timer {
-	return time.AfterFunc(time.Millisecond, f) // ok: timer scheduling is part of the delivery model
+	return time.AfterFunc(time.Millisecond, f) // want determinism time.AfterFunc schedules on the wall clock
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want determinism time.Sleep schedules on the wall clock
+}
+
+func channelTimers() <-chan time.Time {
+	t := time.NewTimer(time.Second) // want determinism time.NewTimer schedules on the wall clock
+	return t.C
+}
+
+func tickers() <-chan time.Time {
+	return time.Tick(time.Second) // want determinism time.Tick schedules on the wall clock
+}
+
+// clock mirrors vclock.Clock: interface method calls are the sanctioned
+// way to schedule, because an injected SimClock can satisfy them.
+type clock interface {
+	AfterFunc(d time.Duration, f func()) *time.Timer
+	Sleep(d time.Duration)
+}
+
+func injectedClock(c clock, f func()) {
+	c.AfterFunc(time.Millisecond, f) // ok: interface method, not the wall clock
+	c.Sleep(time.Millisecond)        // ok: interface method, not the wall clock
 }
 
 func globalRand() int {

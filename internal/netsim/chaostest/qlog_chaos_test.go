@@ -99,7 +99,7 @@ func TestScenarioQlogExportUnderChaos(t *testing.T) {
 	// while traffic is still flowing, and the sink's redial gets a shot.
 	pipe := qlog.New(qlog.Config{
 		BatchSize: 32,
-		Sinks:     []qlog.Sink{qlog.NewTCPSink(coll.ln.Addr().String(), 200 * time.Millisecond)},
+		Sinks:     []qlog.Sink{qlog.NewTCPSink(coll.ln.Addr().String(), 200*time.Millisecond)},
 	})
 	pipe.Start()
 	e.SetQlog(pipe)

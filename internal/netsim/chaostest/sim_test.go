@@ -1,0 +1,209 @@
+package chaostest
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"ldplayer/internal/netsim"
+)
+
+// The virtual-time chaos scenarios. These are the SimClock conversions
+// of the original real-socket scenarios: the same topology and fault
+// models, but timed by a discrete-event clock, so there are no drain
+// windows, no sleeps, and no tolerances where none are needed — two runs
+// of a seeded scenario are asserted *bit-identical*, event for event.
+
+// TestSimScenarioSeedBitReproducible: the full fault mix (loss,
+// duplication, reordering, jitter, corruption) with retransmissions,
+// run twice with the same seeds, must produce identical event sequences
+// — every send, retransmission, answer, duplicate, and giveup at the
+// same virtual instant — and identical final counters.
+func TestSimScenarioSeedBitReproducible(t *testing.T) {
+	scenario := SimScenario{
+		Queries:      200,
+		Gap:          3 * time.Millisecond,
+		RTT:          8 * time.Millisecond,
+		Retries:      2,
+		RetryTimeout: 40 * time.Millisecond,
+		QueryImpairment: netsim.Impairment{
+			Drop:      0.25,
+			Duplicate: 0.15,
+			Reorder:   0.2,
+			Jitter:    2 * time.Millisecond,
+			Seed:      1234,
+		},
+		ResponseImpairment: netsim.Impairment{
+			Drop:    0.1,
+			Reorder: 0.3,
+			Jitter:  time.Millisecond,
+			Seed:    5678,
+		},
+	}
+	a, err := RunSim(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("same seed diverged: stats A %+v, B %+v", a.Stats, b.Stats)
+	}
+	if a.QueryLink != b.QueryLink || a.ResponseLink != b.ResponseLink {
+		t.Errorf("same seed diverged: links A %+v/%+v, B %+v/%+v",
+			a.QueryLink, a.ResponseLink, b.QueryLink, b.ResponseLink)
+	}
+	la, lb := strings.Join(a.EventLog, "\n"), strings.Join(b.EventLog, "\n")
+	if la != lb {
+		// Find the first diverging line for a useful failure message.
+		al, bl := a.EventLog, b.EventLog
+		for i := 0; i < len(al) && i < len(bl); i++ {
+			if al[i] != bl[i] {
+				t.Fatalf("event logs diverge at event %d: %q vs %q", i, al[i], bl[i])
+			}
+		}
+		t.Fatalf("event logs diverge in length: %d vs %d events", len(al), len(bl))
+	}
+	if a.Stats.Answered == 0 || a.QueryLink.Dropped == 0 || a.QueryLink.Duplicated == 0 {
+		t.Errorf("scenario is vacuous: %+v / %+v", a.Stats, a.QueryLink)
+	}
+	if a.RouteDrops != 0 {
+		t.Errorf("route drops = %d, want 0", a.RouteDrops)
+	}
+}
+
+// TestSimScenarioLossRetransmitBound is the 1 − p^(r+1) invariant under
+// virtual time: per-attempt loss p on the query link, r retransmissions,
+// answered fraction within a binomial tolerance of the bound — with
+// exact accounting (answered + giveups == sent) instead of a drain
+// window.
+func TestSimScenarioLossRetransmitBound(t *testing.T) {
+	const (
+		p       = 0.4
+		retries = 2
+		queries = 400
+	)
+	res, err := RunSim(SimScenario{
+		Queries:      queries,
+		Gap:          time.Millisecond,
+		RTT:          2 * time.Millisecond,
+		Retries:      retries,
+		RetryTimeout: 30 * time.Millisecond,
+		QueryImpairment: netsim.Impairment{
+			Drop: p,
+			Seed: 42,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Sent != queries {
+		t.Fatalf("sent = %d, want %d", st.Sent, queries)
+	}
+	want := 1 - math.Pow(p, retries+1) // 0.936
+	got := float64(st.Answered) / float64(st.Sent)
+	// Binomial sd at N=400 is ~0.012; 0.055 is a >4-sigma tolerance.
+	if math.Abs(got-want) > 0.055 {
+		t.Errorf("answered fraction = %.3f, want %.3f ± 0.055 (answered=%d giveups=%d)",
+			got, want, st.Answered, st.GiveUps)
+	}
+	if st.Retransmits == 0 {
+		t.Error("no retransmissions under 40% loss")
+	}
+	// Virtual time gives exact conservation: no in-flight tail, no drain
+	// tolerance.
+	if st.Answered+st.GiveUps != st.Sent {
+		t.Errorf("accounting leak: answered(%d) + giveups(%d) != sent(%d)",
+			st.Answered, st.GiveUps, st.Sent)
+	}
+	if res.QueryLink.Offered != st.Sent+st.Retransmits {
+		t.Errorf("query link offered %d, want sent+retransmits = %d",
+			res.QueryLink.Offered, st.Sent+st.Retransmits)
+	}
+	if res.QueryLink.Dropped == 0 {
+		t.Error("no datagrams dropped at 40% loss; scenario is vacuous")
+	}
+	if res.RouteDrops != 0 {
+		t.Errorf("route drops = %d, want 0", res.RouteDrops)
+	}
+}
+
+// TestSimScenarioDuplicateNoDoubleCount: dup=1 duplicates every query,
+// the meta server answers each copy, and the querier must count each
+// query answered exactly once — with the surplus responses accounted as
+// duplicates, exactly.
+func TestSimScenarioDuplicateNoDoubleCount(t *testing.T) {
+	const queries = 40
+	res, err := RunSim(SimScenario{
+		Queries: queries,
+		Gap:     time.Millisecond,
+		RTT:     2 * time.Millisecond,
+		QueryImpairment: netsim.Impairment{
+			Duplicate: 1,
+			Seed:      9,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Answered != queries {
+		t.Errorf("answered = %d, want %d (duplicates must not double-count)", st.Answered, queries)
+	}
+	// Every query was duplicated on the query link and both copies
+	// answered, so exactly one surplus response per query.
+	if st.Duplicates != queries {
+		t.Errorf("duplicates = %d, want exactly %d", st.Duplicates, queries)
+	}
+	if res.QueryLink.Duplicated != queries {
+		t.Errorf("link duplicated %d datagrams, want %d", res.QueryLink.Duplicated, queries)
+	}
+	if st.GiveUps != 0 {
+		t.Errorf("giveups = %d, want 0", st.GiveUps)
+	}
+}
+
+// TestSimScenarioBlackholeTerminates: 100% loss must never hang the
+// simulation — once every query exhausts its retransmission budget the
+// event heap is empty and Run returns, with every query accounted a
+// giveup. The run spans seconds of simulated time and must cost almost
+// no wall clock: there is no drain deadline because there is no waiting.
+func TestSimScenarioBlackholeTerminates(t *testing.T) {
+	const queries = 30
+	res, err := RunSim(SimScenario{
+		Queries:      queries,
+		Gap:          10 * time.Millisecond,
+		RTT:          2 * time.Millisecond,
+		Retries:      3,
+		RetryTimeout: 100 * time.Millisecond,
+		QueryImpairment: netsim.Impairment{
+			Drop: 1,
+			Seed: 3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Sent != queries || st.Answered != 0 {
+		t.Errorf("sent=%d answered=%d, want %d/0", st.Sent, st.Answered, queries)
+	}
+	if st.GiveUps != queries {
+		t.Errorf("giveups = %d, want %d (every query must be accounted)", st.GiveUps, queries)
+	}
+	if res.QueryLink.Dropped != res.QueryLink.Offered {
+		t.Errorf("blackhole leaked: dropped %d of %d offered", res.QueryLink.Dropped, res.QueryLink.Offered)
+	}
+	// Each query gives up 100+200+400+800ms after its first send; the
+	// last starts at 290ms, so the run spans 1.79s of simulated time.
+	if want := 290*time.Millisecond + 1500*time.Millisecond; res.SimElapsed != want {
+		t.Errorf("simulated span = %v, want exactly %v", res.SimElapsed, want)
+	}
+	if res.Elapsed > time.Second {
+		t.Errorf("blackholed sim burned %v wall clock; virtual time must not wait", res.Elapsed)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ldplayer/internal/obs"
+	"ldplayer/internal/vclock"
 )
 
 // Datagram is a raw UDP-like packet as a proxy would read it from a TUN
@@ -63,6 +64,12 @@ type Network struct {
 	impairers       map[[2]netip.Addr]*impairer
 	defaultImpairer *impairer
 
+	// clock schedules link-latency deliveries. The real clock by default;
+	// a vclock.SimClock turns the network into a discrete-event
+	// simulation where every delivery runs inline on the driving
+	// goroutine, in timestamp order.
+	clock vclock.Clock
+
 	dropped   atomic.Int64
 	delivered atomic.Int64
 	// inFlight counts datagrams scheduled (in a latency timer or a deliver
@@ -105,15 +112,28 @@ func (n *Network) Instrument(reg *obs.Registry) {
 func (n *Network) InFlight() int64 { return n.inFlight.Load() }
 
 // New creates an empty network with the given default round-trip time
-// between any two nodes (0 = immediate delivery).
+// between any two nodes (0 = immediate delivery). Deliveries are timed
+// by the wall clock; use NewWithClock for simulated time.
 func New(defaultRTT time.Duration) *Network {
+	return NewWithClock(defaultRTT, nil)
+}
+
+// NewWithClock is New with an injected clock (nil = real time). Under a
+// *vclock.SimClock every delivery — including zero-delay ones — becomes
+// a scheduled event fired synchronously by the clock's driver, so a
+// seeded topology plus impairment set replays bit-identically.
+func NewWithClock(defaultRTT time.Duration, clk vclock.Clock) *Network {
 	return &Network{
 		nodes:      make(map[netip.Addr]*Node),
 		linkRTT:    make(map[[2]netip.Addr]time.Duration),
 		impairers:  make(map[[2]netip.Addr]*impairer),
 		defaultRTT: defaultRTT,
+		clock:      vclock.Or(clk),
 	}
 }
+
+// Clock returns the clock timing this network's deliveries.
+func (n *Network) Clock() vclock.Clock { return n.clock }
 
 // Node is an attachment point owning one or more addresses.
 type Node struct {
@@ -364,8 +384,15 @@ func (n *Network) schedule(dst *Node, d Datagram, delay time.Duration) {
 		h(d)
 	}
 	if delay <= 0 {
-		go deliver()
-		return
+		if vclock.IsReal(n.clock) {
+			// Real-time fast path: zero-latency links skip the timer
+			// queue entirely.
+			go deliver()
+			return
+		}
+		// Simulated time: even "immediate" delivery is an event, so it
+		// fires on the driver in deterministic order.
+		delay = 0
 	}
-	time.AfterFunc(delay, deliver)
+	n.clock.AfterFunc(delay, deliver)
 }

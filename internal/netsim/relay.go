@@ -4,7 +4,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
-	"time"
+
+	"ldplayer/internal/vclock"
 )
 
 // UDPRelay is an impaired datagram path between real sockets: it listens
@@ -20,6 +21,10 @@ type UDPRelay struct {
 	conn   *net.UDPConn
 	target *net.UDPAddr
 	ip     *impairer
+	// clock times deferred (jittered) writes. Always the real clock
+	// today — the relay bridges real sockets — but routed through the
+	// interface so the package stays in deterministic lint scope.
+	clock vclock.Clock
 
 	mu       sync.Mutex
 	sessions map[string]*relaySession
@@ -57,6 +62,7 @@ func NewUDPRelay(listen, target string, imp Impairment) (*UDPRelay, error) {
 		conn:     conn,
 		target:   taddr,
 		ip:       newImpairer(imp),
+		clock:    vclock.Real(),
 		sessions: make(map[string]*relaySession),
 	}
 	r.wg.Add(1)
@@ -160,7 +166,7 @@ func (r *UDPRelay) impairedWrite(payload []byte, w func([]byte)) {
 		}
 		if d := dels[i].extraDelay; d > 0 {
 			r.timerWG.Add(1)
-			time.AfterFunc(d, func() {
+			r.clock.AfterFunc(d, func() {
 				defer r.timerWG.Done()
 				if !r.closed.Load() {
 					w(p)

@@ -1,0 +1,198 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"ldplayer/internal/vclock"
+)
+
+// SimQuerier is a discrete-event query driver for virtual-time
+// scenarios: it sends payloads from a node toward a destination, matches
+// responses back by source port (one ephemeral port per query, the same
+// demultiplexing the replay engine's pending tables use), retransmits on
+// a per-query exponential backoff, suppresses duplicate responses, and
+// gives up after the configured attempts — all through the network's
+// clock, so under a *vclock.SimClock every send, retransmission, answer,
+// and giveup is an event fired in deterministic timestamp order.
+//
+// The querier keeps an event log ("send/rto/ans/dup/giveup <tag> @<t>")
+// with virtual timestamps. Two runs of the same seeded scenario must
+// produce byte-identical logs — that is the bit-reproducibility contract
+// the chaos sim scenarios and the quick-test determinism property
+// assert.
+type SimQuerier struct {
+	clk   vclock.Clock
+	node  *Node
+	src   netip.Addr
+	dst   netip.AddrPort
+	cfg   SimQuerierConfig
+	start time.Time
+
+	mu       sync.Mutex
+	nextPort uint16
+	pending  map[uint16]*simQuery
+	done     map[uint16]string // answered port → tag, for duplicate attribution
+	stats    SimQuerierStats
+	log      []string
+}
+
+// SimQuerierConfig tunes retransmission behaviour.
+type SimQuerierConfig struct {
+	// Timeout is the first retransmission timeout; each retry doubles
+	// it. Default 100ms.
+	Timeout time.Duration
+	// Retries is the number of retransmissions after the initial send
+	// before giving up. Default 0 (single shot).
+	Retries int
+	// BasePort is the first ephemeral source port. Default 40000.
+	BasePort uint16
+}
+
+// SimQuerierStats are the querier's final counters. Under a SimClock
+// they are a pure function of the scenario seed.
+type SimQuerierStats struct {
+	Sent        int64 // distinct queries sent
+	Retransmits int64 // extra sends on timeout
+	Answered    int64 // queries that got a first response
+	Duplicates  int64 // responses beyond the first per query
+	GiveUps     int64 // queries abandoned after all retries
+}
+
+// simQuery is one outstanding query.
+type simQuery struct {
+	tag     string
+	payload []byte
+	port    uint16
+	attempt int
+	timer   vclock.Timer
+}
+
+// NewSimQuerier attaches a querier to node (installing its delivery
+// handler) sending from src toward dst on network's clock.
+func NewSimQuerier(node *Node, src netip.Addr, dst netip.AddrPort, cfg SimQuerierConfig) *SimQuerier {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 100 * time.Millisecond
+	}
+	if cfg.BasePort == 0 {
+		cfg.BasePort = 40000
+	}
+	clk := node.net.Clock()
+	sq := &SimQuerier{
+		clk:      clk,
+		node:     node,
+		src:      src,
+		dst:      dst,
+		cfg:      cfg,
+		start:    clk.Now(),
+		nextPort: cfg.BasePort,
+		pending:  make(map[uint16]*simQuery),
+		done:     make(map[uint16]string),
+	}
+	node.Handle(sq.onDatagram)
+	return sq
+}
+
+// StartAt schedules a query's first transmission at offset past the
+// querier's construction instant. tag labels the query in the event log.
+func (sq *SimQuerier) StartAt(offset time.Duration, tag string, payload []byte) {
+	sq.mu.Lock()
+	q := &simQuery{tag: tag, payload: payload, port: sq.nextPort}
+	sq.nextPort++
+	sq.pending[q.port] = q
+	sq.mu.Unlock()
+	sq.clk.AfterFunc(offset, func() { sq.transmit(q, "send") })
+}
+
+// transmit sends (or resends) q and arms its retransmission timer.
+func (sq *SimQuerier) transmit(q *simQuery, kind string) {
+	sq.mu.Lock()
+	if _, live := sq.pending[q.port]; !live {
+		sq.mu.Unlock()
+		return
+	}
+	if kind == "send" {
+		sq.stats.Sent++
+	} else {
+		sq.stats.Retransmits++
+	}
+	sq.note(kind, q.tag)
+	rto := sq.cfg.Timeout << q.attempt
+	q.timer = sq.clk.AfterFunc(rto, func() { sq.onTimeout(q) })
+	sq.mu.Unlock()
+	sq.node.Send(Datagram{
+		Src:     netip.AddrPortFrom(sq.src, q.port),
+		Dst:     sq.dst,
+		Payload: q.payload,
+	})
+}
+
+// onTimeout retransmits q or gives up once the retry budget is spent.
+func (sq *SimQuerier) onTimeout(q *simQuery) {
+	sq.mu.Lock()
+	if _, live := sq.pending[q.port]; !live {
+		sq.mu.Unlock()
+		return
+	}
+	if q.attempt >= sq.cfg.Retries {
+		delete(sq.pending, q.port)
+		sq.stats.GiveUps++
+		sq.note("giveup", q.tag)
+		sq.mu.Unlock()
+		return
+	}
+	q.attempt++
+	sq.mu.Unlock()
+	sq.transmit(q, "rto")
+}
+
+// onDatagram is the node handler: responses demultiplex by destination
+// port.
+func (sq *SimQuerier) onDatagram(d Datagram) {
+	port := d.Dst.Port()
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	q, live := sq.pending[port]
+	if !live {
+		if tag, answered := sq.done[port]; answered {
+			sq.stats.Duplicates++
+			sq.note("dup", tag)
+		}
+		return
+	}
+	delete(sq.pending, port)
+	sq.done[port] = q.tag
+	if q.timer != nil {
+		q.timer.Stop()
+	}
+	sq.stats.Answered++
+	sq.note("ans", q.tag)
+}
+
+// note appends an event-log line; callers hold sq.mu.
+func (sq *SimQuerier) note(kind, tag string) {
+	sq.log = append(sq.log, fmt.Sprintf("%s %s @%v", kind, tag, sq.clk.Now().Sub(sq.start)))
+}
+
+// Stats returns the counters accumulated so far.
+func (sq *SimQuerier) Stats() SimQuerierStats {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	return sq.stats
+}
+
+// EventLog returns a copy of the event log.
+func (sq *SimQuerier) EventLog() []string {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	return append([]string(nil), sq.log...)
+}
+
+// Outstanding reports queries still awaiting an answer or giveup.
+func (sq *SimQuerier) Outstanding() int {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	return len(sq.pending)
+}

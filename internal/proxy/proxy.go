@@ -77,8 +77,9 @@ type Proxy struct {
 	peer    netip.Addr
 	network *netsim.Network
 
-	queue chan netsim.Datagram
-	wg    sync.WaitGroup
+	inline bool
+	queue  chan netsim.Datagram
+	wg     sync.WaitGroup
 
 	captured  atomic.Int64
 	forwarded atomic.Int64
@@ -98,6 +99,13 @@ type Options struct {
 	Workers int
 	// QueueDepth bounds the reader-to-worker queue. Default 1024.
 	QueueDepth int
+	// Inline rewrites and re-injects captured packets synchronously on
+	// the capturing goroutine — no queue, no workers. Virtual-time
+	// scenarios need this: a worker pool's pickup order depends on the
+	// Go scheduler, which would break bit-reproducibility. Real-time
+	// paths should keep the pool; inline forwarding stalls the sender's
+	// packet path, the saturated-TUN condition Workers exists to avoid.
+	Inline bool
 }
 
 // Attach creates a proxy capturing dir packets leaving node, rewriting
@@ -113,11 +121,14 @@ func Attach(node *netsim.Node, network *netsim.Network, dir Direction, peer neti
 		dir:     dir,
 		peer:    peer,
 		network: network,
-		queue:   make(chan netsim.Datagram, opts.QueueDepth),
+		inline:  opts.Inline,
 	}
-	for i := 0; i < opts.Workers; i++ {
-		p.wg.Add(1)
-		go p.worker()
+	if !p.inline {
+		p.queue = make(chan netsim.Datagram, opts.QueueDepth)
+		for i := 0; i < opts.Workers; i++ {
+			p.wg.Add(1)
+			go p.worker()
+		}
 	}
 	node.AddEgressFilter(p.capture)
 	return p
@@ -137,6 +148,10 @@ func (p *Proxy) capture(d netsim.Datagram) bool {
 		return false
 	}
 	p.captured.Add(1)
+	if p.inline {
+		p.forward(d)
+		return true
+	}
 	// A full queue drops the packet, exactly as a saturated TUN would;
 	// blocking here would stall the sender's packet path.
 	select {
@@ -147,15 +162,20 @@ func (p *Proxy) capture(d netsim.Datagram) bool {
 	return true
 }
 
+// forward rewrites and re-injects one captured packet.
+func (p *Proxy) forward(d netsim.Datagram) {
+	if !p.peer.IsValid() {
+		p.drop(ErrNoPeer)
+		return
+	}
+	p.network.Inject(Rewrite(d, p.peer))
+	p.forwarded.Add(1)
+}
+
 func (p *Proxy) worker() {
 	defer p.wg.Done()
 	for d := range p.queue {
-		if !p.peer.IsValid() {
-			p.drop(ErrNoPeer)
-			continue
-		}
-		p.network.Inject(Rewrite(d, p.peer))
-		p.forwarded.Add(1)
+		p.forward(d)
 	}
 }
 
@@ -203,8 +223,12 @@ func (p *Proxy) Instrument(reg *obs.Registry) {
 	})
 }
 
-// Close stops the workers after draining queued packets.
+// Close stops the workers after draining queued packets. Inline proxies
+// have neither and Close is a no-op.
 func (p *Proxy) Close() {
+	if p.inline {
+		return
+	}
 	p.closeOnce.Do(func() {
 		close(p.queue)
 	})

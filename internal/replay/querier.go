@@ -120,13 +120,13 @@ func (q *querier) sendBatch(batch []trace.Entry) {
 			if err != nil {
 				q.fail(e, err)
 			} else {
-				q.accountSend(e, time.Now())
+				q.accountSend(e, q.en.clock.Now())
 			}
 		}
 	}
 	for _, sock := range q.dirty {
 		n, err := sock.batch.Send(sock.out)
-		at := time.Now()
+		at := q.en.clock.Now()
 		if h := q.en.batchSizeHist.Load(); h != nil {
 			h.Record(int64(len(sock.out)))
 		}
@@ -376,7 +376,7 @@ func (q *querier) retransmitUDP(sock *udpSocket, id uint16, seq uint32) {
 		return // socket is closing; drain accounting covers the query
 	}
 	q.en.udpRetransmits.Add(1)
-	sock.lastSend.Store(time.Now().UnixNano())
+	sock.lastSend.Store(q.en.clock.Now().UnixNano())
 	// Exponential backoff: timeout doubles with each retransmission.
 	q.wheel.scheduleRetrans(q.en.cfg.UDPRetryTimeout<<attempt, q, sock, id, seq)
 }
@@ -464,7 +464,7 @@ func (q *querier) settleResponse(sock *udpSocket, buf []byte) {
 	if q.en.cfg.OnResponse != nil {
 		msg := make([]byte, len(buf)) //ldlint:ignore noalloc OnResponse callback owns its copy; only paid when a sink is installed
 		copy(msg, buf)
-		q.en.cfg.OnResponse(msg, time.Now())
+		q.en.cfg.OnResponse(msg, q.en.clock.Now())
 	}
 }
 
@@ -487,7 +487,7 @@ func (q *querier) recordRTT(lastSend *atomic.Int64) {
 		return
 	}
 	if t := lastSend.Swap(0); t != 0 {
-		h.Record(time.Now().UnixNano() - t)
+		h.Record(q.en.clock.Now().UnixNano() - t)
 	}
 }
 
@@ -514,7 +514,7 @@ func (q *querier) sendStream(e trace.Entry) error {
 			continue // reconnect once
 		}
 		err = authserver.WriteTCPMessage(sc.conn, e.Message)
-		sc.lastUsed = time.Now()
+		sc.lastUsed = q.en.clock.Now()
 		if err == nil {
 			sc.lastSend.Store(sc.lastUsed.UnixNano())
 		}
@@ -546,7 +546,7 @@ func (q *querier) getStream(key streamKey, proto trace.Protocol, target string) 
 	if err != nil {
 		return nil, err
 	}
-	sc = &streamConn{conn: conn, lastUsed: time.Now(), done: make(chan struct{})}
+	sc = &streamConn{conn: conn, lastUsed: q.en.clock.Now(), done: make(chan struct{})}
 	q.mu.Lock()
 	if existing := q.conn[key]; existing != nil {
 		q.mu.Unlock()
@@ -587,35 +587,38 @@ func (q *querier) readStream(key streamKey, sc *streamConn) {
 			return
 		}
 		sc.mu.Lock()
-		sc.lastUsed = time.Now()
+		sc.lastUsed = q.en.clock.Now()
 		sc.mu.Unlock()
 		q.en.responses.Add(1)
 		q.recordRTT(&sc.lastSend)
 		if q.en.cfg.OnResponse != nil {
-			q.en.cfg.OnResponse(msg, time.Now())
+			q.en.cfg.OnResponse(msg, q.en.clock.Now())
 		}
 	}
 }
 
-// idleCloser enforces the client-side connection reuse timeout.
+// idleCloser enforces the client-side connection reuse timeout. A
+// clock timer re-armed each wakeup rather than a ticker: vclock has no
+// ticker, and a periodic re-Reset is the same behaviour.
 func (q *querier) idleCloser(key streamKey, sc *streamConn) {
 	defer q.io.Done()
 	timeout := q.en.cfg.IdleTimeout
-	ticker := time.NewTicker(timeout / 4)
-	defer ticker.Stop()
+	timer := q.en.clock.NewTimer(timeout / 4)
+	defer timer.Stop()
 	for {
 		select {
 		case <-sc.done:
 			return
-		case <-ticker.C:
+		case <-timer.C():
 			sc.mu.Lock()
-			idle := time.Since(sc.lastUsed)
+			idle := q.en.clock.Now().Sub(sc.lastUsed)
 			sc.mu.Unlock()
 			if idle >= timeout {
 				q.en.idleClosed.Add(1)
 				q.dropStream(key, sc)
 				return
 			}
+			timer.Reset(timeout / 4)
 		}
 	}
 }

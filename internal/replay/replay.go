@@ -46,6 +46,7 @@ import (
 	"ldplayer/internal/obs"
 	"ldplayer/internal/qlog"
 	"ldplayer/internal/trace"
+	"ldplayer/internal/vclock"
 )
 
 // defaultMaxBatch is the entry-batch capacity used throughout the
@@ -111,6 +112,14 @@ type Config struct {
 	// last query is sent. Default 500ms.
 	DrainTimeout time.Duration
 
+	// Clock supplies all of the engine's time: pacing (the timing
+	// wheel's tick source), retransmission deadlines, idle-connection
+	// timeouts, and the drain wait. Nil means the real clock —
+	// production replays are untouched. A *vclock.SimClock runs the
+	// engine's timing in simulated time (the sockets stay real, so this
+	// is scheduling compression, not the bit-exact netsim path).
+	Clock vclock.Clock
+
 	// Qlog, if set, streams one telemetry event per transmitted query
 	// into this pipeline (client-side view of the same event stream the
 	// server emits). Each querier gets its own SPSC producer.
@@ -149,7 +158,8 @@ type Stats struct {
 
 // Engine replays traces against live servers.
 type Engine struct {
-	cfg Config
+	cfg   Config
+	clock vclock.Clock
 
 	sent           atomic.Int64
 	responses      atomic.Int64
@@ -244,7 +254,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.TLSTarget != "" && cfg.TLSConfig == nil {
 		return nil, errors.New("replay: TLS target without TLSConfig")
 	}
-	return &Engine{cfg: cfg, seed: maphash.MakeSeed()}, nil
+	return &Engine{cfg: cfg, clock: vclock.Or(cfg.Clock), seed: maphash.MakeSeed()}, nil
 }
 
 // syncPoint is the broadcast time synchronization: trace epoch and the
@@ -268,7 +278,7 @@ func (en *Engine) Replay(ctx context.Context, r trace.Reader) (*Stats, error) {
 	en.giveups.Store(0)
 	en.dupResponses.Store(0)
 
-	start := time.Now()
+	start := en.clock.Now()
 
 	// Reader: pre-loads a window of queries (its own process in the
 	// paper's controller), decoding in batches.
@@ -344,7 +354,7 @@ loop:
 						ts = t0
 					}
 				}
-				sync0 = &syncPoint{traceStart: ts, realStart: time.Now()}
+				sync0 = &syncPoint{traceStart: ts, realStart: en.clock.Now()}
 				for _, d := range dists {
 					d.sync(sync0)
 				}
@@ -413,9 +423,9 @@ loop:
 	// must terminate at the deadline with correct unanswered accounting
 	// rather than hang.
 	if en.cfg.DrainTimeout > 0 && en.outstanding() > 0 {
-		deadline := time.Now().Add(en.cfg.DrainTimeout)
-		for time.Now().Before(deadline) && en.outstanding() > 0 {
-			time.Sleep(5 * time.Millisecond)
+		deadline := en.clock.Now().Add(en.cfg.DrainTimeout)
+		for en.clock.Now().Before(deadline) && en.outstanding() > 0 {
+			en.clock.Sleep(5 * time.Millisecond)
 		}
 	}
 	for _, d := range dists {
@@ -437,7 +447,7 @@ loop:
 		Giveups:        en.giveups.Load(),
 		Duplicates:     en.dupResponses.Load(),
 		Sources:        sources.count(),
-		Duration:       time.Since(start),
+		Duration:       en.clock.Now().Sub(start),
 	}
 	return st, err
 }
@@ -502,7 +512,7 @@ func newDistributor(en *Engine, idx int, sources *sourceTracker) *distributor {
 	// goroutine hop keeps the release-to-wire latency inside the pacing
 	// budget. (Fast mode bypasses the wheel and uses the querier
 	// goroutines via their channels.)
-	d.wheel = newWheel(defaultWheelTick, defaultWheelSlots, len(d.queriers), &en.wheelLag,
+	d.wheel = newWheel(en.clock, defaultWheelTick, defaultWheelSlots, len(d.queriers), &en.wheelLag,
 		func(qidx int32, b []trace.Entry) {
 			d.queriers[qidx].sendBatch(b)
 			putBatch(b)
@@ -538,9 +548,9 @@ func (d *distributor) run(ctx context.Context) {
 	nq := int32(len(d.queriers))
 	assign := make(map[netip.Addr]int32, 256)
 	scratch := make([][]trace.Entry, nq)
-	wait := time.NewTimer(time.Hour)
+	wait := d.en.clock.NewTimer(time.Hour)
 	if !wait.Stop() {
-		<-wait.C
+		<-wait.C()
 	}
 	canceled := false
 	for b := range d.in {
@@ -564,13 +574,13 @@ func (d *distributor) run(ctx context.Context) {
 			}
 			if paced && sp != nil {
 				due := sp.realStart.Add(e.Time.Sub(sp.traceStart))
-				if w := time.Until(due) - d.lookahead; w > 0 {
+				if w := due.Sub(d.en.clock.Now()) - d.lookahead; w > 0 {
 					wait.Reset(w)
 					select {
-					case <-wait.C:
+					case <-wait.C():
 					case <-ctx.Done():
 						if !wait.Stop() {
-							<-wait.C
+							<-wait.C()
 						}
 						canceled = true
 					}
@@ -606,7 +616,7 @@ func (d *distributor) run(ctx context.Context) {
 		if ctx.Err() != nil {
 			d.wheel.discardPaced()
 		}
-		time.Sleep(d.wheel.tick)
+		d.en.clock.Sleep(d.wheel.tick)
 	}
 	for _, q := range d.queriers {
 		close(q.in)

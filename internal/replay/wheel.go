@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ldplayer/internal/trace"
+	"ldplayer/internal/vclock"
 )
 
 // The timing wheel is the replay clock: one per distributor, one
@@ -77,6 +78,11 @@ const (
 )
 
 type wheel struct {
+	// clock is the wheel's tick source. Real by default; under a
+	// SimClock the release loop sleeps on virtual timers and skips the
+	// sub-millisecond spin (spinning would busy-wait forever — simulated
+	// time only moves through events).
+	clock vclock.Clock
 	tick  time.Duration
 	mask  int64
 	start time.Time
@@ -111,14 +117,16 @@ type wheel struct {
 
 // newWheel sizes a wheel: tick granularity, a power-of-two slot count,
 // and the querier fan-out it delivers to.
-func newWheel(tick time.Duration, slots, queriers int, lag *atomic.Int64, deliver func(int32, []trace.Entry)) *wheel {
+func newWheel(clk vclock.Clock, tick time.Duration, slots, queriers int, lag *atomic.Int64, deliver func(int32, []trace.Entry)) *wheel {
 	if slots&(slots-1) != 0 {
 		panic("replay: wheel slots must be a power of two")
 	}
+	clk = vclock.Or(clk)
 	w := &wheel{
+		clock:   clk,
 		tick:    tick,
 		mask:    int64(slots - 1),
-		start:   time.Now(),
+		start:   clk.Now(),
 		slots:   make([]slotList, slots),
 		lag:     lag,
 		deliver: deliver,
@@ -230,7 +238,7 @@ func (w *wheel) scheduleEntry(due time.Time, qidx int32, e trace.Entry) {
 func (w *wheel) scheduleRetrans(delay time.Duration, q *querier, sock *udpSocket, id uint16, seq uint32) {
 	w.mu.Lock()
 	it := w.newItem()
-	it.dueTick = w.tickOf(time.Now().Add(delay))
+	it.dueTick = w.tickOf(w.clock.Now().Add(delay))
 	it.kind = kindRetrans
 	it.q = q
 	it.sock = sock
@@ -309,24 +317,25 @@ func (w *wheel) nextDue() (int64, bool) {
 // precision far under the timer subsystem's wakeup latency.
 func (w *wheel) run() {
 	defer close(w.doneCh)
-	timer := time.NewTimer(time.Hour)
+	realTime := vclock.IsReal(w.clock)
+	timer := w.clock.NewTimer(time.Hour)
 	if !timer.Stop() {
-		<-timer.C
+		<-timer.C()
 	}
 	sleep := func(d time.Duration) (kicked bool) {
 		timer.Reset(d)
 		select {
 		case <-w.stopCh:
 			if !timer.Stop() {
-				<-timer.C
+				<-timer.C()
 			}
 			return false
 		case <-w.kick:
 			if !timer.Stop() {
-				<-timer.C
+				<-timer.C()
 			}
 			return true
-		case <-timer.C:
+		case <-timer.C():
 			return false
 		}
 	}
@@ -336,13 +345,23 @@ func (w *wheel) run() {
 			return
 		default:
 		}
-		w.advance(time.Now())
+		w.advance(w.clock.Now())
 		next, ok := w.nextDue()
 		if !ok {
 			sleep(idleRecheck)
 			continue
 		}
 		target := w.start.Add(time.Duration(next) * w.tick)
+		if !realTime {
+			// Simulated time: sleep the exact remaining distance — the
+			// SimClock jumps straight to the due instant, so there is no
+			// wakeup latency to spin away (and a spin would never end:
+			// virtual time doesn't flow while this goroutine runs).
+			if dt := target.Sub(w.clock.Now()); dt > 0 {
+				sleep(dt)
+			}
+			continue
+		}
 		if dt := time.Until(target); dt > spinBudget {
 			if sleep(dt-spinBudget) || isStopped(w.stopCh) {
 				continue // re-evaluate: earlier work arrived or stopping

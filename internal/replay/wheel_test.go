@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ldplayer/internal/trace"
+	"ldplayer/internal/vclock"
 )
 
 // Tests for the timing wheel: release ordering (including same-tick FIFO
@@ -24,7 +25,7 @@ func collectingWheel(t *testing.T, tick time.Duration, slots int) (*wheel, func(
 	var mu sync.Mutex
 	var got []trace.Entry
 	var lag atomic.Int64
-	w := newWheel(tick, slots, 1, &lag, func(_ int32, b []trace.Entry) {
+	w := newWheel(nil, tick, slots, 1, &lag, func(_ int32, b []trace.Entry) {
 		mu.Lock()
 		got = append(got, b...)
 		mu.Unlock()
@@ -131,7 +132,7 @@ func wheelQuerier(t *testing.T, cfg Config) (*querier, *wheel) {
 		t.Fatal(err)
 	}
 	var lag atomic.Int64
-	w := newWheel(time.Millisecond, 1024, 1, &lag, func(_ int32, b []trace.Entry) { putBatch(b) })
+	w := newWheel(nil, time.Millisecond, 1024, 1, &lag, func(_ int32, b []trace.Entry) { putBatch(b) })
 	q := newQuerier(en, "wheel-test")
 	q.wheel = w
 	t.Cleanup(func() {
@@ -256,4 +257,81 @@ func TestNoGoroutineLeakAfterReplay(t *testing.T) {
 	}
 	t.Fatalf("goroutines: %d before replay, %d after; wheel or socket reader leaked",
 		before, runtime.NumGoroutine())
+}
+
+// TestWheelUnderSimClock drives the wheel from a SimClock: entries are
+// scheduled at virtual offsets and must be released only when Advance
+// pushes virtual time across their due tick — including an entry beyond
+// the wheel horizon. The wheel goroutine wakes asynchronously off the
+// sim timer channel, so observations poll with a real deadline.
+func TestWheelUnderSimClock(t *testing.T) {
+	clk := vclock.NewSim(time.Time{})
+	var mu sync.Mutex
+	var got []uint16
+	var lag atomic.Int64
+	w := newWheel(clk, time.Millisecond, 64, 1, &lag, func(_ int32, b []trace.Entry) {
+		mu.Lock()
+		for _, e := range b {
+			got = append(got, e.Src.Port())
+		}
+		mu.Unlock()
+		putBatch(b)
+	})
+	t.Cleanup(w.stop)
+
+	ports := func() []uint16 {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]uint16(nil), got...)
+	}
+	waitLen := func(n int) []uint16 {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			if p := ports(); len(p) >= n {
+				return p
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("released %v, want %d entries", ports(), n)
+		return nil
+	}
+
+	base := clk.Now()
+	mk := func(seq uint16) trace.Entry {
+		return trace.Entry{Src: mkAddrPort(2, seq), Protocol: trace.UDP}
+	}
+	w.scheduleEntry(base.Add(5*time.Millisecond), 0, mk(1))
+	w.scheduleEntry(base.Add(20*time.Millisecond), 0, mk(2))
+	w.scheduleEntry(base.Add(100*time.Millisecond), 0, mk(3)) // beyond 64ms horizon
+
+	// Virtual time at 4ms: nothing is due. Give the wheel goroutine a
+	// real-time window to misbehave before asserting.
+	clk.Advance(4 * time.Millisecond)
+	time.Sleep(50 * time.Millisecond)
+	if p := ports(); len(p) != 0 {
+		t.Fatalf("released %v before virtual time reached any due tick", p)
+	}
+
+	// Crossing tick 5 releases exactly the first entry.
+	clk.Advance(time.Millisecond)
+	if p := waitLen(1); len(p) != 1 || p[0] != 1 {
+		t.Fatalf("after 5ms virtual released %v, want [1]", p)
+	}
+
+	// A big jump releases the rest, still in due order.
+	clk.Advance(101 * time.Millisecond)
+	p := waitLen(3)
+	want := []uint16{1, 2, 3}
+	if len(p) != len(want) {
+		t.Fatalf("released %v, want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("release order %v, want %v", p, want)
+		}
+	}
+	if w.pacedPending() != 0 {
+		t.Fatalf("pacedPending = %d after all releases", w.pacedPending())
+	}
 }

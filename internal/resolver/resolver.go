@@ -19,6 +19,7 @@ import (
 
 	"ldplayer/internal/dnswire"
 	"ldplayer/internal/obs"
+	"ldplayer/internal/vclock"
 )
 
 // Exchanger performs one query/response exchange with a nameserver. Both
@@ -49,7 +50,11 @@ type Config struct {
 	// (capped by QueryTimeout overall). Default QueryTimeout divided by
 	// AttemptsPerServer.
 	AttemptTimeout time.Duration
-	// Now supplies time (for cache TTLs); defaults to time.Now.
+	// Clock drives the query and per-attempt timeouts. Nil means the real
+	// clock (production unchanged); a vclock.SimClock lets retry and
+	// failover behaviour play out in simulated time.
+	Clock vclock.Clock
+	// Now supplies time (for cache TTLs); defaults to Clock.Now.
 	Now func() time.Time
 	// Rand selects among equivalent nameservers; defaults to a private
 	// source. Deterministic tests inject their own.
@@ -143,12 +148,15 @@ func New(cfg Config) (*Resolver, error) {
 	if cfg.AttemptTimeout <= 0 {
 		cfg.AttemptTimeout = cfg.QueryTimeout / time.Duration(cfg.AttemptsPerServer)
 	}
+	cfg.Clock = vclock.Or(cfg.Clock)
 	if cfg.Now == nil {
-		cfg.Now = time.Now
+		cfg.Now = cfg.Clock.Now
 	}
 	rng := cfg.Rand
 	if rng == nil {
-		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		// Seed off the injected clock: identical wiring under the real
+		// clock, a fixed (reproducible) seed under a SimClock epoch.
+		rng = rand.New(rand.NewSource(cfg.Clock.Now().UnixNano()))
 	}
 	return &Resolver{cfg: cfg, cache: NewCache(), rng: rng}, nil
 }
@@ -306,7 +314,7 @@ func (r *Resolver) exchange(ctx context.Context, server netip.AddrPort, qname st
 	r.mu.Unlock()
 	q := dnswire.NewQuery(id, qname, qtype)
 	q.Header.RD = false // iterative
-	ctx, cancel := context.WithTimeout(ctx, r.cfg.QueryTimeout)
+	ctx, cancel := vclock.WithTimeout(ctx, r.cfg.Clock, r.cfg.QueryTimeout)
 	defer cancel()
 
 	var lastErr error
@@ -314,7 +322,7 @@ func (r *Resolver) exchange(ctx context.Context, server netip.AddrPort, qname st
 		r.mu.Lock()
 		r.queriesSent++
 		r.mu.Unlock()
-		actx, acancel := context.WithTimeout(ctx, r.cfg.AttemptTimeout<<attempt)
+		actx, acancel := vclock.WithTimeout(ctx, r.cfg.Clock, r.cfg.AttemptTimeout<<attempt)
 		resp, err := r.cfg.Exchanger.Exchange(actx, server, q)
 		acancel()
 		if err == nil {

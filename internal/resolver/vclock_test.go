@@ -1,0 +1,150 @@
+package resolver
+
+import (
+	"context"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/vclock"
+)
+
+// Virtual-time retry tests: the resolver's per-attempt and whole-query
+// timeouts run on an injected SimClock, so seconds of exponential
+// backoff play out in microseconds of wall time and the elapsed virtual
+// time is exactly the sum of the configured timeouts — an assertion
+// real-clock tests can only approximate with slack.
+
+// timeoutThenAnswerExchanger burns the first `fails` attempts by
+// sleeping virtual time until the per-attempt context expires, then
+// answers immediately. The sleep is a coarse poll on the SimClock so
+// the exchanger stays inside the clock's idle barrier while it waits.
+type timeoutThenAnswerExchanger struct {
+	clk   *vclock.SimClock
+	fails int
+	mu    sync.Mutex
+	calls int
+}
+
+func (e *timeoutThenAnswerExchanger) Exchange(ctx context.Context, server netip.AddrPort, q *dnswire.Message) (*dnswire.Message, error) {
+	e.mu.Lock()
+	e.calls++
+	n := e.calls
+	e.mu.Unlock()
+	if n <= e.fails {
+		for ctx.Err() == nil {
+			e.clk.Sleep(10 * time.Millisecond)
+		}
+		return nil, ctx.Err()
+	}
+	resp := &dnswire.Message{
+		Header:   dnswire.Header{ID: q.Header.ID, QR: true, AA: true},
+		Question: q.Question,
+		Answer: []dnswire.RR{{
+			Name: q.Question[0].Name,
+			TTL:  60,
+			Data: dnswire.A{Addr: netip.MustParseAddr("192.0.2.1")},
+		}},
+	}
+	return resp, nil
+}
+
+func (e *timeoutThenAnswerExchanger) callCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calls
+}
+
+// TestResolverVirtualRetryBackoff times out the first two attempts of
+// an exchange under a SimClock. The per-attempt timeouts are 1s then 2s
+// (exponential), so the third attempt answers at exactly t=3s virtual —
+// while the whole test runs in wall-clock milliseconds.
+func TestResolverVirtualRetryBackoff(t *testing.T) {
+	clk := vclock.NewSim(time.Time{})
+	ex := &timeoutThenAnswerExchanger{clk: clk, fails: 2}
+	r, err := New(Config{
+		Roots:             []netip.Addr{netip.MustParseAddr("198.41.0.4")},
+		Exchanger:         ex,
+		Clock:             clk,
+		QueryTimeout:      10 * time.Second,
+		AttemptsPerServer: 3,
+		AttemptTimeout:    time.Second,
+		Rand:              rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := clk.Now()
+	var ans *Answer
+	var resolveErr error
+	clk.Go(func() {
+		ans, resolveErr = r.Resolve(context.Background(), "www.example.com.", dnswire.TypeA)
+	})
+	end := clk.Run()
+
+	if resolveErr != nil {
+		t.Fatal(resolveErr)
+	}
+	if len(ans.Records) != 1 || ans.Records[0].Data.String() != "192.0.2.1" {
+		t.Fatalf("answer = %+v", ans)
+	}
+	if got := ex.callCount(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+	if got := r.Retries(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if got := r.Giveups(); got != 0 {
+		t.Errorf("giveups = %d", got)
+	}
+	// Attempt 1 times out at 1s, attempt 2 at 1s+2s; attempt 3 answers
+	// instantly. Virtual elapsed is exactly the backoff schedule.
+	if elapsed := end.Sub(start); elapsed != 3*time.Second {
+		t.Errorf("virtual elapsed = %v, want exactly 3s", elapsed)
+	}
+}
+
+// TestResolverVirtualGiveup blackholes every attempt: the exchange must
+// give up after the full backoff schedule (1s + 2s), return the
+// attempt's deadline error, and leave the giveup counter at one per
+// contacted server.
+func TestResolverVirtualGiveup(t *testing.T) {
+	clk := vclock.NewSim(time.Time{})
+	ex := &timeoutThenAnswerExchanger{clk: clk, fails: 1 << 30}
+	r, err := New(Config{
+		Roots:             []netip.Addr{netip.MustParseAddr("198.41.0.4")},
+		Exchanger:         ex,
+		Clock:             clk,
+		QueryTimeout:      10 * time.Second,
+		AttemptsPerServer: 2,
+		AttemptTimeout:    time.Second,
+		Rand:              rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := clk.Now()
+	var resolveErr error
+	clk.Go(func() {
+		_, resolveErr = r.Resolve(context.Background(), "www.example.com.", dnswire.TypeA)
+	})
+	end := clk.Run()
+
+	if resolveErr == nil {
+		t.Fatal("resolution through a blackholed exchanger succeeded")
+	}
+	if got := r.Retries(); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+	if got := r.Giveups(); got != 1 {
+		t.Errorf("giveups = %d, want 1", got)
+	}
+	if elapsed := end.Sub(start); elapsed != 3*time.Second {
+		t.Errorf("virtual elapsed = %v, want exactly 3s (1s + 2s attempts)", elapsed)
+	}
+}

@@ -1,0 +1,332 @@
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// SimClock is a discrete-event simulated clock: a mutex-protected event
+// heap ordered by (due time, schedule order) plus an idle-detection
+// barrier. Time never flows on its own — it jumps, event to event, under
+// a driving goroutine calling Run or Advance. Between two events the
+// driver waits until every goroutine registered with the scheduler (via
+// Go, or blocked in Sleep) is parked, so exactly one registered
+// goroutine is runnable at any instant and the interleaving — and
+// therefore the whole experiment — is a pure function of the scheduled
+// event sequence. That is what makes a seeded chaos scenario
+// bit-reproducible and lets a simulated day replay in seconds.
+//
+// Rules for vclock-safe code (see DESIGN.md "Virtual time"):
+//
+//   - AfterFunc callbacks run synchronously on the driver, in timestamp
+//     order (ties broken by scheduling order). They may call Now,
+//     AfterFunc, NewTimer, Stop and Reset, and any amount of plain
+//     computation — but must never block on the clock (Sleep inside a
+//     callback deadlocks the driver) or on another goroutine.
+//   - Goroutines that Sleep must be registered with Go so the barrier
+//     accounts for them; a Sleep from an unregistered goroutine still
+//     wakes at the right simulated time but without the exclusive-run
+//     guarantee.
+//   - Timer channels (NewTimer) receive fire times in event order, but
+//     their *receivers* are outside the barrier: use them to drive
+//     real-clock-shaped code (like the replay wheel's run loop) under
+//     simulated time, not for bit-exact experiments.
+//
+// Now, AfterFunc, NewTimer, Sleep, Stop and Reset are safe from any
+// goroutine, concurrently with a driver in Run or Advance — the heap is
+// the serialization point (see the -race hammer in netsim's quick test).
+type SimClock struct {
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast when busy reaches zero
+
+	now time.Time
+	h   simHeap
+	seq uint64
+
+	// busy counts registered goroutines currently runnable. The driver
+	// fires the next event only when busy <= 0 (an unregistered sleeper
+	// can push it negative; that is harmless — see Sleep).
+	busy int
+}
+
+// NewSim returns a SimClock starting at start. A zero start gets a fixed
+// arbitrary epoch so two independently constructed clocks agree — never
+// the wall clock, which would leak real time into simulated runs.
+func NewSim(start time.Time) *SimClock {
+	if start.IsZero() {
+		start = time.Unix(1700000000, 0)
+	}
+	c := &SimClock{now: start}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// simEvent is one scheduled occurrence. Cancellation (timer Stop/Reset)
+// is lazy: the event stays in the heap and is skipped when popped.
+type simEvent struct {
+	due      time.Time
+	seq      uint64
+	fire     func(now time.Time)
+	canceled bool
+}
+
+// simHeap is a min-heap of events by (due, seq).
+type simHeap []*simEvent
+
+func (h simHeap) Len() int { return len(h) }
+func (h simHeap) Less(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h simHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *simHeap) Push(x any)   { *h = append(*h, x.(*simEvent)) }
+func (h *simHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// pushLocked schedules fire at due; callers hold c.mu.
+func (c *SimClock) pushLocked(due time.Time, fire func(now time.Time)) *simEvent {
+	if due.Before(c.now) {
+		due = c.now
+	}
+	ev := &simEvent{due: due, seq: c.seq, fire: fire}
+	c.seq++
+	heap.Push(&c.h, ev)
+	return ev
+}
+
+// Now returns the current simulated time.
+func (c *SimClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Go spawns f as a goroutine registered with the scheduler: the driver
+// counts it runnable until it exits or parks in Sleep. All goroutines of
+// a bit-exact experiment must be spawned this way.
+func (c *SimClock) Go(f func()) {
+	c.mu.Lock()
+	c.busy++
+	c.mu.Unlock()
+	go func() {
+		defer c.release()
+		f()
+	}()
+}
+
+// release marks one registered goroutine parked or exited.
+func (c *SimClock) release() {
+	c.mu.Lock()
+	c.busy--
+	if c.busy <= 0 {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// Sleep parks the caller until the simulated clock passes now+d. The
+// wake is an event: the driver credits the sleeper as runnable *before*
+// its next idle check, so a registered sleeper is back inside the
+// barrier the instant its wake fires.
+func (c *SimClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	c.mu.Lock()
+	c.busy--
+	if c.busy <= 0 {
+		c.cond.Broadcast()
+	}
+	c.pushLocked(c.now.Add(d), func(time.Time) {
+		c.mu.Lock()
+		c.busy++
+		c.mu.Unlock()
+		close(ch)
+	})
+	c.mu.Unlock()
+	<-ch
+}
+
+// simTimer implements Timer on a SimClock. Channel timers deliver fire
+// times on a 1-buffered channel; AfterFunc timers run their callback
+// synchronously on the driver.
+type simTimer struct {
+	clk *SimClock
+	ch  chan time.Time // nil for AfterFunc timers
+	f   func()         // nil for channel timers
+
+	// ev is the currently armed event; nil once fired or stopped.
+	// Guarded by clk.mu.
+	ev *simEvent
+}
+
+func (t *simTimer) C() <-chan time.Time { return t.ch }
+
+// fire is the armed event's body.
+func (t *simTimer) fire(now time.Time) {
+	t.clk.mu.Lock()
+	t.ev = nil
+	t.clk.mu.Unlock()
+	if t.f != nil {
+		t.f()
+		return
+	}
+	select {
+	case t.ch <- now:
+	default: // an unconsumed previous fire keeps the slot; drop like time.Tick would
+	}
+}
+
+// Stop disarms the timer, reporting whether it was still pending.
+func (t *simTimer) Stop() bool {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	if t.ev == nil {
+		return false
+	}
+	t.ev.canceled = true
+	t.ev = nil
+	return true
+}
+
+// Reset re-arms the timer for d from the current simulated time,
+// reporting whether it was still pending.
+func (t *simTimer) Reset(d time.Duration) bool {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	active := t.ev != nil
+	if active {
+		t.ev.canceled = true
+	}
+	t.ev = t.clk.pushLocked(t.clk.now.Add(d), t.fire)
+	return active
+}
+
+// AfterFunc schedules f to run at now+d on the driving goroutine.
+func (c *SimClock) AfterFunc(d time.Duration, f func()) Timer {
+	t := &simTimer{clk: c, f: f}
+	c.mu.Lock()
+	t.ev = c.pushLocked(c.now.Add(d), t.fire)
+	c.mu.Unlock()
+	return t
+}
+
+// NewTimer returns a channel timer firing at now+d.
+func (c *SimClock) NewTimer(d time.Duration) Timer {
+	t := &simTimer{clk: c, ch: make(chan time.Time, 1)}
+	c.mu.Lock()
+	t.ev = c.pushLocked(c.now.Add(d), t.fire)
+	c.mu.Unlock()
+	return t
+}
+
+// waitIdleLocked blocks until no registered goroutine is runnable;
+// callers hold c.mu.
+func (c *SimClock) waitIdleLocked() {
+	for c.busy > 0 {
+		c.cond.Wait()
+	}
+}
+
+// popDueLocked removes and returns the earliest live event due at or
+// before limit (zero limit = no bound); callers hold c.mu.
+func (c *SimClock) popDueLocked(limit time.Time) *simEvent {
+	for c.h.Len() > 0 {
+		ev := c.h[0]
+		if !limit.IsZero() && ev.due.After(limit) {
+			return nil
+		}
+		heap.Pop(&c.h)
+		if ev.canceled {
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// step fires the next live event due at or before limit, returning false
+// when none remains. The idle barrier runs before each fire.
+func (c *SimClock) step(limit time.Time) bool {
+	c.mu.Lock()
+	c.waitIdleLocked()
+	ev := c.popDueLocked(limit)
+	if ev == nil {
+		c.mu.Unlock()
+		return false
+	}
+	if ev.due.After(c.now) {
+		c.now = ev.due
+	}
+	now := c.now
+	c.mu.Unlock()
+	ev.fire(now)
+	return true
+}
+
+// Advance moves simulated time forward by d, firing every due event in
+// timestamp order (idle barrier between events), and returns the new
+// simulated time. Safe to call concurrently with event scheduling; two
+// concurrent drivers serialize per event.
+func (c *SimClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	c.mu.Unlock()
+	for c.step(target) {
+	}
+	c.mu.Lock()
+	c.waitIdleLocked()
+	if target.After(c.now) {
+		c.now = target
+	}
+	now := c.now
+	c.mu.Unlock()
+	return now
+}
+
+// Run fires events until the heap is empty and every registered
+// goroutine is parked, then returns the final simulated time. This is
+// the "replay a simulated day in seconds" entry point: schedule the
+// workload, Run, read the counters.
+func (c *SimClock) Run() time.Time {
+	for c.step(time.Time{}) {
+	}
+	c.mu.Lock()
+	c.waitIdleLocked()
+	// Parking a goroutine may have scheduled new work; the caller's
+	// loop below re-enters step until both conditions hold at once.
+	for c.h.Len() > 0 {
+		c.mu.Unlock()
+		for c.step(time.Time{}) {
+		}
+		c.mu.Lock()
+		c.waitIdleLocked()
+	}
+	now := c.now
+	c.mu.Unlock()
+	return now
+}
+
+// Pending reports the number of scheduled (live) events — a debugging
+// aid for tests asserting a quiesced clock.
+func (c *SimClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ev := range c.h {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}

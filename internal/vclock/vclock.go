@@ -1,0 +1,142 @@
+// Package vclock abstracts time for the replay pipeline: a Clock
+// interface over the handful of primitives the repo's time-dependent
+// code actually uses (Now, Sleep, AfterFunc, NewTimer), a real-time
+// implementation that is a thin veneer over package time, and a
+// discrete-event SimClock (sim.go) under which simulated time advances
+// only through scheduled events — so a simulated day of trace replays in
+// seconds of CPU and a seeded scenario is bit-reproducible.
+//
+// Everything defaults to real time: injection sites take a nil Clock and
+// resolve it with Or, so production paths are untouched. Only code that
+// explicitly constructs a SimClock and drives it with Run/Advance runs in
+// virtual time. This is the INET/OMNeT++ discrete-event direction applied
+// to LDplayer's what-if experiments: TTL policies, link RTTs, and retry
+// timers become cheap parameter scans instead of wall-clock replays.
+package vclock
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock supplies time. Implementations: Real (wall clock) and SimClock
+// (discrete-event simulated time).
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks the caller for d of this clock's time. Under a
+	// SimClock the block is an idle-barrier event: the driver may jump
+	// the simulated clock straight to the wake time.
+	Sleep(d time.Duration)
+	// AfterFunc schedules f to run once after d. Under a SimClock f runs
+	// synchronously on the driving goroutine (inside Run/Advance), in
+	// timestamp order against every other scheduled event; f must not
+	// block on the clock.
+	AfterFunc(d time.Duration, f func()) Timer
+	// NewTimer returns a timer that delivers the fire time on C after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the portable subset of *time.Timer behaviour the pipeline
+// uses. Stop and Reset carry the standard-library semantics (the return
+// value reports whether the timer was still pending).
+type Timer interface {
+	// C returns the delivery channel. AfterFunc timers have no channel
+	// and return nil.
+	C() <-chan time.Time
+	Stop() bool
+	Reset(d time.Duration) bool
+}
+
+// realClock implements Clock on the wall clock. It is an empty
+// comparable struct so Real() == Real() holds and call sites can test
+// "is this the real clock" to keep real-time-only optimizations (like
+// the timing wheel's release spin) off simulated paths.
+type realClock struct{}
+
+// Real returns the wall-clock Clock.
+func Real() Clock { return realClock{} }
+
+// Or resolves an injected clock: c itself, or the real clock when c is
+// nil. The standard default-to-real idiom at injection sites.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Real()
+	}
+	return c
+}
+
+// IsReal reports whether c is the wall clock (or nil, which resolves to
+// it).
+func IsReal(c Clock) bool {
+	return c == nil || c == Real()
+}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{t: time.AfterFunc(d, f)}
+}
+
+func (realClock) NewTimer(d time.Duration) Timer {
+	return realTimer{t: time.NewTimer(d)}
+}
+
+// realTimer adapts *time.Timer to the Timer interface.
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) C() <-chan time.Time        { return rt.t.C }
+func (rt realTimer) Stop() bool                 { return rt.t.Stop() }
+func (rt realTimer) Reset(d time.Duration) bool { return rt.t.Reset(d) }
+
+// WithTimeout is context.WithTimeout against an arbitrary clock: on the
+// real clock it is exactly context.WithTimeout; on any other clock the
+// deadline is an AfterFunc event, so a resolver attempt timeout or a
+// replay drain deadline expires in simulated time. The returned
+// CancelFunc releases the timer and must be called.
+func WithTimeout(parent context.Context, c Clock, d time.Duration) (context.Context, context.CancelFunc) {
+	if IsReal(c) {
+		return context.WithTimeout(parent, d)
+	}
+	inner, cancel := context.WithCancel(parent)
+	dc := &deadlineCtx{Context: inner, deadline: c.Now().Add(d)}
+	t := c.AfterFunc(d, func() {
+		dc.mu.Lock()
+		if inner.Err() == nil {
+			dc.timedOut = true
+		}
+		dc.mu.Unlock()
+		cancel()
+	})
+	return dc, func() {
+		t.Stop()
+		cancel()
+	}
+}
+
+// deadlineCtx reports a virtual deadline over a cancelable context and
+// turns a timer-driven cancellation into context.DeadlineExceeded.
+type deadlineCtx struct {
+	context.Context
+	deadline time.Time
+
+	mu       sync.Mutex
+	timedOut bool
+}
+
+// Deadline reports the virtual deadline.
+func (dc *deadlineCtx) Deadline() (time.Time, bool) { return dc.deadline, true }
+
+// Err returns DeadlineExceeded when the virtual deadline fired, else the
+// inner context's error.
+func (dc *deadlineCtx) Err() error {
+	dc.mu.Lock()
+	timedOut := dc.timedOut
+	dc.mu.Unlock()
+	if timedOut {
+		return context.DeadlineExceeded
+	}
+	return dc.Context.Err()
+}

@@ -1,0 +1,262 @@
+package vclock
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRealClockBasics sanity-checks the wall-clock veneer.
+func TestRealClockBasics(t *testing.T) {
+	c := Or(nil)
+	if !IsReal(c) || c != Real() {
+		t.Fatal("Or(nil) must resolve to the real clock")
+	}
+	before := c.Now()
+	fired := make(chan time.Time, 1)
+	tm := c.AfterFunc(time.Millisecond, func() { fired <- time.Now() })
+	select {
+	case at := <-fired:
+		if at.Before(before) {
+			t.Errorf("AfterFunc fired before scheduling: %v < %v", at, before)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("real AfterFunc never fired")
+	}
+	if tm.Stop() {
+		t.Error("Stop after fire reported pending")
+	}
+	nt := c.NewTimer(time.Millisecond)
+	select {
+	case <-nt.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("real NewTimer never fired")
+	}
+}
+
+// TestSimEventOrder: events fire in (due, schedule-order) order, and the
+// clock reads each event's timestamp while it runs.
+func TestSimEventOrder(t *testing.T) {
+	c := NewSim(time.Time{})
+	start := c.Now()
+	var log []string
+	at := func(d time.Duration, tag string) {
+		c.AfterFunc(d, func() {
+			log = append(log, fmt.Sprintf("%s@%v", tag, c.Now().Sub(start)))
+		})
+	}
+	at(30*time.Millisecond, "c")
+	at(10*time.Millisecond, "a")
+	at(10*time.Millisecond, "a2") // same due: schedule order breaks the tie
+	at(20*time.Millisecond, "b")
+	end := c.Run()
+	want := "a@10ms a2@10ms b@20ms c@30ms"
+	if got := strings.Join(log, " "); got != want {
+		t.Errorf("fire order %q, want %q", got, want)
+	}
+	if end.Sub(start) != 30*time.Millisecond {
+		t.Errorf("Run returned %v after start, want 30ms", end.Sub(start))
+	}
+}
+
+// TestSimNestedScheduling: a callback scheduling further events keeps the
+// total order; time only moves forward.
+func TestSimNestedScheduling(t *testing.T) {
+	c := NewSim(time.Time{})
+	start := c.Now()
+	var fires []time.Duration
+	var chain func(depth int)
+	chain = func(depth int) {
+		fires = append(fires, c.Now().Sub(start))
+		if depth < 5 {
+			c.AfterFunc(10*time.Millisecond, func() { chain(depth + 1) })
+		}
+	}
+	c.AfterFunc(0, func() { chain(0) })
+	c.Run()
+	if len(fires) != 6 {
+		t.Fatalf("chain fired %d times, want 6", len(fires))
+	}
+	for i, d := range fires {
+		if want := time.Duration(i) * 10 * time.Millisecond; d != want {
+			t.Errorf("fire %d at %v, want %v", i, d, want)
+		}
+	}
+}
+
+// TestSimTimerStopReset: Stop prevents delivery, Reset re-arms from the
+// current simulated instant with standard-library return values.
+func TestSimTimerStopReset(t *testing.T) {
+	c := NewSim(time.Time{})
+	var fired atomic.Int64
+	tm := c.AfterFunc(10*time.Millisecond, func() { fired.Add(1) })
+	if !tm.Stop() {
+		t.Error("Stop on a pending timer must report true")
+	}
+	if tm.Stop() {
+		t.Error("second Stop must report false")
+	}
+	c.Advance(time.Second)
+	if fired.Load() != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Reset(5 * time.Millisecond) {
+		t.Error("Reset of a stopped timer must report false")
+	}
+	if !tm.Reset(7 * time.Millisecond) {
+		t.Error("Reset of a pending timer must report true")
+	}
+	c.Advance(7 * time.Millisecond)
+	if fired.Load() != 1 {
+		t.Fatalf("reset timer fired %d times, want 1", fired.Load())
+	}
+
+	nt := c.NewTimer(10 * time.Millisecond)
+	c.Advance(10 * time.Millisecond)
+	select {
+	case at := <-nt.C():
+		if got := at.Sub(c.Now()); got != 0 {
+			t.Errorf("timer delivered %v, clock reads %v", at, c.Now())
+		}
+	default:
+		t.Fatal("channel timer did not deliver")
+	}
+}
+
+// TestSimSleepBarrier: registered goroutines sleeping in a ping-pong must
+// interleave deterministically — the driver only advances while all are
+// parked — so two runs produce identical logs.
+func TestSimSleepBarrier(t *testing.T) {
+	run := func() string {
+		c := NewSim(time.Time{})
+		start := c.Now()
+		var mu sync.Mutex
+		var log []string
+		note := func(who string) {
+			mu.Lock()
+			log = append(log, fmt.Sprintf("%s@%v", who, c.Now().Sub(start)))
+			mu.Unlock()
+		}
+		for _, g := range []struct {
+			name string
+			gap  time.Duration
+		}{{"fast", 10 * time.Millisecond}, {"slow", 25 * time.Millisecond}} {
+			g := g
+			c.Go(func() {
+				for i := 0; i < 4; i++ {
+					c.Sleep(g.gap)
+					note(g.name)
+				}
+			})
+		}
+		c.Run()
+		return strings.Join(log, " ")
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same schedule diverged:\n  %s\n  %s", a, b)
+	}
+	want := "fast@10ms fast@20ms slow@25ms fast@30ms fast@40ms slow@50ms slow@75ms slow@100ms"
+	if a != want {
+		t.Errorf("interleaving %q, want %q", a, want)
+	}
+}
+
+// TestSimAdvancePartial: Advance stops at its target; later events stay
+// scheduled.
+func TestSimAdvancePartial(t *testing.T) {
+	c := NewSim(time.Time{})
+	var fired []int
+	c.AfterFunc(10*time.Millisecond, func() { fired = append(fired, 1) })
+	c.AfterFunc(30*time.Millisecond, func() { fired = append(fired, 2) })
+	c.Advance(20 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("after Advance(20ms) fired=%v, want [1]", fired)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending=%d, want 1", c.Pending())
+	}
+	c.Advance(10 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("after Advance(30ms total) fired=%v, want [1 2]", fired)
+	}
+}
+
+// TestSimWithTimeout: a WithTimeout context over a SimClock expires in
+// simulated time with DeadlineExceeded, and cancellation stops the timer.
+func TestSimWithTimeout(t *testing.T) {
+	c := NewSim(time.Time{})
+	ctx, cancel := WithTimeout(context.Background(), c, 50*time.Millisecond)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("fresh context errored: %v", err)
+	}
+	if d, ok := ctx.Deadline(); !ok || d.Sub(c.Now()) != 50*time.Millisecond {
+		t.Fatalf("deadline %v ok=%v, want now+50ms", d, ok)
+	}
+	c.Advance(49 * time.Millisecond)
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("context errored before deadline: %v", err)
+	}
+	c.Advance(time.Millisecond)
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("context not done at deadline")
+	}
+	if err := ctx.Err(); err != context.DeadlineExceeded {
+		t.Fatalf("Err() = %v, want DeadlineExceeded", err)
+	}
+
+	ctx2, cancel2 := WithTimeout(context.Background(), c, 10*time.Millisecond)
+	cancel2()
+	c.Advance(20 * time.Millisecond)
+	if err := ctx2.Err(); err != context.Canceled {
+		t.Fatalf("canceled context Err() = %v, want Canceled", err)
+	}
+}
+
+// TestSimConcurrentScheduling is the vclock-level -race hammer:
+// unregistered goroutines schedule and stop timers while a driver
+// advances. Only race-freedom and conservation are asserted.
+func TestSimConcurrentScheduling(t *testing.T) {
+	c := NewSim(time.Time{})
+	var fired atomic.Int64
+	var scheduled atomic.Int64
+	var stopped atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				d := time.Duration(rng.Intn(1000)) * time.Microsecond
+				tm := c.AfterFunc(d, func() { fired.Add(1) })
+				scheduled.Add(1)
+				if rng.Intn(4) == 0 && tm.Stop() {
+					stopped.Add(1)
+				}
+			}
+		}(int64(g + 1))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			c.Advance(100 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	<-done
+	c.Run()
+	if got, want := fired.Load()+stopped.Load(), scheduled.Load(); got != want {
+		t.Errorf("fired(%d) + stopped(%d) = %d, want scheduled = %d",
+			fired.Load(), stopped.Load(), got, want)
+	}
+}
