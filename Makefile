@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench-smoke bench-replay bench-replay-smoke bench-server bench-server-smoke bench-qlog bench-qlog-smoke bench obs-smoke qlog-smoke sim-smoke fuzz-smoke
+.PHONY: check vet lint build test race bench-smoke bench-replay bench-replay-smoke bench-server bench-server-smoke bench-qlog bench-qlog-smoke bench-trace bench-trace-smoke bench obs-smoke qlog-smoke sim-smoke fuzz-smoke
 
-check: vet lint build race bench-smoke bench-replay-smoke bench-server-smoke bench-qlog-smoke obs-smoke qlog-smoke sim-smoke fuzz-smoke
+check: vet lint build race bench-smoke bench-replay-smoke bench-server-smoke bench-qlog-smoke bench-trace-smoke obs-smoke qlog-smoke sim-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -75,11 +75,16 @@ sim-smoke:
 	end=$$(date +%s%N); \
 	echo "sim-smoke: ok in $$(( (end - start) / 1000000 )) ms wall (baseline before vclock: ~150 s for the netsim+experiments slice)"
 
-# Short fuzz budget over the DNS wire codec: hostile decode must never
-# panic and decode→encode must reach a byte-identical fixed point.
+# Short fuzz budget over the DNS wire codec and the LDTRC02 block trace
+# codec: hostile decode must never panic, decode→encode must reach a
+# byte-identical fixed point, and arbitrary block files must error
+# cleanly through the full open/index/parallel-decode path.
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz 'FuzzMessageUnpack$$' -fuzztime 5s ./internal/dnswire/
 	$(GO) test -run XXX -fuzz 'FuzzPackUnpackRoundTrip$$' -fuzztime 5s ./internal/dnswire/
+	$(GO) test -run XXX -fuzz 'FuzzBlockRoundTrip$$' -fuzztime 5s ./internal/trace/
+	$(GO) test -run XXX -fuzz 'FuzzBlockDecode$$' -fuzztime 5s ./internal/trace/
+	$(GO) test -run XXX -fuzz 'FuzzBlockHeader$$' -fuzztime 5s ./internal/trace/
 
 # One-second replay-datapath smoke: runs the scaled-down loopback suite
 # end to end (engine, wheel, batched I/O, sink) and validates the JSON it
@@ -90,6 +95,18 @@ bench-replay-smoke:
 # Full replay benchmark: appends a labeled run to BENCH_replay.json.
 bench-replay:
 	$(GO) run ./cmd/ldplayer bench -label "$${LABEL:-dev}"
+
+# Trace-ingestion smoke: decodes a scaled-down recursive trace through
+# the LDTRC01 stream and the LDTRC02 block reader (raw and flate) and
+# validates the JSON it would record, without touching BENCH_replay.json.
+bench-trace-smoke:
+	$(GO) run ./cmd/ldplayer trace-bench -smoke >/dev/null && echo "bench-trace-smoke: ok"
+
+# Full trace-ingestion benchmark: appends a labeled run to
+# BENCH_replay.json (the ingestion numbers live in the same trajectory
+# as the replay datapath they feed).
+bench-trace:
+	$(GO) run ./cmd/ldplayer trace-bench -label "$${LABEL:-dev}"
 
 # Server-datapath smoke: drives a live meta-DNS-server over loopback in
 # all three shapes (per-datagram, batched, batched+GSO/GRO) at reduced

@@ -55,6 +55,8 @@ func main() {
 		err = cmdReplay(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "trace-bench":
+		err = cmdTraceBench(os.Args[2:])
 	case "qlog-bench":
 		err = cmdQlogBench(os.Args[2:])
 	case "experiment":
@@ -72,19 +74,29 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ldplayer <gen|stats|mutate|replay|bench|qlog-bench|experiment|demo> [flags]
-  gen        -kind broot|rec|syn -out FILE synthesize a Table-1 trace family
-  stats      -in FILE                      print Table-1 style statistics
-  mutate     -in FILE -out FILE [flags]    rewrite a trace (protocol, DO, tags)
-  replay     -in FILE -udp HOST:PORT ...   replay against live servers
-  bench      -label NAME [-out FILE]       loopback replay self-benchmark
-  qlog-bench -label NAME [-out FILE]       telemetry pipeline self-benchmark
-  experiment -name NAME                    regenerate a paper figure/table
-  demo                                     end-to-end self-contained demo`)
+	fmt.Fprintln(os.Stderr, `usage: ldplayer <gen|stats|mutate|replay|bench|trace-bench|qlog-bench|experiment|demo> [flags]
+  gen         -kind broot|rec|syn -out FILE synthesize a Table-1 trace family
+  stats       -in FILE                      print Table-1 style statistics
+  mutate      -in FILE -out FILE [flags]    rewrite a trace (protocol, DO, tags)
+  replay      -in FILE -udp HOST:PORT ...   replay against live servers
+  bench       -label NAME [-out FILE]       loopback replay self-benchmark
+  trace-bench -label NAME [-out FILE]       trace-ingestion decode/size benchmark
+  qlog-bench  -label NAME [-out FILE]       telemetry pipeline self-benchmark
+  experiment  -name NAME                    regenerate a paper figure/table
+  demo                                      end-to-end self-contained demo`)
 }
 
 // openTrace opens a trace file by extension.
 func openTrace(path string) (trace.Reader, func() error, error) {
+	if strings.HasSuffix(path, ".blk") {
+		// Block traces open by path: the reader mmaps and paces its own
+		// parallel decode pipeline.
+		br, err := trace.OpenBlockFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return br, br.Close, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -106,7 +118,7 @@ func openTrace(path string) (trace.Reader, func() error, error) {
 		return r, f.Close, nil
 	case strings.HasSuffix(path, ".txt"):
 		return trace.NewTextReader(f), f.Close, nil
-	case strings.HasSuffix(path, ".qlog"):
+	case strings.HasSuffix(path, ".qlog"), strings.HasSuffix(path, ".qlog.z"):
 		return qlog.NewEntryReader(f), f.Close, nil
 	default:
 		return trace.NewBinaryReader(f), f.Close, nil
@@ -123,6 +135,15 @@ func createWriter(path string) (trace.Writer, func() error, error) {
 		w := trace.NewTextWriter(f)
 		return w, func() error {
 			if err := w.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}, nil
+	}
+	if strings.HasSuffix(path, ".blk") {
+		w := trace.NewBlockWriter(f)
+		return w, func() error {
+			if err := w.Close(); err != nil {
 				return err
 			}
 			return f.Close()
@@ -461,6 +482,62 @@ func cmdBench(args []string) error {
 		}
 		fmt.Println(string(data))
 		fmt.Println("bench smoke: JSON output validates")
+		return nil
+	}
+
+	rep, err := bench.LoadReport(*out)
+	if err != nil {
+		return err
+	}
+	rep.Append(*label, results)
+	if err := rep.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %q in %s\n", *label, *out)
+	return nil
+}
+
+// cmdTraceBench runs the trace-ingestion benchmarks: decode throughput
+// of the LDTRC01 stream versus LDTRC02 blocks (single-worker and
+// parallel) and the compressed block format's size ratio, on a
+// traceg-generated recursive trace. Results land in the same
+// BENCH_replay.json trajectory as the replay benchmarks.
+func cmdTraceBench(args []string) error {
+	fs := flag.NewFlagSet("trace-bench", flag.ExitOnError)
+	label := fs.String("label", "dev", "trajectory label for this run (e.g. baseline, block-format)")
+	out := fs.String("out", "BENCH_replay.json", "trajectory file to append to")
+	smoke := fs.Bool("smoke", false, "short run: validate JSON output, write nothing")
+	scale := fs.Float64("scale", 1, "scale factor for the trace size")
+	fs.Parse(args)
+
+	sc := *scale
+	if *smoke {
+		sc = 0.04 // ~1 second of work
+	}
+	results, err := bench.TraceSuite(sc)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		ratio := ""
+		if r.CompressionX > 0 {
+			ratio = fmt.Sprintf(", %.2fx vs LDTRC01", r.CompressionX)
+		}
+		fmt.Printf("%-26s %.2fM entries/s, %.3f allocs/entry, %d bytes%s\n",
+			r.Name, r.AchievedQPS/1e6, r.AllocsPerQuery, r.TraceBytes, ratio)
+	}
+
+	if *smoke {
+		rep := bench.NewReport()
+		rep.Append("smoke", results)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := bench.Validate(data); err != nil {
+			return err
+		}
+		fmt.Println("trace-bench smoke: JSON output validates")
 		return nil
 	}
 

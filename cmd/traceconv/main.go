@@ -1,7 +1,8 @@
 // Command traceconv converts between LDplayer's trace formats (Figure 3):
-// pcap network captures, editable plain text, and the length-prefixed
-// binary stream of internal messages used for fast replay. Query-log
-// telemetry captures (.qlog, from metadns -qlog or a TCP collector) read
+// pcap network captures, editable plain text, the length-prefixed binary
+// stream (LDTRC01), and the block-structured format (LDTRC02, .blk) the
+// replay engine mmaps and decodes in parallel. Query-log telemetry
+// captures (.qlog / .qlog.z, from metadns -qlog or a TCP collector) read
 // as traces too, so a live capture converts straight into replay input.
 //
 // Usage:
@@ -10,8 +11,11 @@
 //	traceconv -in queries.txt  -out queries.bin     # text  -> binary
 //	traceconv -in queries.bin  -out queries.pcap    # binary -> pcap
 //	traceconv -in server.qlog  -out queries.bin     # qlog  -> binary
+//	traceconv -in queries.bin  -out queries.blk     # binary -> blocks
+//	traceconv -in queries.blk  -out queries.txt -compress  # and back
 //
-// Formats are selected by extension (.pcap/.txt/.bin/.qlog input).
+// Formats are selected by extension (.pcap/.txt/.bin/.blk/.qlog input);
+// -compress DEFLATEs .blk output blocks (archival; raw is replay-speed).
 package main
 
 import (
@@ -31,16 +35,27 @@ func main() {
 	in := flag.String("in", "", "input trace")
 	out := flag.String("out", "", "output trace")
 	queriesOnly := flag.Bool("queries-only", false, "keep queries, drop responses")
+	compress := flag.Bool("compress", false, "DEFLATE .blk output blocks (archival)")
 	flag.Parse()
-	if err := run(*in, *out, *queriesOnly); err != nil {
+	if err := run(*in, *out, *queriesOnly, *compress); err != nil {
 		fmt.Fprintln(os.Stderr, "traceconv:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, queriesOnly bool) error {
+func run(in, out string, queriesOnly, compress bool) error {
 	if in == "" || out == "" {
 		return fmt.Errorf("-in and -out are required")
+	}
+	var r trace.Reader
+	if strings.HasSuffix(in, ".blk") {
+		br, err := trace.OpenBlockFile(in)
+		if err != nil {
+			return err
+		}
+		defer br.Close()
+		r = br
+		return convert(r, out, queriesOnly, compress)
 	}
 	inF, err := os.Open(in)
 	if err != nil {
@@ -48,7 +63,6 @@ func run(in, out string, queriesOnly bool) error {
 	}
 	defer inF.Close()
 
-	var r trace.Reader
 	switch {
 	case strings.HasSuffix(in, ".pcapng"):
 		if r, err = pcap.NewNgTraceReader(inF); err != nil {
@@ -60,11 +74,15 @@ func run(in, out string, queriesOnly bool) error {
 		}
 	case strings.HasSuffix(in, ".txt"):
 		r = trace.NewTextReader(inF)
-	case strings.HasSuffix(in, ".qlog"):
+	case strings.HasSuffix(in, ".qlog"), strings.HasSuffix(in, ".qlog.z"):
 		r = qlog.NewEntryReader(inF)
 	default:
 		r = trace.NewBinaryReader(inF)
 	}
+	return convert(r, out, queriesOnly, compress)
+}
+
+func convert(r trace.Reader, out string, queriesOnly, compress bool) error {
 
 	outF, err := os.Create(out)
 	if err != nil {
@@ -97,10 +115,18 @@ func run(in, out string, queriesOnly bool) error {
 	} else {
 		var w trace.Writer
 		var flush func() error
-		if strings.HasSuffix(out, ".txt") {
+		switch {
+		case strings.HasSuffix(out, ".txt"):
 			tw := trace.NewTextWriter(outF)
 			w, flush = tw, tw.Flush
-		} else {
+		case strings.HasSuffix(out, ".blk"):
+			codec := trace.BlockRaw
+			if compress {
+				codec = trace.BlockFlate
+			}
+			kw := trace.NewBlockWriterOptions(outF, trace.BlockWriterOptions{Codec: codec})
+			w, flush = kw, kw.Close
+		default:
 			bw := trace.NewBinaryWriter(outF)
 			w, flush = bw, bw.Flush
 		}
@@ -124,7 +150,7 @@ func run(in, out string, queriesOnly bool) error {
 			return err
 		}
 	}
-	fmt.Printf("converted %d entries: %s -> %s\n", n, in, out)
+	fmt.Printf("converted %d entries -> %s\n", n, out)
 	return nil
 }
 

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ldplayer/internal/dnswire"
+	"ldplayer/internal/trace"
+)
+
+func testEntries(t *testing.T, n int) []trace.Entry {
+	t.Helper()
+	base := time.Unix(1461234567, 0)
+	out := make([]trace.Entry, n)
+	for i := range out {
+		m := dnswire.NewQuery(uint16(i+1), fmt.Sprintf("q%d.example.com.", i), dnswire.TypeA)
+		wire, err := m.Pack(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = trace.Entry{
+			Time:     base.Add(time.Duration(i) * time.Millisecond),
+			Src:      netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, byte(i / 256), byte(i)}), 5353),
+			Dst:      netip.MustParseAddrPort("198.41.0.4:53"),
+			Protocol: trace.Protocol(i % 3),
+			Message:  wire,
+		}
+	}
+	return out
+}
+
+func writeBinary(t *testing.T, path string, entries []trace.Entry) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewBinaryWriter(f)
+	for _, e := range entries {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readTrace(t *testing.T, path string) []trace.Entry {
+	t.Helper()
+	var r trace.Reader
+	if filepath.Ext(path) == ".blk" {
+		br, err := trace.OpenBlockFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer br.Close()
+		r = br
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		r = trace.NewBinaryReader(f)
+	}
+	entries, err := trace.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep-copy: block entries alias the reader's mmap/slabs, which die
+	// with the deferred Close.
+	for i := range entries {
+		entries[i] = entries[i].Clone()
+	}
+	return entries
+}
+
+// TestConvertBinaryBlockRoundTrip drives the CLI's run() through
+// LDTRC01 -> LDTRC02 -> LDTRC01 (raw, then compressed blocks) and
+// requires byte-identical entries back.
+func TestConvertBinaryBlockRoundTrip(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			dir := t.TempDir()
+			binIn := filepath.Join(dir, "in.bin")
+			blk := filepath.Join(dir, "mid.blk")
+			binOut := filepath.Join(dir, "out.bin")
+			want := testEntries(t, 300)
+			writeBinary(t, binIn, want)
+
+			if err := run(binIn, blk, false, compress); err != nil {
+				t.Fatal(err)
+			}
+			if err := run(blk, binOut, false, false); err != nil {
+				t.Fatal(err)
+			}
+
+			mid := readTrace(t, blk)
+			got := readTrace(t, binOut)
+			for _, round := range [][]trace.Entry{mid, got} {
+				if len(round) != len(want) {
+					t.Fatalf("round trip produced %d entries, want %d", len(round), len(want))
+				}
+				for i := range round {
+					a, b := round[i], want[i]
+					if !a.Time.Equal(b.Time) || a.Src != b.Src || a.Dst != b.Dst ||
+						a.Protocol != b.Protocol || string(a.Message) != string(b.Message) {
+						t.Fatalf("entry %d mismatch:\n got %+v\nwant %+v", i, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConvertTextBlock exercises text -> blocks -> text.
+func TestConvertTextBlock(t *testing.T) {
+	dir := t.TempDir()
+	binIn := filepath.Join(dir, "in.bin")
+	txt := filepath.Join(dir, "a.txt")
+	blk := filepath.Join(dir, "b.blk")
+	txt2 := filepath.Join(dir, "c.txt")
+	writeBinary(t, binIn, testEntries(t, 50))
+
+	for _, step := range [][2]string{{binIn, txt}, {txt, blk}, {blk, txt2}} {
+		if err := run(step[0], step[1], false, false); err != nil {
+			t.Fatalf("%s -> %s: %v", step[0], step[1], err)
+		}
+	}
+	a, err := os.ReadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(txt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("text -> blk -> text round trip changed the text form")
+	}
+}

@@ -167,11 +167,18 @@ func (w *Writer) Flush() error { return w.w.Flush() }
 // bytes still in the buffer).
 func (w *Writer) BytesWritten() int64 { return w.bytes }
 
-// Reader reads the qlog binary stream (file or TCP capture).
+// Reader reads either qlog binary stream — the LDQLOG01 record format
+// or the LDQLOG02 block format (block.go) — switching on the magic, so
+// every consumer (qlogdump, replay -in, traceconv) handles both without
+// caring which one a sink produced.
 type Reader struct {
 	r        *bufio.Reader
 	readHead bool
 	buf      []byte
+
+	blocks bool // LDQLOG02: decode via the block cursor
+	cur    blockCursor
+	slab   []byte
 }
 
 // NewReader creates a Reader on r.
@@ -191,10 +198,22 @@ func (r *Reader) Next(ev *Event) error {
 			}
 			return fmt.Errorf("qlog: reading magic: %w", err)
 		}
-		if magic != qlogMagic {
+		switch magic {
+		case qlogMagic:
+		case qlogBlockMagic:
+			r.blocks = true
+		default:
 			return fmt.Errorf("qlog: bad magic %q", magic[:])
 		}
 		r.readHead = true
+	}
+	if r.blocks {
+		for r.cur.remain == 0 {
+			if err := r.cur.readBlock(r.r, &r.slab); err != nil {
+				return err
+			}
+		}
+		return r.cur.next(ev)
 	}
 	var hdr [2]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {

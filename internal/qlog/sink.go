@@ -5,6 +5,7 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -40,17 +41,30 @@ func (c *sinkCounters) Stats() SinkStats {
 	return SinkStats{Written: c.written.Load(), Dropped: c.dropped.Load(), Errors: c.errors.Load()}
 }
 
+// streamWriter is the writer surface shared by the LDQLOG01 record
+// format (Writer) and the LDQLOG02 block format (BlockWriter).
+type streamWriter interface {
+	Write(*Event) error
+	Flush() error
+	BytesWritten() int64
+}
+
 // FileSink writes the binary stream to a file, rotating by size:
 // the live file is always `path`; on rotation it is renamed to
 // `path.<seq>` and the oldest rotations beyond the keep budget are
 // removed, bounding total disk to roughly (keep+1) × rotateBytes.
+//
+// A path ending in ".z" selects the compressed LDQLOG02 block format;
+// anything else gets the plain record stream. Reader auto-detects
+// either, so downstream tooling does not care.
 type FileSink struct {
 	sinkCounters
 	path        string
 	rotateBytes int64
 	keep        int
+	compress    bool
 	f           *os.File
-	w           *Writer
+	w           streamWriter
 	seq         int
 }
 
@@ -64,7 +78,18 @@ func NewFileSink(path string, rotateBytes int64, keep int) (*FileSink, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FileSink{path: path, rotateBytes: rotateBytes, keep: keep, f: f, w: NewWriter(f)}, nil
+	s := &FileSink{path: path, rotateBytes: rotateBytes, keep: keep, f: f,
+		compress: strings.HasSuffix(path, ".z")}
+	s.w = s.newWriter(f)
+	return s, nil
+}
+
+// newWriter builds the stream writer matching the sink's format choice.
+func (s *FileSink) newWriter(f *os.File) streamWriter {
+	if s.compress {
+		return NewBlockWriter(f)
+	}
+	return NewWriter(f)
 }
 
 // Name implements Sink.
@@ -112,7 +137,7 @@ func (s *FileSink) rotate() error {
 		return err
 	}
 	s.f = f
-	s.w = NewWriter(f)
+	s.w = s.newWriter(f)
 	return nil
 }
 

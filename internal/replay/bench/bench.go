@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"os"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -41,6 +42,10 @@ type Config struct {
 	// when zero).
 	Distributors int
 	Queriers     int
+	// BlockTrace encodes the synthetic trace into an LDTRC02 block file
+	// (raw blocks) and replays it through the mmap BlockReader — the
+	// production ingestion path — instead of an in-memory slice.
+	BlockTrace bool
 	// SinkReaders is the echo-server goroutine count (default 2: GRO
 	// hands each reader up to 64 messages per receive, and extra readers
 	// just add scheduler churn on small machines).
@@ -56,6 +61,7 @@ type Result struct {
 	Queries  int     `json:"queries"`
 	Sources  int     `json:"sources"`
 	FastMode bool    `json:"fast_mode"`
+	Block    bool    `json:"block_trace,omitempty"`
 	Rate     float64 `json:"target_qps,omitempty"`
 
 	AchievedQPS    float64 `json:"achieved_qps"`
@@ -68,6 +74,11 @@ type Result struct {
 	Responses  int64   `json:"responses"`
 	Errors     int64   `json:"errors"`
 	DurationMS float64 `json:"duration_ms"`
+
+	// Trace-ingestion runs (TraceSuite) only: encoded trace size and the
+	// size ratio versus the LDTRC01 record stream.
+	TraceBytes   int64   `json:"trace_bytes,omitempty"`
+	CompressionX float64 `json:"compression_vs_ldtrc01,omitempty"`
 }
 
 // sink is an in-process UDP echo server: it flips the QR bit in place and
@@ -156,6 +167,33 @@ func makeTrace(cfg Config) []trace.Entry {
 	return entries
 }
 
+// writeBlockFile encodes entries as a raw-block LDTRC02 temp file and
+// returns its path.
+func writeBlockFile(entries []trace.Entry) (string, error) {
+	f, err := os.CreateTemp("", "ldplayer-bench-*.blk")
+	if err != nil {
+		return "", err
+	}
+	w := trace.NewBlockWriter(f)
+	for _, e := range entries {
+		if err := w.Write(e); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return "", err
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", err
+	}
+	return f.Name(), nil
+}
+
 // Run executes one benchmark run.
 func Run(cfg Config) (Result, error) {
 	if cfg.Queries <= 0 {
@@ -201,7 +239,23 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	entries := makeTrace(cfg)
-	reader := trace.NewSliceReader(entries)
+	var reader trace.Reader
+	if cfg.BlockTrace {
+		blk, err := writeBlockFile(entries)
+		if err != nil {
+			return Result{}, err
+		}
+		defer os.Remove(blk)
+		br, err := trace.OpenBlockFile(blk)
+		if err != nil {
+			return Result{}, err
+		}
+		defer br.Close()
+		entries = nil // measure the file-backed path, not the slice
+		reader = br
+	} else {
+		reader = trace.NewSliceReader(entries)
+	}
 
 	runtime.GC()
 	var before, after runtime.MemStats
@@ -241,6 +295,7 @@ func Run(cfg Config) (Result, error) {
 		Queries:    cfg.Queries,
 		Sources:    cfg.Sources,
 		FastMode:   cfg.FastMode,
+		Block:      cfg.BlockTrace,
 		Rate:       cfg.Rate,
 		Sent:       st.Sent,
 		Responses:  st.Responses,
@@ -270,6 +325,8 @@ func Suite(scale float64) ([]Result, error) {
 	pacedN := int(50000 * scale)
 	runs := []Config{
 		{Name: "fast-mode", Queries: fastN, Sources: 64, FastMode: true},
+		{Name: "fast-blk", Queries: fastN, Sources: 64, FastMode: true, BlockTrace: true},
+		{Name: "fast-blk-shards", Queries: fastN, Sources: 64, FastMode: true, BlockTrace: true, Distributors: 2, Queriers: 3},
 		{Name: "paced-25k", Queries: pacedN, Sources: 64, Rate: pacedRate},
 	}
 	out := make([]Result, 0, len(runs))

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ldplayer/internal/trace"
+	"ldplayer/internal/traceg"
+)
+
+// Trace-ingestion benchmarks: decode throughput of the LDTRC01 record
+// stream versus the LDTRC02 block format (single-worker and parallel),
+// and the block format's compression ratio, all on a traceg-generated
+// Rec-17-like recursive trace so the numbers reflect realistic qname
+// and client diversity rather than a synthetic best case. Results reuse
+// the replay Result shape (AchievedQPS = decoded entries/second) and
+// land in the same BENCH_replay.json trajectory.
+
+// recursiveTrace generates about n entries of the Rec-17-like workload.
+func recursiveTrace(n int) ([]trace.Entry, error) {
+	gen, err := traceg.Recursive(traceg.RecursiveConfig{
+		Duration: time.Duration(n+1) * 181 * time.Millisecond, // mean inter-arrival ≈ 180.8ms
+		Seed:     7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]trace.Entry, 0, n)
+	for len(entries) < n {
+		e, err := gen.Next()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		entries = append(entries, e.Clone())
+	}
+	return entries, nil
+}
+
+// encodeLDTRC01 renders entries as the length-prefixed record stream.
+func encodeLDTRC01(entries []trace.Entry) ([]byte, error) {
+	var buf bytes.Buffer
+	w := trace.NewBinaryWriter(&buf)
+	for _, e := range entries {
+		if err := w.Write(e); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeRun measures one full decode of the trace through r, returning
+// entries/s and allocations/entry. The reader is constructed inside the
+// timed+measured region via open, so per-run pipeline setup is charged
+// to the run (it amortizes to nothing at real trace sizes and keeps the
+// measurement honest).
+func decodeRun(open func() (trace.Reader, error), want int) (Result, error) {
+	batch := make([]trace.Entry, 1024)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	r, err := open()
+	if err != nil {
+		return Result{}, err
+	}
+	decoded := 0
+	for {
+		n, err := trace.ReadBatch(r, batch)
+		decoded += n
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return Result{}, err
+		}
+	}
+	dur := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if c, ok := r.(io.Closer); ok {
+		c.Close()
+	}
+	if decoded != want {
+		return Result{}, fmt.Errorf("decoded %d entries, want %d", decoded, want)
+	}
+	res := Result{
+		Queries:     decoded,
+		Sent:        int64(decoded),
+		AchievedQPS: float64(decoded) / dur.Seconds(),
+		DurationMS:  float64(dur) / float64(time.Millisecond),
+	}
+	if decoded > 0 {
+		res.AllocsPerQuery = float64(after.Mallocs-before.Mallocs) / float64(decoded)
+	}
+	return res, nil
+}
+
+// blockTempFile writes entries as an LDTRC02 temp file with codec.
+func blockTempFile(entries []trace.Entry, codec uint8) (string, int64, error) {
+	f, err := os.CreateTemp("", "ldplayer-tracebench-*.blk")
+	if err != nil {
+		return "", 0, err
+	}
+	w := trace.NewBlockWriterOptions(f, trace.BlockWriterOptions{Codec: codec})
+	for _, e := range entries {
+		if err := w.Write(e); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return "", 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", 0, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err2 := f.Close(); err == nil {
+		err = err2
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return "", 0, err
+	}
+	return f.Name(), size, nil
+}
+
+// TraceSuite runs the ingestion benchmarks. scale < 1 shrinks the trace
+// for smoke runs.
+func TraceSuite(scale float64) ([]Result, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(400000 * scale)
+	if n < 64 {
+		n = 64
+	}
+	entries, err := recursiveTrace(n)
+	if err != nil {
+		return nil, err
+	}
+	n = len(entries)
+
+	ldtrc01, err := encodeLDTRC01(entries)
+	if err != nil {
+		return nil, err
+	}
+	rawPath, rawSize, err := blockTempFile(entries, trace.BlockRaw)
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(rawPath)
+	flatePath, flateSize, err := blockTempFile(entries, trace.BlockFlate)
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(flatePath)
+
+	runs := []struct {
+		name string
+		open func() (trace.Reader, error)
+	}{
+		{"decode-ldtrc01", func() (trace.Reader, error) {
+			return trace.NewBinaryReader(bytes.NewReader(ldtrc01)), nil
+		}},
+		{"decode-blk-1worker", func() (trace.Reader, error) {
+			return trace.OpenBlockFileOptions(rawPath, trace.BlockReaderOptions{Workers: 1})
+		}},
+		{"decode-blk-parallel", func() (trace.Reader, error) {
+			return trace.OpenBlockFile(rawPath)
+		}},
+		{"decode-blk-flate-1worker", func() (trace.Reader, error) {
+			return trace.OpenBlockFileOptions(flatePath, trace.BlockReaderOptions{Workers: 1})
+		}},
+	}
+	var out []Result
+	for _, run := range runs {
+		res, err := decodeRun(run.open, n)
+		if err != nil {
+			return out, fmt.Errorf("trace bench %s: %w", run.name, err)
+		}
+		res.Name = run.name
+		switch run.name {
+		case "decode-ldtrc01":
+			res.TraceBytes = int64(len(ldtrc01))
+		case "decode-blk-flate-1worker":
+			res.TraceBytes = flateSize
+			res.CompressionX = float64(len(ldtrc01)) / float64(flateSize)
+		default:
+			res.TraceBytes = rawSize
+			res.CompressionX = float64(len(ldtrc01)) / float64(rawSize)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

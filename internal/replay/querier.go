@@ -71,7 +71,10 @@ func newQuerier(en *Engine, name string) *querier {
 	q := &querier{
 		en:   en,
 		name: name,
-		in:   make(chan []trace.Entry, 16),
+		// Shallow queue: 4 batches of up to defaultMaxBatch is ample
+		// pipelining, and the bound keeps the total in-flight batch
+		// population within the recycling pool's capacity.
+		in:   make(chan []trace.Entry, 4),
 		udp:  make(map[netip.Addr]*udpSocket),
 		conn: make(map[streamKey]*streamConn),
 	}
@@ -124,6 +127,12 @@ func (q *querier) sendBatch(batch []trace.Entry) {
 			}
 		}
 	}
+	// Retransmission bookkeeping (pending-map insert + freshness reset) is
+	// only needed when retries can fire. At UDPRetries == 0 duplicate
+	// detection rides the answered ring alone — markAnswered treats a
+	// pending miss identically — so fire-and-forget runs skip the
+	// per-query shard lock entirely.
+	retrans := q.en.cfg.UDPRetries > 0
 	for _, sock := range q.dirty {
 		n, err := sock.batch.Send(sock.out)
 		at := q.en.clock.Now()
@@ -136,7 +145,9 @@ func (q *querier) sendBatch(batch []trace.Entry) {
 		for j, idx := range sock.outIdx {
 			e := &batch[idx]
 			if j < n {
-				q.trackUDP(sock, e.Message)
+				if retrans {
+					q.trackUDP(sock, e.Message)
+				}
 				q.accountSend(e, at)
 			} else {
 				// Send guarantees n < len(out) implies err != nil.
@@ -313,8 +324,10 @@ func (q *querier) getUDP(src netip.Addr) (*udpSocket, error) {
 	return sock, nil
 }
 
-// trackUDP registers a just-sent query in its pending shard and, when
-// retransmission is enabled, arms its retry slot on the timing wheel.
+// trackUDP registers a just-sent query in its pending shard and arms its
+// retry slot on the timing wheel. Only called when UDPRetries > 0;
+// fire-and-forget sends skip it (sendBatch) and rely on the answered
+// ring for duplicate detection.
 //
 //ldlint:noalloc
 func (q *querier) trackUDP(sock *udpSocket, msg []byte) {

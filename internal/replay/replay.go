@@ -52,9 +52,9 @@ import (
 // defaultMaxBatch is the entry-batch capacity used throughout the
 // datapath (reader decode, postman/distributor hand-off, wheel bursts).
 // Sized so that even with entries fanned out over six queriers and a few
-// dozen sockets each, the per-socket groups still fill wide sendmmsg
-// calls.
-const defaultMaxBatch = 1024
+// dozen sockets each, the per-socket groups still fill wide sendmmsg/GSO
+// calls (64 segments per super-datagram on linux).
+const defaultMaxBatch = 4096
 
 // Timing-wheel geometry: 250µs ticks bound the pacing quantization to a
 // quarter millisecond, and 32768 slots give each distributor an ~8s
@@ -266,19 +266,22 @@ type syncPoint struct {
 
 // Replay streams r through the distribution tree until EOF or ctx
 // cancellation and returns run statistics.
+//
+// With more than one distributor, a reader that can partition itself
+// (trace.Partitioner, e.g. the LDTRC02 BlockReader) and supply the
+// global trace epoch (TraceStart) is split into per-distributor shards,
+// each with its own decode pipeline and reader goroutine — no central
+// postman on the hot path. Otherwise the classic single reader + postman
+// tree runs.
 func (en *Engine) Replay(ctx context.Context, r trace.Reader) (*Stats, error) {
-	en.sent.Store(0)
-	en.responses.Store(0)
-	en.errorsCount.Store(0)
-	en.connsOpened.Store(0)
-	en.retries.Store(0)
-	en.idleClosed.Store(0)
-	en.unanswered.Store(0)
-	en.udpRetransmits.Store(0)
-	en.giveups.Store(0)
-	en.dupResponses.Store(0)
-
+	en.resetCounters()
 	start := en.clock.Now()
+
+	if en.cfg.Distributors > 1 {
+		if st, ok, err := en.replayShards(ctx, r, start); ok {
+			return st, err
+		}
+	}
 
 	// Reader: pre-loads a window of queries (its own process in the
 	// paper's controller), decoding in batches.
@@ -359,6 +362,18 @@ loop:
 					d.sync(sync0)
 				}
 			}
+			if nd == 1 {
+				// One distributor: no source routing to do, forward the
+				// reader's batch wholesale instead of re-batching per entry.
+				select {
+				case dists[0].in <- b:
+				case <-ctx.Done():
+					putBatch(b)
+					err = ctx.Err()
+					break loop
+				}
+				continue
+			}
 			for k := range b {
 				idx := 0
 				if nd > 1 {
@@ -416,7 +431,120 @@ loop:
 		// The reader goroutine exits silently on cancellation; surface it.
 		err = ctx.Err()
 	}
+	return en.finish(start, sources, dists), err
+}
 
+// replayShards is Replay's scale-out path: the trace is partitioned into
+// one shard per distributor, and each shard gets a private reader
+// goroutine feeding its distributor directly — decode, distribution and
+// send all run per shard with no cross-shard hand-off. It requires the
+// reader to partition itself and to supply the global trace epoch up
+// front (per-shard first entries differ, but the time-synchronization
+// point t̄₁ must be shared or shards would drift apart). Returns
+// ok=false when r cannot support this, and the caller falls back to the
+// postman tree.
+//
+// Tradeoff versus the postman: source→distributor assignment follows the
+// partition (block interleaving), not the sticky source hash, so one
+// source whose queries span partition boundaries is emulated by sockets
+// in more than one shard. Per-source ordering still holds within each
+// shard, and TCP connection reuse still happens per shard; what changes
+// is the exact socket count for such straddling sources.
+func (en *Engine) replayShards(ctx context.Context, r trace.Reader, start time.Time) (*Stats, bool, error) {
+	p, ok := r.(trace.Partitioner)
+	if !ok {
+		return nil, false, nil
+	}
+	tsp, ok := r.(traceStartProvider)
+	if !ok {
+		return nil, false, nil
+	}
+	t0, have := tsp.TraceStart()
+	if !have {
+		return nil, false, nil
+	}
+	parts, ok := p.Partition(en.cfg.Distributors)
+	if !ok || len(parts) == 0 {
+		return nil, false, nil
+	}
+
+	sources := newSourceTracker()
+	dists := make([]*distributor, len(parts))
+	sp := &syncPoint{traceStart: t0, realStart: en.clock.Now()}
+	var wg sync.WaitGroup
+	for i := range dists {
+		dists[i] = newDistributor(en, i, sources)
+		dists[i].sync(sp)
+		wg.Add(1)
+		go func(d *distributor) {
+			defer wg.Done()
+			d.run(ctx)
+		}(dists[i])
+	}
+
+	readErr := make(chan error, len(parts))
+	var rwg sync.WaitGroup
+	for i := range parts {
+		rwg.Add(1)
+		go func(shard trace.Reader, d *distributor) {
+			defer rwg.Done()
+			defer close(d.in)
+			if c, isCloser := shard.(io.Closer); isCloser {
+				// Shard readers own their decode pipelines (the owner only
+				// unmaps); shut them down even on a cancelled run.
+				defer c.Close()
+			}
+			for {
+				buf := getBatch()
+				n, err := trace.ReadBatch(shard, buf[:cap(buf)])
+				if n > 0 {
+					select {
+					case d.in <- buf[:n]:
+					case <-ctx.Done():
+						putBatch(buf)
+						return
+					}
+				} else {
+					putBatch(buf)
+				}
+				if err != nil {
+					if !errors.Is(err, io.EOF) {
+						readErr <- err
+					}
+					return
+				}
+			}
+		}(parts[i], dists[i])
+	}
+	rwg.Wait()
+	wg.Wait()
+	var err error
+	select {
+	case err = <-readErr:
+	default:
+		err = ctx.Err()
+	}
+	return en.finish(start, sources, dists), true, err
+}
+
+// resetCounters zeroes the per-run counters so an Engine can replay more
+// than once.
+func (en *Engine) resetCounters() {
+	en.sent.Store(0)
+	en.responses.Store(0)
+	en.errorsCount.Store(0)
+	en.connsOpened.Store(0)
+	en.retries.Store(0)
+	en.idleClosed.Store(0)
+	en.unanswered.Store(0)
+	en.udpRetransmits.Store(0)
+	en.giveups.Store(0)
+	en.dupResponses.Store(0)
+}
+
+// finish is the shared run tail: wait out the response grace period,
+// tear sockets down, settle the unanswered count, and assemble Stats.
+func (en *Engine) finish(start time.Time, sources *sourceTracker, dists []*distributor) *Stats {
 	// Give in-flight responses a grace period, then shut sockets down.
 	// Only sleep while something is actually outstanding: an all-answered
 	// (or all-given-up) run must exit immediately, and a blackholed run
@@ -434,8 +562,7 @@ loop:
 	if missing := en.sent.Load() - en.responses.Load(); missing > 0 {
 		en.unanswered.Store(missing)
 	}
-
-	st := &Stats{
+	return &Stats{
 		Sent:           en.sent.Load(),
 		Responses:      en.responses.Load(),
 		Errors:         en.errorsCount.Load(),
@@ -449,7 +576,6 @@ loop:
 		Sources:        sources.count(),
 		Duration:       en.clock.Now().Sub(start),
 	}
-	return st, err
 }
 
 // outstanding is the number of sent queries neither answered nor given

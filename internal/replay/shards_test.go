@@ -1,0 +1,136 @@
+package replay
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"ldplayer/internal/trace"
+)
+
+// blockReaderFor encodes entries as an in-memory LDTRC02 trace and opens
+// a BlockReader over it (small blocks, so multi-distributor runs have
+// enough blocks to partition).
+func blockReaderFor(t *testing.T, entries []trace.Entry) *trace.BlockReader {
+	t.Helper()
+	data, err := trace.WriteBlockTrace(entries, trace.BlockWriterOptions{BlockEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := trace.NewBlockReaderAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { br.Close() })
+	return br
+}
+
+// TestReplayShardedBlockTrace drives the scale-out path: a partitionable
+// block trace with Distributors > 1 replays through per-shard readers,
+// and the run-level accounting (sent/responses/sources) must match the
+// postman path exactly.
+func TestReplayShardedBlockTrace(t *testing.T) {
+	_, cfg := testServer(t, false)
+	cfg.Distributors = 3
+	cfg.QueriersPerDistributor = 2
+	cfg.FastMode = true
+	en, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := makeTrace(t, 400, 8, 0, trace.UDP)
+	st, err := en.Replay(context.Background(), blockReaderFor(t, entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent != 400 {
+		t.Errorf("sent = %d, want 400", st.Sent)
+	}
+	// Fast mode can legitimately overrun the test server's UDP socket
+	// buffer, so responses are a liveness check, not an exact count.
+	if st.Responses == 0 {
+		t.Error("no responses received")
+	}
+	if st.Sources != 8 {
+		t.Errorf("sources = %d, want 8", st.Sources)
+	}
+	if st.Errors != 0 {
+		t.Errorf("errors = %d", st.Errors)
+	}
+}
+
+// TestReplayShardedPaced checks that shards share one time-sync point:
+// a paced multi-distributor run must stretch over the trace's span, not
+// collapse to per-shard local epochs.
+func TestReplayShardedPaced(t *testing.T) {
+	_, cfg := testServer(t, false)
+	cfg.Distributors = 2
+	cfg.QueriersPerDistributor = 2
+	en, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const gap = time.Millisecond
+	entries := makeTrace(t, 150, 4, gap, trace.UDP)
+	span := time.Duration(len(entries)-1) * gap
+	start := time.Now()
+	st, err := en.Replay(context.Background(), blockReaderFor(t, entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if st.Sent != int64(len(entries)) {
+		t.Errorf("sent = %d, want %d", st.Sent, len(entries))
+	}
+	if elapsed < span {
+		t.Errorf("paced sharded run finished in %v, want at least the trace span %v", elapsed, span)
+	}
+}
+
+// TestReplayShardedCancel cancels mid-run; the sharded path must unwind
+// (shard pipelines closed, querier goroutines joined) and surface the
+// context error.
+func TestReplayShardedCancel(t *testing.T) {
+	_, cfg := testServer(t, false)
+	cfg.Distributors = 2
+	cfg.DrainTimeout = 10 * time.Millisecond
+	en, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := makeTrace(t, 5000, 8, time.Millisecond, trace.UDP)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	st, err := en.Replay(ctx, blockReaderFor(t, entries))
+	if err != context.DeadlineExceeded {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if st == nil {
+		t.Fatal("no stats returned on cancellation")
+	}
+	if st.Sent >= int64(len(entries)) {
+		t.Errorf("sent = %d, expected a truncated run", st.Sent)
+	}
+}
+
+// TestReplayMultiDistributorFallback: a non-partitionable reader with
+// Distributors > 1 must fall back to the postman tree and still deliver
+// everything.
+func TestReplayMultiDistributorFallback(t *testing.T) {
+	_, cfg := testServer(t, false)
+	cfg.Distributors = 2
+	cfg.FastMode = true
+	en, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := makeTrace(t, 200, 8, 0, trace.UDP)
+	st, err := en.Replay(context.Background(), trace.NewSliceReader(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent != 200 || st.Responses != 200 {
+		t.Errorf("sent/responses = %d/%d, want 200/200", st.Sent, st.Responses)
+	}
+}

@@ -511,8 +511,11 @@ func (w *wheel) stop() {
 // a sync.Pool: channel send/receive of a slice does not box it into an
 // interface, so recycling a batch is allocation-free — with a Pool every
 // Put costs one heap allocation, i.e. one allocation per released burst.
-// The capacity bounds the resident recycled memory; overflow batches are
-// simply dropped for the GC.
+// The capacity bounds the resident recycled memory (~0.5 MiB per batch
+// at the 4096-entry capacity); overflow batches are simply dropped for
+// the GC. Sized to cover the datapath's worst-case in-flight batch count
+// (window + distributor + querier queues), so steady state recycles
+// instead of re-zeroing half-megabyte allocations.
 var batchFree = make(chan []trace.Entry, 64)
 
 func getBatch() []trace.Entry {
@@ -528,7 +531,11 @@ func putBatch(b []trace.Entry) {
 	if cap(b) < defaultMaxBatch {
 		return // undersized stray; let the GC take it
 	}
-	clear(b[:cap(b)]) // drop message references so slabs can be collected
+	// Clearing only the used prefix drops the message references so slabs
+	// can be collected. The tail beyond len is already zero: fresh batches
+	// come from make, recycled ones were cleared here, and producers only
+	// ever write the prefix they hand off.
+	clear(b)
 	select {
 	case batchFree <- b[:0]:
 	default:

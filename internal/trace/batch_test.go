@@ -2,9 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"testing"
+	"testing/iotest"
 	"time"
 
 	"ldplayer/internal/dnswire"
@@ -100,6 +102,154 @@ func TestReadBatchFallback(t *testing.T) {
 	}
 	if total != 10 {
 		t.Errorf("fallback batches yielded %d entries, want 10", total)
+	}
+}
+
+// binaryStream encodes entries as an LDTRC01 byte stream.
+func binaryStream(t *testing.T, entries []Entry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, e := range entries {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBinaryBatchTruncatedTail cuts the stream at several hostile
+// points: NextBatch must return every complete record and then a
+// non-EOF error (mid-record truncation is corruption, not end of
+// stream), except a cut between records, which is a clean EOF.
+func TestBinaryBatchTruncatedTail(t *testing.T) {
+	entries := manyEntries(t, 20)
+	stream := binaryStream(t, entries)
+	// Walk the length prefixes to find the last record's exact boundary
+	// (records vary in size with the query name).
+	lastStart := 8
+	for off := 8; off < len(stream); {
+		n := int(binary.BigEndian.Uint32(stream[off:]))
+		lastStart = off
+		off += 4 + n
+	}
+
+	cuts := []struct {
+		name     string
+		cut      int
+		complete int
+		wantEOF  bool
+	}{
+		{"mid-payload", (lastStart + len(stream)) / 2, 19, false},
+		{"mid-length-header", lastStart + 2, 19, false},
+		{"between-records", lastStart, 19, true},
+		{"inside-magic", 5, 0, false},
+	}
+	for _, c := range cuts {
+		t.Run(c.name, func(t *testing.T) {
+			br := NewBinaryReader(bytes.NewReader(stream[:c.cut]))
+			got := 0
+			var err error
+			batch := make([]Entry, 7)
+			for {
+				var n int
+				n, err = br.NextBatch(batch)
+				got += n
+				if err != nil {
+					break
+				}
+			}
+			if got != c.complete {
+				t.Errorf("decoded %d complete records, want %d", got, c.complete)
+			}
+			if c.wantEOF {
+				if err != io.EOF {
+					t.Errorf("err = %v, want io.EOF", err)
+				}
+			} else if err == nil || err == io.EOF {
+				t.Errorf("err = %v, want a truncation error", err)
+			}
+		})
+	}
+}
+
+// TestBinaryBatchZeroAndOversized: a zero-length dst must not consume
+// records, and a batch larger than the stream returns the short count
+// with the EOF surfaced on the following call.
+func TestBinaryBatchZeroAndOversized(t *testing.T) {
+	entries := manyEntries(t, 5)
+	br := NewBinaryReader(bytes.NewReader(binaryStream(t, entries)))
+
+	if n, err := br.NextBatch(nil); n != 0 || err != nil {
+		t.Fatalf("NextBatch(nil) = %d, %v", n, err)
+	}
+	batch := make([]Entry, 64)
+	n, err := br.NextBatch(batch)
+	if n != 5 || err != nil {
+		t.Fatalf("oversized batch = %d, %v; want 5, nil", n, err)
+	}
+	for i := 0; i < 5; i++ {
+		assertEntriesEqual(t, i, batch[i], entries[i])
+	}
+	if n, err := br.NextBatch(batch); n != 0 || err != io.EOF {
+		t.Fatalf("after EOF: %d, %v", n, err)
+	}
+}
+
+// TestBinaryBatchPartialReads drives NextBatch through a reader that
+// yields one byte at a time — every io.ReadFull boundary in the decoder
+// gets exercised.
+func TestBinaryBatchPartialReads(t *testing.T) {
+	entries := manyEntries(t, 30)
+	stream := binaryStream(t, entries)
+	br := NewBinaryReader(iotest.OneByteReader(bytes.NewReader(stream)))
+	var got []Entry
+	batch := make([]Entry, 11)
+	for {
+		n, err := br.NextBatch(batch)
+		got = append(got, batch[:n]...)
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		assertEntriesEqual(t, i, got[i], entries[i])
+	}
+}
+
+// TestBinaryBatchAllocs guards the slab-carving batch path: amortized
+// allocations must stay an order of magnitude under one per entry.
+func TestBinaryBatchAllocs(t *testing.T) {
+	entries := manyEntries(t, 2000)
+	stream := binaryStream(t, entries)
+	batch := make([]Entry, 256)
+	allocs := testing.AllocsPerRun(5, func() {
+		br := NewBinaryReader(bytes.NewReader(stream))
+		for {
+			n, err := br.NextBatch(batch)
+			if err != nil {
+				if err == io.EOF {
+					break
+				}
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+		}
+	})
+	perEntry := allocs / float64(len(entries))
+	if perEntry > 0.1 {
+		t.Errorf("binary batch decode allocates %.3f/entry (%.0f total), want <= 0.1", perEntry, allocs)
 	}
 }
 

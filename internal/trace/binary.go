@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -103,28 +104,48 @@ func (b *BinaryReader) head() error {
 }
 
 // next reads one record payload into buf (freshly carved) and decodes it.
+// The length prefix is peeked out of the bufio buffer rather than read
+// into a local array: a local escaping into io.ReadFull's interface
+// argument costs a heap allocation per record.
+//
+//ldlint:noalloc
 func (b *BinaryReader) next() (Entry, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(b.r, hdr[:]); err != nil {
-		if err == io.EOF {
+	hdr, err := b.r.Peek(4)
+	if len(hdr) < 4 {
+		if len(hdr) == 0 && err == io.EOF {
 			return Entry{}, io.EOF
+		}
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
 		}
 		return Entry{}, err
 	}
-	n := int(binary.BigEndian.Uint32(hdr[:]))
+	n := int(binary.BigEndian.Uint32(hdr))
+	if _, err := b.r.Discard(4); err != nil {
+		return Entry{}, err
+	}
 	if n > maxBinaryRecord {
-		return Entry{}, fmt.Errorf("trace: binary record of %d bytes exceeds limit", n)
+		return Entry{}, errBinaryRecordSize
 	}
 	if len(b.slab) < n {
-		b.slab = make([]byte, max(slabSize, n))
+		b.slab = make([]byte, max(slabSize, n)) //ldlint:ignore noalloc amortized slab refill, one make per slabSize bytes
 	}
 	buf := b.slab[:n:n]
 	b.slab = b.slab[n:]
 	if _, err := io.ReadFull(b.r, buf); err != nil {
-		return Entry{}, fmt.Errorf("trace: truncated binary record: %w", err)
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Entry{}, err
 	}
 	return UnmarshalEntry(buf)
 }
+
+// Hoisted record-level errors: the decode hot path must not build
+// formatted errors per record.
+var (
+	errBinaryRecordSize = errors.New("trace: binary record exceeds the record size limit")
+)
 
 // Next implements Reader.
 func (b *BinaryReader) Next() (Entry, error) {

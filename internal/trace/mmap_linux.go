@@ -1,0 +1,28 @@
+//go:build linux
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only. The mapping is shared by every partition
+// of a block reader; unmap runs once, from the owning reader's Close,
+// after all entries decoded from it are dead (see the aliasing contract
+// on BlockReader).
+func mmapFile(f *os.File, size int64) ([]byte, bool) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	// The reader walks blocks front to back; tell the kernel so
+	// readahead stays ahead of the decode workers.
+	_ = syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+	return data, true
+}
+
+func munmapFile(data []byte) error { return syscall.Munmap(data) }

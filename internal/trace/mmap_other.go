@@ -1,0 +1,11 @@
+//go:build !linux
+
+package trace
+
+import "os"
+
+// mmapFile reports no mapping on platforms without the linux fast
+// path; the block reader falls back to io.ReaderAt block reads.
+func mmapFile(f *os.File, size int64) ([]byte, bool) { return nil, false }
+
+func munmapFile(data []byte) error { return nil }

@@ -105,6 +105,18 @@ type BatchReader interface {
 	NextBatch(dst []Entry) (int, error)
 }
 
+// Partitioner is implemented by readers whose input can be split into
+// independently readable shards (the LDTRC02 block index makes this a
+// matter of slicing). Partition returns n readers over disjoint subsets
+// of the trace, each yielding its subset in the original order, or
+// ok=false when the reader cannot (or can no longer) be split. The
+// replay engine uses it to give every distributor shard a private
+// ingestion pipeline.
+type Partitioner interface {
+	Reader
+	Partition(n int) ([]Reader, bool)
+}
+
 // ReadBatch fills dst from r, using the batch decode path when r provides
 // one and falling back to per-entry Next calls otherwise. Same return
 // convention as NextBatch.
