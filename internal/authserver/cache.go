@@ -195,6 +195,7 @@ func (c *respCache) put(key, out []byte, qnameLen int, meta respMeta, capacity i
 	if capacity <= 0 || len(out) < 12+qnameLen+4 {
 		return
 	}
+	//ldlint:ignore noallocprop the documented per-miss allocation: the cache keeps a private copy of the response image
 	wire := make([]byte, len(out))
 	copy(wire, out)
 	wire[0], wire[1] = 0, 0

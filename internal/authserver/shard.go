@@ -23,7 +23,12 @@ import (
 // Concurrency contract: AppendRespond and EndBatch must be called from a
 // single goroutine (the worker that owns the shard). Stats readers only
 // touch the shard's atomic counters, never the cache map, so Engine.Stats
-// and obs scrapes stay race-free while the shard serves.
+// and obs scrapes stay race-free while the shard serves. That contract
+// is machine-checked: the directive below makes ldlint's shardconfine
+// analyzer flag any shard value escaping its owning goroutine (channel
+// sends, go-closure captures, package-level or cross-shard stores).
+//
+//ldlint:confined
 type EngineShard struct {
 	e *Engine
 
@@ -204,6 +209,7 @@ func (sh *EngineShard) cachePut(key, resp []byte, qnameLen int, meta respMeta, c
 	if capacity <= 0 || len(resp) < 12+qnameLen+4 {
 		return
 	}
+	//ldlint:ignore noallocprop the documented per-miss allocation: the shard cache keeps a private copy of the response image
 	wire := make([]byte, len(resp))
 	copy(wire, resp)
 	wire[0], wire[1] = 0, 0

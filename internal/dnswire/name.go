@@ -85,6 +85,7 @@ func IsSubdomain(child, parent string) bool {
 
 // nameWireLen returns the uncompressed wire length of a canonical name.
 func nameWireLen(name string) int {
+	//ldlint:ignore noallocprop CanonicalName is a pass-through for already-canonical names; only mixed-case or undotted input pays its lowercasing/concat
 	name = CanonicalName(name)
 	if name == "." {
 		return 1
@@ -148,6 +149,7 @@ func (c *compressor) reset() {
 //
 //ldlint:noalloc
 func appendName(buf []byte, name string, cmp compressionMap, msgStart int) ([]byte, error) {
+	//ldlint:ignore noallocprop CanonicalName is a pass-through for already-canonical names; only mixed-case or undotted input pays its lowercasing/concat
 	name = CanonicalName(name)
 	if nameWireLen(name) > maxNameWire {
 		return buf, ErrNameTooLong

@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallKind classifies one call-graph edge.
+type CallKind uint8
+
+const (
+	// KindCall is a direct static call: a plain function call, or a
+	// method call whose receiver has a concrete (non-interface) type.
+	KindCall CallKind = iota
+	// KindGo is a call that starts a new goroutine: the callee of a go
+	// statement, or a function value handed to vclock's Clock.Go (the
+	// sim-registered spawn primitive).
+	KindGo
+	// KindRef is a function value passed as an argument to a call site:
+	// the callee may invoke it, so propagation analyses treat the edge
+	// as a (possible) call.
+	KindRef
+)
+
+func (k CallKind) String() string {
+	switch k {
+	case KindGo:
+		return "go"
+	case KindRef:
+		return "ref"
+	}
+	return "call"
+}
+
+// CallEdge is one resolved call from Caller to Callee at Pos.
+type CallEdge struct {
+	Caller *FuncNode
+	Callee *FuncNode
+	Pos    token.Pos
+	Kind   CallKind
+}
+
+// FuncNode is one module-local function declaration in the call graph.
+// Function literals are not separate nodes: calls lexically inside a
+// literal are attributed to the enclosing declaration, a conservative
+// over-approximation (the literal might never run) that errs toward
+// reporting on contract paths.
+type FuncNode struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	Out  []*CallEdge
+}
+
+// DisplayName renders the node for call-path diagnostics:
+// "pkg.Func" for functions, "pkg.Type.Method" for methods (pointer
+// receivers print without the star — the path identifies code, not
+// value shapes).
+func (n *FuncNode) DisplayName() string {
+	obj := n.Obj
+	pkg := obj.Pkg().Name()
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + "." + named.Obj().Name() + "." + obj.Name()
+		}
+	}
+	return pkg + "." + obj.Name()
+}
+
+// CallGraph is the module-wide static call graph: every function and
+// method declared in the module, with edges for direct calls, resolved
+// method calls, goroutine spawns, and function values passed to call
+// sites. Dynamic dispatch through interface methods and calls through
+// function-typed variables are not resolved (no points-to analysis);
+// the one deliberate exception documented per analyzer is that the
+// vclock.Clock boundary is treated as a safe sink, not a blind spot.
+type CallGraph struct {
+	Nodes map[*types.Func]*FuncNode
+}
+
+// Node returns the graph node for obj (resolving generic instantiations
+// to their declaration), or nil for functions outside the module.
+func (g *CallGraph) Node(obj *types.Func) *FuncNode {
+	if obj == nil {
+		return nil
+	}
+	return g.Nodes[obj.Origin()]
+}
+
+// buildCallGraph indexes every FuncDecl in the module and resolves the
+// static call edges out of each body.
+func buildCallGraph(m *Module) *CallGraph {
+	g := &CallGraph{Nodes: make(map[*types.Func]*FuncNode)}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					g.Nodes[obj] = &FuncNode{Obj: obj, Decl: fn, Pkg: pkg}
+				}
+			}
+		}
+	}
+	for _, node := range g.Nodes {
+		collectEdges(m, g, node)
+	}
+	return g
+}
+
+// collectEdges walks one declaration body and records its outgoing
+// edges.
+func collectEdges(m *Module, g *CallGraph, node *FuncNode) {
+	info := node.Pkg.Info
+
+	// goCalls marks the CallExpr of each go statement so the edge it
+	// resolves to is tagged KindGo.
+	goCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			goCalls[gs.Call] = true
+		}
+		return true
+	})
+
+	addEdge := func(callee *types.Func, pos token.Pos, kind CallKind) {
+		target := g.Node(callee)
+		if target == nil {
+			return // stdlib or unresolved: construct checks cover what they can
+		}
+		node.Out = append(node.Out, &CallEdge{Caller: node, Callee: target, Pos: pos, Kind: kind})
+	}
+
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind := KindCall
+		if goCalls[call] {
+			kind = KindGo
+		}
+		if callee := staticCallee(info, call); callee != nil {
+			addEdge(callee, call.Pos(), kind)
+		}
+		// Function values passed as arguments: the callee may invoke
+		// them, so record a KindRef edge from this caller — or KindGo
+		// when the call site is a goroutine-spawning primitive
+		// (vclock's Clock.Go).
+		argKind := KindRef
+		if isGoroutineSpawner(info, call) {
+			argKind = KindGo
+		}
+		for _, arg := range call.Args {
+			if fv := funcValue(info, arg); fv != nil {
+				addEdge(fv, arg.Pos(), argKind)
+			}
+		}
+		return true
+	})
+}
+
+// staticCallee resolves call to the *types.Func it statically invokes:
+// package-level functions (local or dot-imported), qualified pkg.Func
+// selectors, and method calls on concrete receivers. Interface method
+// calls and calls through function-typed variables return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil // field of function type: dynamic
+			}
+			if types.IsInterface(sel.Recv()) {
+				return nil // dynamic dispatch: not resolved
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// No selection entry: a qualified identifier (pkg.Func).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcValue resolves expr to the *types.Func it names when used as a
+// value (not called): a function identifier or a method value on a
+// concrete receiver.
+func funcValue(info *types.Info, expr ast.Expr) *types.Func {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[e].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if sel.Kind() != types.MethodVal || types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isGoroutineSpawner reports whether call invokes a primitive that runs
+// its function argument on a new goroutine: vclock's Clock.Go (both the
+// interface method and SimClock's concrete method). The builtin go
+// statement is handled separately by the caller.
+func isGoroutineSpawner(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Go" {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return pathBase(fn.Pkg().Path()) == "vclock"
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// Reach walks the graph from root over edges whose kind passes the
+// follow filter, invoking visit once per reached node (root excluded)
+// with the edge path from root to it. visit returning false stops
+// descent below that node (its own subtree is someone else's contract).
+func (g *CallGraph) Reach(root *FuncNode, follow func(*CallEdge) bool, visit func(node *FuncNode, path []*CallEdge) bool) {
+	seen := map[*FuncNode]bool{root: true}
+	// Breadth-first so the recorded path to each node is the shortest
+	// one — diagnostics should show the most direct route from the
+	// contract root to the violation.
+	type item struct {
+		node *FuncNode
+		path []*CallEdge
+	}
+	queue := []item{{node: root}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, e := range it.node.Out {
+			if !follow(e) || seen[e.Callee] {
+				continue
+			}
+			seen[e.Callee] = true
+			path := append(append([]*CallEdge(nil), it.path...), e)
+			if visit(e.Callee, path) {
+				queue = append(queue, item{node: e.Callee, path: path})
+			}
+		}
+	}
+}
+
+// PathString renders a call path for a diagnostic message:
+// "root -> a -> b".
+func PathString(root *FuncNode, path []*CallEdge) string {
+	s := root.DisplayName()
+	for _, e := range path {
+		s += " -> " + e.Callee.DisplayName()
+	}
+	return s
+}

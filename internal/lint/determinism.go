@@ -30,8 +30,10 @@ import (
 //     stability. Order-independent aggregations (stat sums, close-all
 //     loops) carry a reasoned //ldlint:ignore.
 //
-// Scope: packages under ldplayer/internal/netsim, plus any package
-// with a //ldlint:deterministic directive comment.
+// Scope: packages under ldplayer/internal/netsim, any package with a
+// //ldlint:deterministic directive comment, and individual functions
+// carrying the directive in their doc comment (the function-level form
+// also roots the interprocedural determreach analyzer).
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall-clock reads and timers, global math/rand, and map iteration in seeded-fault-model packages",
@@ -60,37 +62,58 @@ func runDeterminism(pass *Pass) {
 			}
 		}
 	}
-	if !inScope {
-		return
-	}
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				pkgPath, name, ok := packageLevelCallee(pass.Info, sel)
-				if !ok {
-					return true
-				}
-				switch {
-				case pkgPath == "time" && (name == "Now" || name == "Since" || name == "Until"):
-					pass.Reportf(n.Pos(), "time.%s reads the wall clock in deterministic fault-model code", name)
-				case pkgPath == "time" && (name == "AfterFunc" || name == "Sleep" || name == "NewTimer" || name == "Tick"):
-					pass.Reportf(n.Pos(), "time.%s schedules on the wall clock; thread an injected vclock.Clock and call its %s so simulated time can drive it", name, name)
-				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[name]:
-					pass.Reportf(n.Pos(), "rand.%s uses the global math/rand PRNG; draw from a seeded per-impairer *rand.Rand instead", name)
-				}
-			case *ast.RangeStmt:
-				if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
-					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-						pass.Reportf(n.Pos(), "map iteration order is nondeterministic; it must not feed the fault sequence")
-					}
+		if inScope {
+			checkDeterminismNode(pass, f)
+			continue
+		}
+		// Out-of-scope package: only functions that opt in individually.
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil && hasDirective(fn.Doc, directiveDeterministic) {
+				checkDeterminismNode(pass, fn.Body)
+			}
+		}
+	}
+}
+
+// checkDeterminismNode applies the determinism construct rules to every
+// node under root. Shared by the per-package analyzer (whole files or
+// opted-in function bodies) and the interprocedural determreach
+// analyzer (bodies of functions reached from deterministic scope).
+func checkDeterminismNode(pass *Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := packageLevelCallee(pass.Info, sel)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgPath == "time" && (name == "Now" || name == "Since" || name == "Until"):
+				pass.Reportf(n.Pos(), "time.%s reads the wall clock in deterministic fault-model code", name)
+			case pkgPath == "time" && (name == "AfterFunc" || name == "Sleep" || name == "NewTimer" || name == "Tick"):
+				pass.Reportf(n.Pos(), "time.%s schedules on the wall clock; thread an injected vclock.Clock and call its %s so simulated time can drive it", name, name)
+			case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[name]:
+				pass.Reportf(n.Pos(), "rand.%s uses the global math/rand PRNG; draw from a seeded per-impairer *rand.Rand instead", name)
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration order is nondeterministic; it must not feed the fault sequence")
 				}
 			}
-			return true
-		})
-	}
+		}
+		return true
+	})
+}
+
+// inDeterministicScope reports whether the package at path is inside
+// the hardcoded netsim fault-model scope.
+func inDeterministicScope(path string) bool {
+	return path == deterministicScopePrefix ||
+		strings.HasPrefix(path, deterministicScopePrefix+"/")
 }

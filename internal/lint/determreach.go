@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// DetermReach propagates the determinism contract across the call
+// graph: everything transitively reachable from the seeded-fault-model
+// event scope (package ldplayer/internal/netsim and its subpackages)
+// or from a //ldlint:deterministic-annotated function must obey the
+// same vclock rules the intra-function determinism analyzer enforces
+// inside the scope — no wall-clock reads or timers, no global
+// math/rand, no map iteration. A netsim event handler that calls a
+// helper in another package which calls time.Now two frames down
+// breaks seed-stable replay exactly as thoroughly as a direct call,
+// and before this pass nothing fired.
+//
+// Safe sinks: the ldplayer/internal/vclock package is the sanctioned
+// clock boundary — its Real() implementation necessarily reads the
+// wall clock, and code that reaches time only through an injected
+// vclock.Clock is precisely the contract-conformant shape — so
+// traversal stops at its package boundary. Interface method calls
+// (clk.Now(), clk.Sleep()) are dynamic and never traversed, which
+// makes the injected-clock pattern invisible to this analyzer by
+// construction: only static paths to the time package itself fire.
+//
+// Functions already inside the scope are each their own root and are
+// checked by the per-package determinism analyzer; this pass reports
+// only out-of-scope functions, with the call path from the scope edge:
+//
+//	time.Now reads the wall clock ... (reached from deterministic
+//	scope via netsim.Link.deliver -> trace.stampEntry)
+var DetermReach = &ModuleAnalyzer{
+	Name: "determreach",
+	Doc:  "enforce the vclock determinism contract over everything reachable from netsim event scope and //ldlint:deterministic roots",
+	Run:  runDetermReach,
+}
+
+func runDetermReach(p *ModulePass) {
+	g := p.Module.Graph
+	inScope := func(n *FuncNode) bool {
+		return inDeterministicScope(n.Pkg.Path) ||
+			hasDirective(n.Decl.Doc, directiveDeterministic) ||
+			fileHasDirective(enclosingFile(n), directiveDeterministic)
+	}
+	// Reachability roots are the netsim package proper plus explicit
+	// //ldlint:deterministic annotations — NOT netsim's subpackages.
+	// netsim/chaostest exists to drive *real-socket* engines under the
+	// seeded fault model, so everything in the engine is reachable from
+	// it and wall-clock use beyond the bridge is by design; its own body
+	// still carries the intra-package determinism contract (inScope
+	// covers subpackages, so its functions are skipped as roots-of-their-
+	// own below, and the per-package analyzer checks them directly).
+	rootScope := func(n *FuncNode) bool {
+		return n.Pkg.Path == deterministicScopePrefix ||
+			hasDirective(n.Decl.Doc, directiveDeterministic) ||
+			fileHasDirective(enclosingFile(n), directiveDeterministic)
+	}
+	roots := annotatedRoots(g, rootScope)
+	findings := make(map[*FuncNode][]Diagnostic)
+	reported := make(map[token.Position]bool)
+	for _, root := range roots {
+		g.Reach(root,
+			func(e *CallEdge) bool {
+				// Goroutines spawned from deterministic scope run inside the
+				// same simulation, so KindGo edges are followed too. The
+				// vclock package is the sanctioned clock boundary: stop.
+				// A //ldlint:ignore determreach on the call site cuts the
+				// edge, the reasoned escape hatch for deliberate bridges
+				// out of the simulated world.
+				return pathBase(e.Callee.Pkg.Path) != "vclock" && !p.EdgeSuppressed(e.Pos)
+			},
+			func(node *FuncNode, path []*CallEdge) bool {
+				if inScope(node) {
+					return false // its own root; covered by the intra analyzer
+				}
+				ds, ok := findings[node]
+				if !ok {
+					var out []Diagnostic
+					checkDeterminismNode(p.subPass(node.Pkg, &out), node.Decl.Body)
+					findings[node] = out
+					ds = out
+				}
+				for _, d := range ds {
+					if reported[d.Pos] {
+						continue
+					}
+					reported[d.Pos] = true
+					d.Message += " (reached from deterministic scope via " + PathString(root, path) + ")"
+					*p.out = append(*p.out, d)
+				}
+				return true
+			})
+	}
+}
+
+// enclosingFile returns the *ast.File containing the node's
+// declaration, or nil.
+func enclosingFile(n *FuncNode) *ast.File {
+	for _, f := range n.Pkg.Files {
+		if f.Pos() <= n.Decl.Pos() && n.Decl.Pos() <= f.End() {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// EscapeCheckName names the build-mode escape-analysis pass for
+// -only/-disable, -list, and //ldlint:ignore.
+const EscapeCheckName = "escapecheck"
+
+// EscapeCheckDoc is the one-line description shown by ldlint -list.
+const EscapeCheckDoc = "diff the compiler's escape verdicts (go build -gcflags='-m -m') against the //ldlint:noalloc set"
+
+// runEscapeCheck is the escapecheck build-mode pass: it compiles the
+// module with `go build -gcflags='-m -m' ./...` and cross-checks the
+// compiler's escape-analysis verdicts against the //ldlint:noalloc
+// annotation set. The AST analyzers reason about constructs that *can*
+// allocate; the compiler reports what *does* — including regressions
+// the AST can never see, like an inlining decision changing under a new
+// Go release and boxing a value that used to stay on the stack. Every
+// "escapes to heap" or "moved to heap" verdict positioned inside an
+// annotated function body becomes a diagnostic.
+//
+// The verdicts are a function of the Go toolchain version: a compiler
+// upgrade can add or remove heap moves with no source change, which is
+// exactly the regression class this pass exists to catch — but it means
+// a fresh toolchain may require revisiting the suppression set before
+// the tree is clean again.
+//
+// Suppression: a line-level //ldlint:ignore escapecheck works as usual,
+// and //ldlint:ignore noalloc on the same line is honored too — the two
+// analyzers enforce one contract from two sides, and the in-tree
+// deliberate-allocation sites (amortized slab refills) should not need
+// to state the same reason twice.
+//
+// The go command replays cached compile diagnostics, so warm runs cost
+// one cache lookup per package rather than a rebuild.
+func runEscapeCheck(moduleDir string, pkgs []*Package, out *[]Diagnostic) error {
+	spans := noallocSpans(pkgs)
+	if len(spans) == 0 {
+		return nil
+	}
+	cmd := exec.Command("go", "build", "-gcflags=-m -m", "./...")
+	cmd.Dir = moduleDir
+	raw, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("escapecheck: go build -gcflags='-m -m' failed: %v\n%s", err, raw)
+	}
+	// -m -m states each heap move more than once — a "v escapes to
+	// heap:" header introducing the dataflow explanation plus a "moved
+	// to heap: v" verdict at the same position. One diagnostic per
+	// position is enough to fail the gate, so deduplicate on position.
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || line[0] == '#' || line[0] == ' ' || line[0] == '\t' {
+			continue // package banners and -m -m flow explanations
+		}
+		file, lineNo, col, msg, ok := parseCompilerLine(line)
+		if !ok {
+			continue
+		}
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		msg = strings.TrimSuffix(msg, ":")
+		dedup := fmt.Sprintf("%s:%d:%d", file, lineNo, col)
+		if seen[dedup] {
+			continue
+		}
+		seen[dedup] = true
+		abs := file
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(moduleDir, file)
+		}
+		span := spanAt(spans, abs, lineNo)
+		if span == nil {
+			continue
+		}
+		*out = append(*out, Diagnostic{
+			Analyzer: EscapeCheckName,
+			Pos:      token.Position{Filename: abs, Line: lineNo, Column: col},
+			Message: fmt.Sprintf("compiler escape analysis: %s in //ldlint:noalloc function %s",
+				msg, span.name),
+		})
+	}
+	return nil
+}
+
+// funcSpan is the source range of one annotated function body.
+type funcSpan struct {
+	name       string
+	start, end int // lines, inclusive
+}
+
+// noallocSpans indexes every //ldlint:noalloc function's body by file.
+func noallocSpans(pkgs []*Package) map[string][]funcSpan {
+	spans := make(map[string][]funcSpan)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !hasDirective(fn.Doc, directiveNoAlloc) {
+					continue
+				}
+				start := pkg.Fset.Position(fn.Pos())
+				end := pkg.Fset.Position(fn.End())
+				spans[start.Filename] = append(spans[start.Filename], funcSpan{
+					name:  fn.Name.Name,
+					start: start.Line,
+					end:   end.Line,
+				})
+			}
+		}
+	}
+	return spans
+}
+
+func spanAt(spans map[string][]funcSpan, file string, line int) *funcSpan {
+	for i := range spans[file] {
+		s := &spans[file][i]
+		if line >= s.start && line <= s.end {
+			return s
+		}
+	}
+	return nil
+}
+
+// parseCompilerLine splits one "path/file.go:12:34: message" compiler
+// diagnostic.
+func parseCompilerLine(line string) (file string, lineNo, col int, msg string, ok bool) {
+	// Split from the left: path, line, column, then the message (which
+	// may itself contain colons).
+	i := strings.Index(line, ".go:")
+	if i < 0 {
+		return "", 0, 0, "", false
+	}
+	file = line[:i+3]
+	rest := line[i+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return "", 0, 0, "", false
+	}
+	lineNo, err1 := strconv.Atoi(parts[0])
+	col, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, "", false
+	}
+	return file, lineNo, col, strings.TrimSpace(parts[2]), true
+}

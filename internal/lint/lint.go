@@ -106,6 +106,7 @@ const (
 	directiveIgnore        = "ldlint:ignore"
 	directiveNoAlloc       = "ldlint:noalloc"
 	directiveDeterministic = "ldlint:deterministic"
+	directiveConfined      = "ldlint:confined"
 )
 
 // directiveText extracts the directive body from a comment line: for
@@ -140,10 +141,25 @@ func hasDirective(g *ast.CommentGroup, directive string) bool {
 	return false
 }
 
-// fileHasDirective reports whether any comment in the file carries the
-// directive. Used for package-scope opt-ins like //ldlint:deterministic.
+// fileHasDirective reports whether the file carries the directive at
+// file scope: in any comment group that is not a function's doc
+// comment. Used for package-scope opt-ins like //ldlint:deterministic —
+// a function-level form of the same directive opts in only that
+// function, not the file around it.
 func fileHasDirective(f *ast.File, directive string) bool {
+	if f == nil {
+		return false
+	}
+	funcDocs := make(map[*ast.CommentGroup]bool)
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Doc != nil {
+			funcDocs[fn.Doc] = true
+		}
+	}
 	for _, g := range f.Comments {
+		if funcDocs[g] {
+			continue
+		}
 		if hasDirective(g, directive) {
 			return true
 		}
@@ -163,11 +179,10 @@ type suppression struct {
 // package. Malformed suppressions (no analyzer, unknown analyzer, or a
 // missing reason) are reported as diagnostics under the "ldlint" name:
 // an exemption that does not say why it is safe is not an exemption.
-func collectSuppressions(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer, out *[]Diagnostic) []*suppression {
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
-		known[a.Name] = true
-	}
+// Names are validated against the full suite — per-package, module,
+// and escapecheck — regardless of which subset this run enables, so a
+// run under -only never misreports a valid suppression as unknown.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, out *[]Diagnostic) []*suppression {
 	var sups []*suppression
 	for _, f := range files {
 		for _, g := range f.Comments {
@@ -187,7 +202,7 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, analyzers []*An
 						Message: "ldlint:ignore needs an analyzer name and a reason"})
 					continue
 				}
-				if !known[name] && ByName(name) == nil {
+				if !KnownAnalyzerName(name) {
 					*out = append(*out, Diagnostic{Analyzer: "ldlint", Pos: pos,
 						Message: fmt.Sprintf("ldlint:ignore of unknown analyzer %q", name)})
 					continue
@@ -204,26 +219,55 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, analyzers []*An
 	return sups
 }
 
+// supKey addresses one (file, line, analyzer) suppression slot.
+type supKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// supIndex maps every line a suppression covers — its own line
+// (trailing comment) and the line below (comment above the flagged
+// statement) — to the suppression.
+type supIndex map[supKey]*suppression
+
+func buildSupIndex(sups []*suppression) supIndex {
+	if len(sups) == 0 {
+		return nil
+	}
+	idx := make(supIndex, 2*len(sups))
+	for _, s := range sups {
+		idx[supKey{s.pos.Filename, s.pos.Line, s.analyzer}] = s
+		idx[supKey{s.pos.Filename, s.pos.Line + 1, s.analyzer}] = s
+	}
+	return idx
+}
+
 // applySuppressions filters diags: a suppression on line L of a file
 // silences that analyzer's diagnostics on line L (trailing comment) and
-// line L+1 (comment above the flagged statement).
+// line L+1 (comment above the flagged statement). escapecheck
+// diagnostics additionally honor noalloc suppressions on their line —
+// the two passes enforce one contract, and a deliberate-allocation site
+// should not have to state the same reason twice.
 func applySuppressions(diags []Diagnostic, sups []*suppression) []Diagnostic {
-	if len(sups) == 0 {
+	byKey := buildSupIndex(sups)
+	if byKey == nil {
 		return diags
 	}
-	type key struct {
-		file     string
-		line     int
-		analyzer string
-	}
-	byKey := make(map[key]*suppression, 2*len(sups))
-	for _, s := range sups {
-		byKey[key{s.pos.Filename, s.pos.Line, s.analyzer}] = s
-		byKey[key{s.pos.Filename, s.pos.Line + 1, s.analyzer}] = s
+	lookup := func(d Diagnostic) *suppression {
+		if s, ok := byKey[supKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+			return s
+		}
+		if d.Analyzer == EscapeCheckName {
+			if s, ok := byKey[supKey{d.Pos.Filename, d.Pos.Line, NoAlloc.Name}]; ok {
+				return s
+			}
+		}
+		return nil
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if s, ok := byKey[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+		if s := lookup(d); s != nil {
 			s.used = true
 			continue
 		}
@@ -232,26 +276,72 @@ func applySuppressions(diags []Diagnostic, sups []*suppression) []Diagnostic {
 	return kept
 }
 
+// unusedSuppressions reports every well-formed //ldlint:ignore whose
+// analyzer ran in this invocation but silenced nothing: a stale
+// exemption is a contract hole waiting to reopen, and the inventory of
+// ignores only stays honest if rot is a diagnostic too. Suppressions
+// for analyzers that did not run (an -only subset, or an interproc
+// ignore under a plain per-package run) are left alone.
+func unusedSuppressions(sups []*suppression, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, s := range sups {
+		if s.used || !ran[s.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{Analyzer: "ldlint", Pos: s.pos,
+			Message: fmt.Sprintf("unused ldlint:ignore %s: no %s diagnostic fires here; delete the stale suppression", s.analyzer, s.analyzer)})
+	}
+	return out
+}
+
 // RunPackage runs the given analyzers over one loaded package and
-// returns its surviving diagnostics sorted by position.
+// returns its surviving diagnostics sorted by position, including
+// unused-suppression findings for the analyzers that ran. The module
+// analyzers can be layered on via RunPackageInterproc, which treats the
+// single package as a one-package module.
 func RunPackage(p *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunPackageInterproc(p, analyzers, nil)
+}
+
+// RunPackageInterproc runs per-package and module analyzers over one
+// package as a self-contained universe — the shape the golden fixture
+// tests use, where each fixture directory exercises one analyzer's
+// rules including the interprocedural ones.
+func RunPackageInterproc(p *Package, analyzers []*Analyzer, modAnalyzers []*ModuleAnalyzer) []Diagnostic {
 	var diags []Diagnostic
+	sups := collectSuppressions(p.Fset, p.Files, &diags)
+	runIntra(p, analyzers, &diags)
+	ran := make(map[string]bool, len(analyzers)+len(modAnalyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	if len(modAnalyzers) > 0 {
+		mod := NewModule(p.Fset, p.Path, []*Package{p})
+		mod.RunModule(modAnalyzers, sups, &diags)
+		for _, a := range modAnalyzers {
+			ran[a.Name] = true
+		}
+	}
+	diags = applySuppressions(diags, sups)
+	diags = append(diags, unusedSuppressions(sups, ran)...)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// runIntra applies the per-package analyzers to one package.
+func runIntra(p *Package, analyzers []*Analyzer, out *[]Diagnostic) {
 	pass := &Pass{
 		Fset:  p.Fset,
 		Path:  p.Path,
 		Files: p.Files,
 		Pkg:   p.Types,
 		Info:  p.Info,
-		out:   &diags,
+		out:   out,
 	}
 	for _, a := range analyzers {
 		pass.analyzer = a.Name
 		a.Run(pass)
 	}
-	sups := collectSuppressions(p.Fset, p.Files, analyzers, &diags)
-	diags = applySuppressions(diags, sups)
-	sortDiagnostics(diags)
-	return diags
 }
 
 func sortDiagnostics(diags []Diagnostic) {

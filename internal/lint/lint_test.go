@@ -46,9 +46,10 @@ func parseWantMarkers(pkg *Package) []*wantMarker {
 	return markers
 }
 
-// TestGoldenFixtures runs all analyzers over each fixture package under
-// testdata/src and asserts the diagnostics line-by-line against the
-// fixtures' "want" markers, in both directions.
+// TestGoldenFixtures runs all analyzers — per-package and
+// interprocedural — over each fixture package under testdata/src and
+// asserts the diagnostics line-by-line against the fixtures' "want"
+// markers, in both directions.
 func TestGoldenFixtures(t *testing.T) {
 	loader, err := NewLoader(".")
 	if err != nil {
@@ -58,8 +59,8 @@ func TestGoldenFixtures(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadDir: %v", err)
 	}
-	if len(entries) < len(All) {
-		t.Fatalf("found %d fixture packages, want at least %d (one per analyzer)", len(entries), len(All))
+	if len(entries) < len(All)+len(ModuleAll) {
+		t.Fatalf("found %d fixture packages, want at least %d (one per analyzer)", len(entries), len(All)+len(ModuleAll))
 	}
 	for _, e := range entries {
 		if !e.IsDir() {
@@ -74,7 +75,7 @@ func TestGoldenFixtures(t *testing.T) {
 			if len(markers) == 0 {
 				t.Fatalf("fixture %s has no want markers", e.Name())
 			}
-			diags := RunPackage(pkg, All)
+			diags := RunPackageInterproc(pkg, All, ModuleAll)
 			for _, d := range diags {
 				if !claimMarker(markers, d) {
 					t.Errorf("unexpected diagnostic: %s", d)
@@ -107,25 +108,35 @@ func claimMarker(markers []*wantMarker, d Diagnostic) bool {
 	return false
 }
 
-// TestFixtureCoverage asserts that every analyzer has at least one
-// golden fixture exercising it, keyed by directory name.
+// TestFixtureCoverage asserts that every analyzer — per-package and
+// interprocedural — has at least one golden fixture exercising it,
+// keyed by directory name.
 func TestFixtureCoverage(t *testing.T) {
+	names := make([]string, 0, len(All)+len(ModuleAll))
 	for _, a := range All {
-		dir := filepath.Join("testdata", "src", a.Name)
-		if _, err := os.Stat(filepath.Join(dir, a.Name+".go")); err != nil {
-			t.Errorf("analyzer %s has no fixture package: %v", a.Name, err)
+		names = append(names, a.Name)
+	}
+	for _, a := range ModuleAll {
+		names = append(names, a.Name)
+	}
+	for _, name := range names {
+		dir := filepath.Join("testdata", "src", name)
+		if _, err := os.Stat(filepath.Join(dir, name+".go")); err != nil {
+			t.Errorf("analyzer %s has no fixture package: %v", name, err)
 		}
 	}
 }
 
-// TestRepoLintClean asserts the repository itself is lint-clean: every
-// surviving construct is either contract-conformant or carries a
-// reasoned //ldlint:ignore.
+// TestRepoLintClean asserts the repository itself is lint-clean with
+// the full suite — per-package, interprocedural, and the compiler
+// escape cross-check: every surviving construct is either
+// contract-conformant or carries a reasoned //ldlint:ignore, and no
+// suppression is stale.
 func TestRepoLintClean(t *testing.T) {
 	if raceEnabled {
 		t.Skip("whole-repo typecheck is CPU-heavy under race instrumentation; the non-race `make lint` step of the same gate covers it")
 	}
-	diags, err := Run(Options{Root: "."})
+	diags, err := Run(Options{Root: ".", Interproc: true, Escape: true})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -153,6 +164,57 @@ func TestMainSeededViolations(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q; got:\n%s", want, out)
 		}
+	}
+	// The stale noallocprop suppression in the seeded module must NOT be
+	// reported here: unused-suppression findings are gated on the named
+	// analyzer actually running, and this run is not interprocedural.
+	if strings.Contains(out, "unused ldlint:ignore") {
+		t.Errorf("unused-suppression finding leaked into a non-interproc run:\n%s", out)
+	}
+}
+
+// TestMainInterprocSeeded runs the CLI with -interproc over the seeded
+// module and pins the multi-frame call-path message format, the
+// unused-suppression finding for the stale interproc ignore, and the
+// total count.
+func TestMainInterprocSeeded(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-interproc", "-C", filepath.Join("testdata", "seeded"), "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"(on //ldlint:noalloc path seeded.entry -> seeded.mid -> seeded.deep)",
+		"unused ldlint:ignore noallocprop",
+		"ldlint: 5 issue(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+// TestEscapeCheck runs the escapecheck pass over its seeded mini-module
+// and asserts the compiler's heap-move verdict is reported inside the
+// annotated function, stays silent for the clean function, and honors
+// the line-level suppression.
+func TestEscapeCheck(t *testing.T) {
+	diags, err := Run(Options{Root: filepath.Join("testdata", "escape"), Escape: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var boxed bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == EscapeCheckName && strings.Contains(d.Message, "in //ldlint:noalloc function Boxed"):
+			boxed = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !boxed {
+		t.Errorf("escapecheck missed the heap move in Boxed; got %d diagnostics", len(diags))
 	}
 }
 

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ShardConfine verifies goroutine confinement of //ldlint:confined
+// types: values of a confined type (EngineShard, the qlog SPSC
+// Producer) — and anything selected out of one — belong to exactly one
+// goroutine, and the analyzer flags every construct that would hand a
+// reference to another one:
+//
+//   - sends of a confined value (or a field of one) on a channel:
+//     whatever receives is by definition another goroutine;
+//   - confined values captured by a go-statement closure (or a closure
+//     handed to vclock's Clock.Go), and existing confined variables
+//     passed as go-call arguments or used as a go-call's method
+//     receiver. Ownership transfer at birth stays legal: a value
+//     freshly constructed *inside the go statement's argument list*
+//     (go s.serve(e.NewShard())) has no other reference, so handing it
+//     to the new goroutine is how a shard acquires its owner in the
+//     first place;
+//   - stores of confined-derived values into package-level variables
+//     (visible to every goroutine);
+//   - cross-shard stores: inside a method on a confined receiver,
+//     stores into a *different* confined value's state — the receiver
+//     leaking its buffers into a sibling shard.
+//
+// This is the static side of a two-sided gate: the race detector job
+// (`make race`) exercises the same surfaces dynamically, and the
+// generation-counter/atomic-field patterns that make a *deliberate*
+// cross-goroutine read safe (CacheStats scraping a shard's atomic
+// counters) carry reasoned //ldlint:ignore suppressions naming why.
+var ShardConfine = &ModuleAnalyzer{
+	Name: "shardconfine",
+	Doc:  "keep //ldlint:confined values (engine shards, SPSC producers) from escaping their owning goroutine",
+	Run:  runShardConfine,
+}
+
+func runShardConfine(p *ModulePass) {
+	m := p.Module
+	if len(m.ConfinedTy) == 0 {
+		return
+	}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+					checkConfinedFunc(p, pkg, fn)
+				}
+			}
+		}
+	}
+}
+
+func checkConfinedFunc(p *ModulePass, pkg *Package, fn *ast.FuncDecl) {
+	m := p.Module
+	info := pkg.Info
+
+	// recvObj is the receiver variable when fn is a method on a
+	// confined type — the one confined value this function legitimately
+	// owns state of.
+	var recvObj *types.Var
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		field := fn.Recv.List[0]
+		if len(field.Names) == 1 {
+			if obj, ok := info.Defs[field.Names[0]].(*types.Var); ok && m.confinedTypeName(obj.Type()) != nil {
+				recvObj = obj
+			}
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if tn, base := m.confinedBase(info, n.Value); tn != nil {
+				p.Reportf(n.Value.Pos(), "send of confined %s.%s value %s on a channel leaks it to the receiving goroutine",
+					tn.Pkg().Name(), tn.Name(), types.ExprString(base))
+			}
+		case *ast.GoStmt:
+			checkConfinedSpawn(p, pkg, n.Call, fn)
+		case *ast.CallExpr:
+			if isGoroutineSpawner(info, n) {
+				checkConfinedSpawn(p, pkg, n, fn)
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				tn, base := m.confinedBase(info, rhs)
+				if tn == nil {
+					continue
+				}
+				lhs := n.Lhs[i]
+				if obj := packageLevelTarget(info, lhs); obj != nil {
+					p.Reportf(rhs.Pos(), "confined %s.%s value %s stored in package-level %s is visible to every goroutine",
+						tn.Pkg().Name(), tn.Name(), types.ExprString(base), obj.Name())
+					continue
+				}
+				if recvObj != nil {
+					if other := confinedLHSBase(m, info, lhs); other != nil && other != recvObj {
+						p.Reportf(rhs.Pos(), "cross-shard store: %s's state %s written into sibling confined value %s",
+							recvObj.Name(), types.ExprString(base), other.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkConfinedSpawn applies the goroutine-handoff rules to one spawn
+// call (a go statement's call or a vclock Clock.Go call).
+func checkConfinedSpawn(p *ModulePass, pkg *Package, call *ast.CallExpr, fn *ast.FuncDecl) {
+	m := p.Module
+	info := pkg.Info
+
+	// go x.method(...): the receiver x escapes onto the new goroutine.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tn, base := m.confinedBase(info, sel.X); tn != nil && !freshlyConstructed(sel.X) {
+			p.Reportf(sel.X.Pos(), "confined %s.%s value %s used as a goroutine's method receiver escapes its owning goroutine",
+				tn.Pkg().Name(), tn.Name(), types.ExprString(base))
+		}
+	}
+	for _, arg := range call.Args {
+		// A closure argument: anything confined it captures from the
+		// enclosing scope moves to the new goroutine.
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			checkConfinedCaptures(p, pkg, lit)
+			continue
+		}
+		if tn, base := m.confinedBase(info, arg); tn != nil && !freshlyConstructed(arg) {
+			p.Reportf(arg.Pos(), "existing confined %s.%s value %s handed to a new goroutine; ownership transfer requires a freshly constructed value",
+				tn.Pkg().Name(), tn.Name(), types.ExprString(base))
+		}
+	}
+	// go func(){...}(): the called literal itself.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		checkConfinedCaptures(p, pkg, lit)
+	}
+}
+
+// checkConfinedCaptures flags identifiers inside a spawned closure that
+// resolve to confined-typed variables declared outside the literal.
+func checkConfinedCaptures(p *ModulePass, pkg *Package, lit *ast.FuncLit) {
+	m := p.Module
+	info := pkg.Info
+	reported := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || reported[obj] {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true // declared inside the literal: not a capture
+		}
+		tn := m.confinedTypeName(obj.Type())
+		if tn == nil {
+			return true
+		}
+		reported[obj] = true
+		p.Reportf(id.Pos(), "goroutine closure captures confined %s.%s value %s from its owning goroutine",
+			tn.Pkg().Name(), tn.Name(), obj.Name())
+		return true
+	})
+}
+
+// confinedBase reports whether expr is a confined value or derived from
+// one: it unwraps parens, &, *, field selections, and index
+// expressions, and returns the confined type plus the base expression
+// the diagnostic should name. Method calls and other call results
+// break the chain (a method choosing to return internal state is its
+// own design decision, not an implicit escape this analyzer polices).
+func (m *Module) confinedBase(info *types.Info, expr ast.Expr) (*types.TypeName, ast.Expr) {
+	e := ast.Unparen(expr)
+	for {
+		if tv, ok := info.Types[e]; ok && tv.Type != nil {
+			if tn := m.confinedTypeName(tv.Type); tn != nil {
+				return tn, e
+			}
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+		case *ast.UnaryExpr:
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// freshlyConstructed reports whether expr denotes a value with no prior
+// reference: a direct call result (e.NewShard()), a composite literal,
+// or the address of one. Handing such a value to a spawned goroutine is
+// the ownership-establishing transfer, not an escape.
+func freshlyConstructed(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CallExpr:
+		return true
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	}
+	return false
+}
+
+// packageLevelTarget resolves an assignment destination to a
+// package-level variable when the store lands in one (directly, or
+// through a field/element of one).
+func packageLevelTarget(info *types.Info, lhs ast.Expr) *types.Var {
+	obj := rootIdentObj(info, lhs)
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	if v, ok := obj.(*types.Var); ok && obj.Parent() == obj.Pkg().Scope() {
+		return v
+	}
+	return nil
+}
+
+// confinedLHSBase resolves an assignment destination to the confined
+// variable whose state it writes, or nil.
+func confinedLHSBase(m *Module, info *types.Info, lhs ast.Expr) types.Object {
+	obj := rootIdentObj(info, lhs)
+	if obj == nil {
+		return nil
+	}
+	if m.confinedTypeName(obj.Type()) == nil {
+		return nil
+	}
+	return obj
+}
+
+// rootIdentObj walks a selector/index/star chain to its base identifier
+// and resolves it.
+func rootIdentObj(info *types.Info, expr ast.Expr) types.Object {
+	e := ast.Unparen(expr)
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			e = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package escapefix seeds the escapecheck driver test: the compiler's
+// escape analysis must flag Boxed (its local moves to the heap inside a
+// //ldlint:noalloc body), stay silent for Clean, and honor the
+// suppression in Exempt.
+package escapefix
+
+// Boxed violates its annotation: returning &v forces v off the stack.
+//
+//ldlint:noalloc
+func Boxed(n int) *int {
+	v := n + 1
+	return &v
+}
+
+// Clean keeps everything on the stack.
+//
+//ldlint:noalloc
+func Clean(n int) int {
+	v := n + 1
+	return v
+}
+
+// Exempt has the same heap move as Boxed behind a reasoned suppression.
+//
+//ldlint:noalloc
+func Exempt(n int) *int {
+	v := n + 1 //ldlint:ignore escapecheck fixture demonstrates suppressing a compiler escape verdict
+	return &v
+}

@@ -1,0 +1,56 @@
+// Package determreach is the golden fixture for the interprocedural
+// determinism-reachability analyzer: wall-clock reads, global math/rand
+// and map iteration in functions reachable from a
+// //ldlint:deterministic root are reported with the call path,
+// goroutine-spawn edges are followed (spawned work runs inside the same
+// simulation), annotated functions are checked by the intra analyzer
+// instead, and a call-site ignore cuts the edge for sanctioned bridges
+// out of the simulated world.
+package determreach
+
+import "time"
+
+var (
+	now   int64
+	epoch time.Time
+	index map[string]int
+)
+
+//ldlint:deterministic
+func eventLoop() {
+	step()
+	//ldlint:ignore determreach fixture demonstrates a sanctioned bridge out of the simulated world
+	bridge()
+}
+
+func step() {
+	now = time.Now().UnixNano() // want determreach reached from deterministic scope via determreach.eventLoop -> determreach.step
+}
+
+// bridge is reached only through the suppressed call site: the edge cut
+// exempts its subtree.
+func bridge() {
+	now = time.Now().UnixNano()
+}
+
+//ldlint:deterministic
+func spawner() {
+	go worker()
+}
+
+// worker runs on a goroutine spawned from deterministic scope, which is
+// still inside the simulation: the go edge is followed.
+func worker() {
+	for k := range index { // want determreach map iteration order is nondeterministic
+		_ = k
+	}
+}
+
+// annotatedCallee carries its own function-level directive: the intra
+// determinism analyzer checks its body directly, and the reachability
+// pass treats it as a root rather than re-reporting through callers.
+//
+//ldlint:deterministic
+func annotatedCallee() {
+	_ = time.Since(epoch) // want determinism time.Since reads the wall clock
+}

@@ -1,0 +1,93 @@
+// Package noallocprop is the golden fixture for the interprocedural
+// noalloc propagation analyzer: allocations in unannotated functions
+// reachable from a //ldlint:noalloc root are reported with the call
+// path, goroutine-spawn edges are not followed, annotated callees are
+// their own roots, and both suppression forms round-trip — a call-site
+// ignore cuts the edge, a construct-level ignore silences one finding.
+package noallocprop
+
+var sink []byte
+
+//ldlint:noalloc
+func root(n int) {
+	level1(n)
+	go spawned(n)
+	//ldlint:ignore noallocprop fixture demonstrates a call-site edge cut at a deliberate cold-path boundary
+	coldPath(n)
+	annotatedCallee(n)
+}
+
+// rootA also reaches level2; the construct there is reported once, on
+// the path from the first root in declaration order.
+//
+//ldlint:noalloc
+func rootA(n int) {
+	level1(n)
+}
+
+func level1(n int) {
+	level2(n)
+}
+
+func level2(n int) {
+	sink = make([]byte, n) // want noallocprop on //ldlint:noalloc path noallocprop.root -> noallocprop.level1 -> noallocprop.level2
+}
+
+// spawned is reached only over a go edge: its allocation runs on the
+// new goroutine, not on the root's allocation count.
+func spawned(n int) {
+	sink = make([]byte, n)
+}
+
+// coldPath is reached only through the suppressed call site above: the
+// edge cut exempts its whole subtree.
+func coldPath(n int) {
+	sink = make([]byte, n)
+	deeper(n)
+}
+
+func deeper(n int) {
+	sink = make([]byte, n)
+}
+
+// annotatedCallee carries its own annotation: propagation stops here
+// and the intra-function analyzer owns its body.
+//
+//ldlint:noalloc
+func annotatedCallee(n int) {
+	_ = n
+}
+
+type codec struct{ buf []byte }
+
+//ldlint:noalloc
+func (c *codec) encode(n int) {
+	c.grow(n)
+}
+
+func (c *codec) grow(n int) {
+	c.buf = make([]byte, n) // want noallocprop on //ldlint:noalloc path noallocprop.codec.encode -> noallocprop.codec.grow
+}
+
+// refRoot passes a function value to a call site: the callee may invoke
+// it, so the reference edge is followed.
+//
+//ldlint:noalloc
+func refRoot() {
+	apply(refCallee)
+}
+
+func apply(f func()) { f() }
+
+func refCallee() {
+	sink = []byte{1} // want noallocprop on //ldlint:noalloc path noallocprop.refRoot -> noallocprop.refCallee
+}
+
+//ldlint:noalloc
+func rootB(n int) {
+	coldAlloc(n)
+}
+
+func coldAlloc(n int) {
+	sink = make([]byte, n) //ldlint:ignore noallocprop fixture demonstrates a construct-level exemption surviving propagation
+}

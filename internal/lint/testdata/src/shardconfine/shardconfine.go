@@ -1,0 +1,70 @@
+// Package shardconfine is the golden fixture for the
+// goroutine-confinement analyzer: values of a //ldlint:confined type
+// must not escape their owning goroutine via channel sends, go-closure
+// captures, spawn arguments or receivers, package-level stores, or
+// cross-shard stores — while ownership transfer at birth (a freshly
+// constructed value handed straight to the new goroutine) stays legal.
+package shardconfine
+
+// Shard stands in for the real confined types (the engine shard, the
+// qlog SPSC producer).
+//
+//ldlint:confined
+type Shard struct {
+	buf   []byte
+	cache map[string]int
+}
+
+var global *Shard
+
+func NewShard() *Shard { return &Shard{} }
+
+func use(s *Shard) { _ = s }
+
+func (s *Shard) run() {}
+
+func leakSend(ch chan *Shard, s *Shard) {
+	ch <- s // want shardconfine send of confined shardconfine.Shard value s on a channel
+}
+
+func leakFieldSend(ch chan []byte, s *Shard) {
+	ch <- s.buf // want shardconfine send of confined shardconfine.Shard value s on a channel
+}
+
+func leakCapture(s *Shard) {
+	go func() {
+		s.buf = nil // want shardconfine goroutine closure captures confined shardconfine.Shard value s
+	}()
+}
+
+func leakArg(s *Shard) {
+	go use(s) // want shardconfine existing confined shardconfine.Shard value s handed to a new goroutine
+}
+
+func leakReceiver(s *Shard) {
+	go s.run() // want shardconfine used as a goroutine's method receiver
+}
+
+// birthTransfer is the sanctioned shape: the shard is constructed in
+// the spawn's argument list, so the new goroutine holds its only
+// reference and becomes the owner.
+func birthTransfer() {
+	go use(NewShard())
+}
+
+func leakGlobal(s *Shard) {
+	global = s // want shardconfine stored in package-level global
+}
+
+func (s *Shard) crossStore(other *Shard) {
+	other.buf = s.buf // want shardconfine cross-shard store
+}
+
+// selfStore is the owner touching its own state: silent.
+func (s *Shard) selfStore() {
+	s.buf = s.buf[:0]
+}
+
+func suppressedSend(ch chan *Shard, s *Shard) {
+	ch <- s //ldlint:ignore shardconfine fixture demonstrates a reasoned handoff: the receiver joins the owner before any further use
+}

@@ -153,10 +153,12 @@ func runCase(name string, producers int, cfg qlog.Config, dur time.Duration) (Re
 	start := time.Now()
 	deadline := start.Add(dur)
 	for w := 0; w < producers; w++ {
-		prod := p.Producer()
 		peer := netip.AddrFrom4([4]byte{198, 18, 0, byte(w + 1)})
 		wg.Add(1)
-		go func(w int) {
+		// The Producer is constructed in the spawn's argument list —
+		// ownership transfer at birth, the shape shardconfine sanctions —
+		// so the SPSC handle never exists on this goroutine.
+		go func(w int, prod *qlog.Producer) {
 			defer wg.Done()
 			base := start.UnixNano()
 			for i := uint64(0); ; i++ {
@@ -185,7 +187,7 @@ func runCase(name string, producers int, cfg qlog.Config, dur time.Duration) (Re
 				ev.QNameLen = uint8(copy(ev.QName[:], q))
 				prod.Commit()
 			}
-		}(w)
+		}(w, p.Producer())
 	}
 	wg.Wait()
 	if err := p.Close(); err != nil {

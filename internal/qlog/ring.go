@@ -84,6 +84,12 @@ func (r *ring) published() int64 { return int64(r.tail.Load()) }
 // caller simply skips the event. Zero-value Producers (no pipeline
 // attached) are not usable; hot paths guard with a nil check on the
 // Producer pointer itself.
+//
+// The single-producer half of the contract is machine-checked:
+// //ldlint:confined makes ldlint's shardconfine analyzer flag any
+// Producer value escaping the goroutine that owns it.
+//
+//ldlint:confined
 type Producer struct {
 	r *ring
 	// tail mirrors r.tail locally so the hot path stores, never loads,

@@ -108,6 +108,7 @@ func (q *querier) sendBatch(batch []trace.Entry) {
 		e := &batch[i]
 		switch e.Protocol {
 		case trace.UDP:
+			//ldlint:ignore noallocprop lazy per-source socket setup: a first-seen source dials and wires its reader once; steady state is a map hit
 			sock, err := q.getUDP(e.Src.Addr())
 			if err != nil {
 				q.fail(e, err)
@@ -290,7 +291,7 @@ func (q *querier) getUDP(src netip.Addr) (*udpSocket, error) {
 		return sock, nil
 	}
 	if q.en.cfg.UDPTarget == "" {
-		return nil, errNoTarget{trace.UDP}
+		return nil, noTargetErrs[trace.UDP]
 	}
 	raddr, err := net.ResolveUDPAddr("udp", q.en.cfg.UDPTarget)
 	if err != nil {
@@ -510,11 +511,12 @@ func (q *querier) sendStream(e trace.Entry) error {
 		target = q.en.cfg.TLSTarget
 	}
 	if target == "" {
-		return errNoTarget{e.Protocol}
+		return noTargetErrs[e.Protocol]
 	}
 	key := streamKey{addr: e.Src.Addr(), proto: e.Protocol}
 
 	for attempt := 0; attempt < q.en.cfg.StreamAttempts; attempt++ {
+		//ldlint:ignore noallocprop lazy per-stream connection setup: the dial path allocates once per stream, then every entry reuses it
 		sc, err := q.getStream(key, e.Protocol, target)
 		if err != nil {
 			return err
@@ -666,6 +668,16 @@ func (q *querier) closeSockets() {
 }
 
 type errNoTarget struct{ proto trace.Protocol }
+
+// noTargetErrs preboxes one errNoTarget per protocol: the
+// missing-target check sits inside the noalloc send loop, and boxing a
+// fresh struct into error on every affected entry would allocate per
+// query while the target stays unconfigured.
+var noTargetErrs = [...]error{
+	trace.UDP: errNoTarget{trace.UDP},
+	trace.TCP: errNoTarget{trace.TCP},
+	trace.TLS: errNoTarget{trace.TLS},
+}
 
 func (e errNoTarget) Error() string {
 	return "replay: no target configured for protocol " + e.proto.String()

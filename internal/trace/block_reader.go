@@ -404,6 +404,7 @@ func (br *BlockReader) nextBlock() error {
 	if br.err != nil {
 		return br.err
 	}
+	//ldlint:ignore noallocprop one-time decode-pipeline start under sync.Once; steady-state reads recycle decoded blocks
 	br.startOnce.Do(br.start)
 	for {
 		job, ok := <-br.ordered

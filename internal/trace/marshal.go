@@ -30,6 +30,7 @@ func MarshalEntry(buf []byte, e Entry) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Time.UnixNano()))
 	buf = append(buf, fam)
 	if fam == 4 {
+		//ldlint:ignore escapecheck netip.As4 panic-message strings: only the impossible wrong-family panic path materializes them, the fam guard above keeps it unreachable
 		a4 := src.As4()
 		buf = append(buf, a4[:]...)
 	} else {
@@ -38,6 +39,7 @@ func MarshalEntry(buf []byte, e Entry) []byte {
 	}
 	buf = binary.BigEndian.AppendUint16(buf, e.Src.Port())
 	if fam == 4 {
+		//ldlint:ignore escapecheck netip.As4 panic-message strings: only the impossible wrong-family panic path materializes them, the fam guard above keeps it unreachable
 		a4 := dst.As4()
 		buf = append(buf, a4[:]...)
 	} else {
